@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunCollectHomogeneous(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("Atom", 2, "Prime", 1, 7, dir); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("wrote %d CSVs, want 2 (machines x runs)", len(paths))
+	}
+	f, err := os.Open(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if tr.Platform != "Atom" || tr.Workload != "Prime" {
+		t.Errorf("metadata: %s %s", tr.Platform, tr.Workload)
+	}
+	if tr.Len() < 10 {
+		t.Errorf("trace too short: %d", tr.Len())
+	}
+}
+
+func TestRunCollectHeterogeneousList(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("Atom,Core2", 0, "Prime", 1, 9, dir); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if len(paths) != 2 {
+		t.Fatalf("wrote %d CSVs, want 2", len(paths))
+	}
+}
+
+func TestRunCollectErrors(t *testing.T) {
+	if err := run("PDP11", 2, "Prime", 1, 1, t.TempDir()); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+	if err := run("Atom", 2, "FizzBuzz", 1, 1, t.TempDir()); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}

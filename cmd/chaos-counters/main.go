@@ -1,0 +1,83 @@
+// chaos-counters prints the candidate counter inventory: the ~250-counter
+// namespace the feature-selection pipeline starts from, with each
+// counter's category and generation kind, plus the declared co-dependency
+// identities (a = b + c) that Algorithm 1 step 2 removes.
+//
+// Usage:
+//
+//	chaos-counters [-category Memory] [-deps]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/counters"
+)
+
+func main() {
+	var (
+		category = flag.String("category", "", "only list counters of this category")
+		deps     = flag.Bool("deps", false, "list co-dependency identities instead")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *category, *deps); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos-counters:", err)
+		os.Exit(1)
+	}
+}
+
+func kindName(k counters.Kind) string {
+	switch k {
+	case counters.KindSignal:
+		return "signal"
+	case counters.KindScaled:
+		return "scaled"
+	case counters.KindSum:
+		return "sum"
+	case counters.KindLagged:
+		return "lagged"
+	case counters.KindNoise:
+		return "noise"
+	case counters.KindConstant:
+		return "constant"
+	}
+	return "?"
+}
+
+func run(w *os.File, category string, deps bool) error {
+	reg := counters.StandardRegistry()
+	if deps {
+		for _, d := range reg.CoDependencies() {
+			fmt.Fprintf(w, "%s =", reg.Defs[d.Sum].Name)
+			for i, p := range d.Parts {
+				if i > 0 {
+					fmt.Fprint(w, " +")
+				}
+				fmt.Fprintf(w, " %s", reg.Defs[p].Name)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	count := 0
+	byCat := map[counters.Category]int{}
+	for _, d := range reg.Defs {
+		byCat[d.Category]++
+		if category != "" && string(d.Category) != category {
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %-9s %s\n", d.Category, kindName(d.Kind), d.Name)
+		count++
+	}
+	if category != "" && count == 0 {
+		return fmt.Errorf("no counters in category %q", category)
+	}
+	fmt.Fprintf(w, "\n%d counters", count)
+	if category == "" {
+		fmt.Fprintf(w, " in %d categories", len(byCat))
+	}
+	fmt.Fprintln(w)
+	return nil
+}

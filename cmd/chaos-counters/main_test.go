@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/counters"
+)
+
+func capture(t *testing.T, category string, deps bool) (string, error) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(f, category, deps)
+	f.Close()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestListAll(t *testing.T) {
+	out, err := capture(t, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) < 1000 {
+		t.Error("inventory looks truncated")
+	}
+	for _, want := range []string{"Processor", "Memory", "signal", "sum", "noise"} {
+		if !contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestListCategory(t *testing.T) {
+	out, err := capture(t, "Memory", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, counters.MemPages) {
+		t.Error("Memory listing missing Pages/sec")
+	}
+	if contains(out, counters.NetDatagrams) {
+		t.Error("Memory listing leaked network counters")
+	}
+	if _, err := capture(t, "NoSuchCategory", false); err == nil {
+		t.Error("expected error for unknown category")
+	}
+}
+
+func TestListDeps(t *testing.T) {
+	out, err := capture(t, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(out, counters.MemPages+" =") {
+		t.Error("deps listing missing Pages/sec identity")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,161 @@
+// chaos-live runs the whole online loop against a live simulated cluster:
+// train a model on the first workload, then stream a day-in-the-life
+// sequence of jobs through the predictor, printing per-minute power
+// summaries, drift alarms when the workload mix leaves the trained
+// regime, and retrain events that restore accuracy.
+//
+// Usage:
+//
+//	chaos-live -platform Core2 -machines 3 -train Prime -stream Prime,Sort,PageRank
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/featsel"
+	"repro/internal/models"
+	"repro/internal/online"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		platform = flag.String("platform", "Core2", "platform class")
+		machines = flag.Int("machines", 3, "machines in the cluster")
+		train    = flag.String("train", "Prime", "workload to train on")
+		stream   = flag.String("stream", "Prime,Sort", "comma-separated workload sequence to stream")
+		seed     = flag.Int64("seed", 7, "simulation seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *platform, *machines, *train, strings.Split(*stream, ","), *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos-live:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, platform string, machines int, trainWL string, streamWLs []string, seed int64) error {
+	// Train.
+	ds, err := core.Collect(platform, machines, []string{trainWL}, 2, seed)
+	if err != nil {
+		return err
+	}
+	sel, err := ds.SelectFeatures(featsel.Options{})
+	if err != nil {
+		return err
+	}
+	spec := core.ClusterSpec(sel.Features)
+	byRun := trace.ByRun(ds.ByWorkload[trainWL])
+	var trainTraces []*trace.Trace
+	for _, t := range byRun[0] {
+		trainTraces = append(trainTraces, trace.Subsample(t, 2))
+	}
+	mm, err := models.FitMachineModel(models.TechQuadratic, trainTraces, spec,
+		models.FitOptions{MaxKnots: 8})
+	if err != nil {
+		return err
+	}
+	cm, err := models.NewClusterModel(mm)
+	if err != nil {
+		return err
+	}
+	pred, actual, err := cm.PredictCluster(byRun[1])
+	if err != nil {
+		return err
+	}
+	baseline := rmse(pred, actual)
+	fmt.Fprintf(w, "trained quadratic model on %s (%d features); held-out rMSE %.2f W\n",
+		trainWL, len(sel.Features), baseline)
+
+	// Stream the sequence on the same cluster instances the model was
+	// trained for (same seed -> same machines; a deployed model monitors
+	// the machines it was fitted on).
+	cluster, err := telemetry.New(platform, machines, seed)
+	if err != nil {
+		return err
+	}
+	seq, err := cluster.RunSequence(streamWLs, 20, 3000, 0)
+	if err != nil {
+		return err
+	}
+	predictor, err := online.NewPredictor(cm, seq[0].Names)
+	if err != nil {
+		return err
+	}
+	monitor, err := online.NewMonitor(baseline, 16)
+	if err != nil {
+		return err
+	}
+	retrainer, err := online.NewRetrainer(seq[0].Names, 4000)
+	if err != nil {
+		return err
+	}
+
+	n := seq[0].Len()
+	fmt.Fprintf(w, "streaming %s (%d s total)\n", strings.Join(streamWLs, " -> "), n)
+	var drifted bool
+	var minuteErr, minuteActual float64
+	for i := 0; i < n; i++ {
+		var samples []online.Sample
+		var clusterActual float64
+		for _, t := range seq {
+			samples = append(samples, online.Sample{
+				MachineID: t.MachineID, Platform: t.Platform, Counters: t.X.Row(i)})
+			clusterActual += t.Power[i]
+		}
+		est, err := predictor.Step(samples)
+		if err != nil {
+			return err
+		}
+		for k, t := range seq {
+			if err := retrainer.Add(samples[k], t.Power[i]); err != nil {
+				return err
+			}
+		}
+		minuteErr += math.Abs(est.ClusterWatts - clusterActual)
+		minuteActual += clusterActual
+		if i%60 == 59 {
+			fmt.Fprintf(w, "t=%4ds  cluster %6.1f W  mean abs err %5.2f W  residual %.1fx baseline\n",
+				i+1, minuteActual/60, minuteErr/60, monitor.EWMA())
+			minuteErr, minuteActual = 0, 0
+		}
+		if monitor.Observe(est.ClusterWatts, clusterActual) && !drifted {
+			drifted = true
+			fmt.Fprintf(w, "t=%4ds  *** DRIFT: residual %.1fx baseline — scheduling retrain\n",
+				i, monitor.EWMA())
+		}
+		// Retrain once enough post-drift samples are buffered.
+		if drifted && i%120 == 119 {
+			cm2, err := retrainer.Retrain(models.TechQuadratic, spec)
+			if err != nil {
+				return err
+			}
+			p2, err := online.NewPredictor(cm2, seq[0].Names)
+			if err != nil {
+				return err
+			}
+			predictor = p2
+			monitor.Reset()
+			drifted = false
+			fmt.Fprintf(w, "t=%4ds  *** retrained on %d buffered seconds; monitor reset\n",
+				i, retrainer.Buffered(seq[0].MachineID))
+		}
+	}
+	fmt.Fprintln(w, "stream complete")
+	return nil
+}
+
+func rmse(pred, actual []float64) float64 {
+	var s float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLiveLoopDetectsAndRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loop in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, "Core2", 2, "Prime", []string{"Prime", "Sort"}, 7); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "DRIFT") {
+		t.Error("workload switch did not trigger drift")
+	}
+	if !strings.Contains(out, "retrained") {
+		t.Error("no retrain event after drift")
+	}
+	if !strings.Contains(out, "stream complete") {
+		t.Error("stream did not finish")
+	}
+}
+
+func TestLiveLoopValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "PDP11", 2, "Prime", []string{"Prime"}, 1); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+	if err := run(&sb, "Core2", 2, "FizzBuzz", []string{"Prime"}, 1); err == nil {
+		t.Error("expected error for unknown training workload")
+	}
+}

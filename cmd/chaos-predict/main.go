@@ -1,0 +1,97 @@
+// chaos-predict applies a trained cluster power model (chaos-train) to new
+// trace CSVs, printing the per-second cluster power prediction and, since
+// the traces carry metered power, the achieved accuracy — the online
+// prediction path of the CHAOS framework.
+//
+// Usage:
+//
+//	chaos-predict -model model.json -in traces/ [-run 0] [-series]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "model.json", "model JSON from chaos-train")
+		in        = flag.String("in", "traces", "directory of trace CSVs")
+		run       = flag.Int("run", -1, "restrict to one run number (-1 = all)")
+		series    = flag.Bool("series", false, "print the per-second prediction series")
+	)
+	flag.Parse()
+	if err := doPredict(*modelPath, *in, *run, *series); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos-predict:", err)
+		os.Exit(1)
+	}
+}
+
+func doPredict(modelPath, in string, runFilter int, printSeries bool) error {
+	data, err := os.ReadFile(modelPath)
+	if err != nil {
+		return err
+	}
+	var cm models.ClusterModel
+	if err := json.Unmarshal(data, &cm); err != nil {
+		return fmt.Errorf("parsing %s: %w", modelPath, err)
+	}
+	paths, err := filepath.Glob(filepath.Join(in, "*.csv"))
+	if err != nil {
+		return err
+	}
+	var traces []*trace.Trace
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		t, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if runFilter >= 0 && t.Run != runFilter {
+			continue
+		}
+		traces = append(traces, t)
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("no matching traces in %s", in)
+	}
+	var all []metrics.Summary
+	for _, run := range trace.Runs(traces) {
+		runTraces := trace.ByRun(traces)[run]
+		pred, actual, err := cm.PredictCluster(runTraces)
+		if err != nil {
+			return err
+		}
+		idle := 0.0
+		for _, t := range runTraces {
+			idle += t.IdleWatts
+		}
+		sum, err := metrics.Evaluate(pred, actual, idle)
+		if err != nil {
+			return err
+		}
+		all = append(all, sum)
+		fmt.Printf("run %d: %d samples, cluster DRE %.1f%%, rMSE %.2f W, worst error %.2f W\n",
+			run, sum.N, sum.DRE*100, sum.RMSE, sum.MaxErr)
+		if printSeries {
+			for i := range pred {
+				fmt.Printf("%6d  pred %8.2f W  actual %8.2f W\n", i, pred[i], actual[i])
+			}
+		}
+	}
+	avg := metrics.Average(all)
+	fmt.Printf("overall: cluster DRE %.1f%%, rMSE %.2f W, %%Err %.2f%%\n",
+		avg.DRE*100, avg.RMSE, avg.PctErr*100)
+	return nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/models"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// fixtureDir simulates a cluster, writes trace CSVs, trains a model, and
+// returns the directory and model path.
+func fixtureDir(t *testing.T) (dir, modelPath string) {
+	t.Helper()
+	dir = t.TempDir()
+	c, err := telemetry.New("Core2", 2, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := c.RunWorkload("Prime", 2, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range traces {
+		f, err := os.Create(filepath.Join(dir, "t"+string(rune('a'+i))+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteCSV(f, tr); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	spec := core.ClusterSpec([]string{counters.CPUTotal, counters.CPUFreqCore0})
+	var train []*trace.Trace
+	for _, tr := range traces {
+		if tr.Run == 0 {
+			train = append(train, trace.Subsample(tr, 2))
+		}
+	}
+	mm, err := models.FitMachineModel(models.TechQuadratic, train, spec, models.FitOptions{MaxKnots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := models.NewClusterModel(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath = filepath.Join(dir, "model.json")
+	if err := os.WriteFile(modelPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, modelPath
+}
+
+func TestPredictAllRuns(t *testing.T) {
+	dir, modelPath := fixtureDir(t)
+	if err := doPredict(modelPath, dir, -1, false); err != nil {
+		t.Fatalf("doPredict: %v", err)
+	}
+}
+
+func TestPredictSingleRunWithSeries(t *testing.T) {
+	dir, modelPath := fixtureDir(t)
+	if err := doPredict(modelPath, dir, 1, true); err != nil {
+		t.Fatalf("doPredict: %v", err)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	dir, modelPath := fixtureDir(t)
+	if err := doPredict(filepath.Join(dir, "missing.json"), dir, -1, false); err == nil {
+		t.Error("expected error for missing model")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if err := doPredict(bad, dir, -1, false); err == nil {
+		t.Error("expected error for corrupt model JSON")
+	}
+	if err := doPredict(modelPath, t.TempDir(), -1, false); err == nil {
+		t.Error("expected error for empty trace dir")
+	}
+	if err := doPredict(modelPath, dir, 99, false); err == nil {
+		t.Error("expected error for nonexistent run filter")
+	}
+}

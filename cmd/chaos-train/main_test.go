@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/models"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// writeTraces simulates a small cluster and writes trace CSVs for the
+// train/predict tools.
+func writeTraces(t *testing.T, dir string, runs int) {
+	t.Helper()
+	c, err := telemetry.New("Core2", 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := c.RunWorkload("Prime", runs, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range traces {
+		f, err := os.Create(filepath.Join(dir, filenameFor(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteCSV(f, tr); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func filenameFor(i int) string { return "t" + string(rune('a'+i)) + ".csv" }
+
+func TestTrainAutoFeatures(t *testing.T) {
+	dir := t.TempDir()
+	writeTraces(t, dir, 2)
+	out := filepath.Join(dir, "model.json")
+	if err := run(dir, "quadratic", "auto", out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cm models.ClusterModel
+	if err := json.Unmarshal(data, &cm); err != nil {
+		t.Fatalf("model JSON invalid: %v", err)
+	}
+	if cm.ByPlatform["Core2"] == nil {
+		t.Error("model missing Core2 platform")
+	}
+	if cm.ByPlatform["Core2"].Model.Technique() != models.TechQuadratic {
+		t.Errorf("technique = %s", cm.ByPlatform["Core2"].Model.Technique())
+	}
+}
+
+func TestTrainExplicitFeatures(t *testing.T) {
+	dir := t.TempDir()
+	writeTraces(t, dir, 2)
+	out := filepath.Join(dir, "model.json")
+	feats := counters.CPUTotal + "," + counters.CPUFreqCore0
+	if err := run(dir, "switching", feats, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run(dir, "linear", "cpu-only", out); err != nil {
+		t.Fatalf("run cpu-only: %v", err)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if err := run(t.TempDir(), "quadratic", "auto", "x.json"); err == nil {
+		t.Error("expected error for empty trace dir")
+	}
+	dir := t.TempDir()
+	writeTraces(t, dir, 2)
+	if err := run(dir, "cubist", "cpu-only", filepath.Join(dir, "m.json")); err == nil {
+		t.Error("expected error for unknown technique")
+	}
+}
+
+func TestLoadTracesRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.csv"), []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTraces(dir); err == nil {
+		t.Error("expected error for malformed CSV")
+	}
+}

@@ -1,0 +1,23 @@
+// Package repro is a from-scratch Go reproduction of "CHAOS: Composable
+// Highly Accurate OS-based Power Models" (Davis, Rivoire, Goldszmidt,
+// Ardestani — IISWC 2012).
+//
+// The paper builds full-system power models for machines and clusters from
+// OS-level performance counters alone, using an automatic feature-selection
+// pipeline (Algorithm 1) and four modeling techniques (linear, piecewise
+// linear via MARS, quadratic, and frequency-switching), composes machine
+// models into cluster models by summation (Eq. 5), and evaluates everything
+// under the Dynamic Range Error metric (Eq. 6).
+//
+// Because the original hardware (six instrumented Windows clusters with
+// WattsUp meters running Dryad) is unavailable, this repository implements
+// a faithful simulated substrate — platform-accurate machines with DVFS and
+// C1 states, a hidden nonlinear ground-truth power function, a Perfmon-style
+// counter namespace, a Dryad-style scheduler, and the paper's four
+// MapReduce workloads — and then builds the actual CHAOS contribution (the
+// statistics, feature selection, models, and evaluation) on top of it.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured results, and cmd/chaos-repro to regenerate every table
+// and figure.
+package repro

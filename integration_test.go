@@ -1,0 +1,154 @@
+package repro
+
+// End-to-end integration tests across module boundaries: the full CHAOS
+// pipeline (simulate -> log CSV -> feature-select -> fit -> serialize ->
+// reload -> predict online) exercised exactly the way the cmd tools and a
+// downstream user would.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/featsel"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/online"
+	"repro/internal/trace"
+)
+
+func TestFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline in -short mode")
+	}
+	// 1. Collect.
+	ds, err := core.Collect("Core2", 3, []string{"Prime"}, 3, 2024)
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	traces := ds.ByWorkload["Prime"]
+
+	// 2. Persist and reload every trace through CSV (the chaos-collect /
+	// chaos-train boundary).
+	var reloaded []*trace.Trace
+	for _, tr := range traces {
+		var buf bytes.Buffer
+		if err := trace.WriteCSV(&buf, tr); err != nil {
+			t.Fatalf("write csv: %v", err)
+		}
+		back, err := trace.ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("read csv: %v", err)
+		}
+		reloaded = append(reloaded, back)
+	}
+
+	// 3. Feature selection on the reloaded traces.
+	sel, err := featsel.SelectCluster(reloaded, ds.Registry, featsel.Options{})
+	if err != nil {
+		t.Fatalf("featsel: %v", err)
+	}
+	if len(sel.Features) < 2 {
+		t.Fatalf("selected too few features: %v", sel.Features)
+	}
+	// Pooling must be adequate for a homogeneous cluster (paper §IV).
+	pool, err := featsel.CheckPooling(reloaded, sel.Features, 0)
+	if err != nil {
+		t.Fatalf("pooling check: %v", err)
+	}
+	if !pool.Adequate {
+		t.Errorf("pooling inadequate (ratio %.2f) on a homogeneous cluster", pool.Ratio)
+	}
+
+	// 4. Cross-validated accuracy within the paper's bound.
+	spec := core.ClusterSpec(sel.Features)
+	cv, err := core.CrossValidate(reloaded, core.CVConfig{Tech: models.TechQuadratic, Spec: spec})
+	if err != nil {
+		t.Fatalf("cv: %v", err)
+	}
+	if cv.Cluster.DRE > 0.12 {
+		t.Errorf("cluster DRE %.3f exceeds the paper's 12%% bound", cv.Cluster.DRE)
+	}
+
+	// 5. Fit a deployment model, serialize, reload (the chaos-train /
+	// chaos-predict boundary).
+	byRun := trace.ByRun(reloaded)
+	var train []*trace.Trace
+	for _, tr := range byRun[0] {
+		train = append(train, trace.Subsample(tr, 2))
+	}
+	mm, err := models.FitMachineModel(models.TechQuadratic, train, spec, models.FitOptions{MaxKnots: 8})
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	cm, err := models.NewClusterModel(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(cm)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var cm2 models.ClusterModel
+	if err := json.Unmarshal(blob, &cm2); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	// 6. Offline prediction on a held-out run with the reloaded model.
+	test := byRun[1]
+	pred, actual, err := cm2.PredictCluster(test)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	idle := 0.0
+	for _, tr := range test {
+		idle += tr.IdleWatts
+	}
+	sum, err := metrics.Evaluate(pred, actual, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.DRE > 0.15 {
+		t.Errorf("deployed model DRE %.3f too high", sum.DRE)
+	}
+
+	// 7. Online streaming with the reloaded model matches the offline
+	// predictions sample for sample.
+	p, err := online.NewPredictor(&cm2, test[0].Names)
+	if err != nil {
+		t.Fatalf("online predictor: %v", err)
+	}
+	for i := 0; i < test[0].Len(); i++ {
+		var samples []online.Sample
+		for _, tr := range test {
+			samples = append(samples, online.Sample{
+				MachineID: tr.MachineID, Platform: tr.Platform, Counters: tr.X.Row(i)})
+		}
+		est, err := p.Step(samples)
+		if err != nil {
+			t.Fatalf("online step: %v", err)
+		}
+		if math.Abs(est.ClusterWatts-pred[i]) > 1e-9 {
+			t.Fatalf("online/offline mismatch at t=%d: %v vs %v", i, est.ClusterWatts, pred[i])
+		}
+	}
+}
+
+// TestRegistryStableAcrossProcesses: the standard registry must be
+// deterministic — model files reference counters by name and the collector
+// produces columns by registry order.
+func TestRegistryStableAcrossProcesses(t *testing.T) {
+	a := counters.StandardRegistry().Names()
+	b := counters.StandardRegistry().Names()
+	if len(a) != len(b) {
+		t.Fatal("registry size unstable")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("registry order unstable at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

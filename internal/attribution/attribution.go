@@ -1,0 +1,192 @@
+// Package attribution divides a machine's modeled power among the
+// processes (or VMs/tasks) running on it — the Joulemeter-style power
+// metering use case the paper cites (Kansal et al., SoCC 2010) as a
+// consumer of exactly these full-system models.
+//
+// The machine's predicted power is split into a static part (the idle
+// floor, owned by the machine) and a dynamic part, which is attributed to
+// processes in proportion to their shares of the activity the model's
+// features measure: CPU-ish features by CPU share, disk/filesystem
+// features by I/O share, and so on per counter category.
+package attribution
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/counters"
+	"repro/internal/mathx"
+)
+
+// ProcessActivity is one process's resource consumption for one second,
+// in the same units the machine-level counters use.
+type ProcessActivity struct {
+	Name         string
+	CPUPercent   float64 // of total machine CPU time (0-100 x cores scale ok; shares matter)
+	IOBytes      float64 // disk + network bytes moved
+	MemoryBytes  float64 // working set
+	NetworkBytes float64
+}
+
+// Weights control how the dynamic power is split across resource
+// dimensions. They are derived from the model's feature categories: a
+// model dominated by processor counters attributes mostly by CPU share.
+type Weights struct {
+	CPU, IO, Memory, Network float64
+}
+
+// Normalize scales the weights to sum to 1; all-zero weights become pure
+// CPU attribution.
+func (w Weights) Normalize() Weights {
+	s := w.CPU + w.IO + w.Memory + w.Network
+	if s <= 0 {
+		return Weights{CPU: 1}
+	}
+	return Weights{CPU: w.CPU / s, IO: w.IO / s, Memory: w.Memory / s, Network: w.Network / s}
+}
+
+// WeightsFromFeatures derives attribution weights from a model's feature
+// names using the counter registry's categories: each selected feature
+// votes for the resource dimension its category measures.
+func WeightsFromFeatures(features []string, reg *counters.Registry) (Weights, error) {
+	if len(features) == 0 {
+		return Weights{}, fmt.Errorf("attribution: no features")
+	}
+	var w Weights
+	for _, f := range features {
+		idx, ok := reg.Index(f)
+		if !ok {
+			return Weights{}, fmt.Errorf("attribution: feature %q not in registry", f)
+		}
+		switch reg.Category(idx) {
+		case counters.CatProcessor, counters.CatProcessorPerf, counters.CatSystem:
+			w.CPU++
+		case counters.CatPhysicalDisk, counters.CatFSCache:
+			w.IO++
+		case counters.CatMemory, counters.CatJobObject, counters.CatPagingFile:
+			w.Memory++
+		case counters.CatNetwork:
+			w.Network++
+		case counters.CatProcess:
+			// Process IO counters measure both disk and network work.
+			w.IO += 0.5
+			w.Network += 0.5
+		}
+	}
+	return w.Normalize(), nil
+}
+
+// Share is one process's attributed power.
+type Share struct {
+	Name  string
+	Watts float64
+	// Fraction of the machine's dynamic power.
+	Fraction float64
+}
+
+// Attribute splits one second of machine power across processes.
+// totalWatts is the machine's (modeled or metered) power, idleWatts its
+// static floor. The remainder is divided using the weights and each
+// process's share of every resource dimension; activity not owned by any
+// listed process ("the OS") is returned as the residual.
+func Attribute(totalWatts, idleWatts float64, procs []ProcessActivity, w Weights) (shares []Share, osWatts float64, err error) {
+	if totalWatts < 0 || idleWatts < 0 {
+		return nil, 0, fmt.Errorf("attribution: negative power (%g, %g)", totalWatts, idleWatts)
+	}
+	dyn := totalWatts - idleWatts
+	if dyn < 0 {
+		dyn = 0
+	}
+	w = w.Normalize()
+
+	var cpuSum, ioSum, memSum, netSum float64
+	for _, p := range procs {
+		if p.CPUPercent < 0 || p.IOBytes < 0 || p.MemoryBytes < 0 || p.NetworkBytes < 0 {
+			return nil, 0, fmt.Errorf("attribution: process %q has negative activity", p.Name)
+		}
+		cpuSum += p.CPUPercent
+		ioSum += p.IOBytes
+		memSum += p.MemoryBytes
+		netSum += p.NetworkBytes
+	}
+	frac := func(v, sum float64) float64 {
+		if sum <= 0 {
+			return 0
+		}
+		return v / sum
+	}
+	attributed := 0.0
+	for _, p := range procs {
+		f := w.CPU*frac(p.CPUPercent, cpuSum) +
+			w.IO*frac(p.IOBytes, ioSum) +
+			w.Memory*frac(p.MemoryBytes, memSum) +
+			w.Network*frac(p.NetworkBytes, netSum)
+		f = mathx.Clamp(f, 0, 1)
+		shares = append(shares, Share{Name: p.Name, Watts: dyn * f, Fraction: f})
+		attributed += f
+	}
+	sort.Slice(shares, func(a, b int) bool {
+		if shares[a].Watts != shares[b].Watts {
+			return shares[a].Watts > shares[b].Watts
+		}
+		return shares[a].Name < shares[b].Name
+	})
+	osWatts = dyn * mathx.Clamp(1-attributed, 0, 1)
+	return shares, osWatts, nil
+}
+
+// Meter accumulates per-process energy over a run at 1 Hz.
+type Meter struct {
+	weights  Weights
+	energyWs map[string]float64 // watt-seconds
+	osWs     float64
+	idleWs   float64
+	seconds  int
+}
+
+// NewMeter creates an energy meter with the given attribution weights.
+func NewMeter(w Weights) *Meter {
+	return &Meter{weights: w.Normalize(), energyWs: map[string]float64{}}
+}
+
+// Step attributes one second of power to the running processes.
+func (m *Meter) Step(totalWatts, idleWatts float64, procs []ProcessActivity) error {
+	shares, osW, err := Attribute(totalWatts, idleWatts, procs, m.weights)
+	if err != nil {
+		return err
+	}
+	for _, s := range shares {
+		m.energyWs[s.Name] += s.Watts
+	}
+	m.osWs += osW
+	if totalWatts < idleWatts {
+		idleWatts = totalWatts
+	}
+	m.idleWs += idleWatts
+	m.seconds++
+	return nil
+}
+
+// EnergyWh returns each process's accumulated energy in watt-hours,
+// sorted by energy descending.
+func (m *Meter) EnergyWh() []Share {
+	out := make([]Share, 0, len(m.energyWs))
+	for name, ws := range m.energyWs {
+		out = append(out, Share{Name: name, Watts: ws / 3600})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Watts != out[b].Watts {
+			return out[a].Watts > out[b].Watts
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
+
+// OverheadWh returns the unattributed (OS) and idle energies in Wh.
+func (m *Meter) OverheadWh() (osWh, idleWh float64) {
+	return m.osWs / 3600, m.idleWs / 3600
+}
+
+// Seconds returns how many seconds have been metered.
+func (m *Meter) Seconds() int { return m.seconds }

@@ -1,0 +1,149 @@
+package attribution
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/counters"
+)
+
+func TestWeightsNormalize(t *testing.T) {
+	w := Weights{CPU: 2, IO: 1, Memory: 1, Network: 0}.Normalize()
+	if math.Abs(w.CPU-0.5) > 1e-12 || math.Abs(w.IO-0.25) > 1e-12 {
+		t.Errorf("normalized = %+v", w)
+	}
+	z := Weights{}.Normalize()
+	if z.CPU != 1 {
+		t.Errorf("zero weights should default to CPU: %+v", z)
+	}
+}
+
+func TestWeightsFromFeatures(t *testing.T) {
+	reg := counters.StandardRegistry()
+	w, err := WeightsFromFeatures([]string{
+		counters.CPUTotal, counters.CPUFreqCore0, // 2 CPU votes
+		counters.DiskBytes,    // 1 IO vote
+		counters.NetDatagrams, // 1 network vote
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.CPU <= w.IO || w.CPU <= w.Network {
+		t.Errorf("CPU should dominate: %+v", w)
+	}
+	if math.Abs(w.CPU+w.IO+w.Memory+w.Network-1) > 1e-12 {
+		t.Errorf("weights not normalized: %+v", w)
+	}
+	if _, err := WeightsFromFeatures([]string{"bogus"}, reg); err == nil {
+		t.Error("expected error for unknown feature")
+	}
+	if _, err := WeightsFromFeatures(nil, reg); err == nil {
+		t.Error("expected error for empty features")
+	}
+}
+
+func TestAttributeSplitsDynamicPower(t *testing.T) {
+	procs := []ProcessActivity{
+		{Name: "a", CPUPercent: 75, IOBytes: 0},
+		{Name: "b", CPUPercent: 25, IOBytes: 0},
+	}
+	shares, osW, err := Attribute(50, 30, procs, Weights{CPU: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic = 20 W split 75/25.
+	if math.Abs(shares[0].Watts-15) > 1e-9 || shares[0].Name != "a" {
+		t.Errorf("share a = %+v", shares[0])
+	}
+	if math.Abs(shares[1].Watts-5) > 1e-9 {
+		t.Errorf("share b = %+v", shares[1])
+	}
+	if math.Abs(osW) > 1e-9 {
+		t.Errorf("os residual = %v, want 0 (all activity owned)", osW)
+	}
+}
+
+func TestAttributeResidualToOS(t *testing.T) {
+	// Processes own half the CPU and there is I/O nobody claims.
+	procs := []ProcessActivity{{Name: "a", CPUPercent: 50}}
+	_, osW, err := Attribute(40, 20, procs, Weights{CPU: 0.5, IO: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process a owns all the *listed* CPU, so CPU dimension fully
+	// attributed; IO dimension has zero activity so nothing attributed:
+	// os gets the IO half = 10 W.
+	if math.Abs(osW-10) > 1e-9 {
+		t.Errorf("os residual = %v, want 10", osW)
+	}
+}
+
+func TestAttributeEdgeCases(t *testing.T) {
+	// Total below idle: dynamic clamps to zero.
+	shares, osW, err := Attribute(18, 20, []ProcessActivity{{Name: "a", CPUPercent: 100}}, Weights{CPU: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0].Watts != 0 || osW != 0 {
+		t.Errorf("below-idle attribution should be zero: %+v %v", shares, osW)
+	}
+	if _, _, err := Attribute(-1, 0, nil, Weights{CPU: 1}); err == nil {
+		t.Error("expected error for negative power")
+	}
+	if _, _, err := Attribute(10, 5, []ProcessActivity{{Name: "x", CPUPercent: -1}}, Weights{CPU: 1}); err == nil {
+		t.Error("expected error for negative activity")
+	}
+	// No processes at all: everything is OS.
+	none, osW, err := Attribute(30, 20, nil, Weights{CPU: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 || math.Abs(osW-10) > 1e-9 {
+		t.Errorf("no-process attribution: %v %v", none, osW)
+	}
+}
+
+func TestAttributeSortsByWatts(t *testing.T) {
+	procs := []ProcessActivity{
+		{Name: "small", CPUPercent: 10},
+		{Name: "big", CPUPercent: 90},
+	}
+	shares, _, err := Attribute(100, 50, procs, Weights{CPU: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0].Name != "big" {
+		t.Errorf("shares not sorted: %+v", shares)
+	}
+}
+
+func TestMeterAccumulatesEnergy(t *testing.T) {
+	m := NewMeter(Weights{CPU: 1})
+	procs := []ProcessActivity{
+		{Name: "a", CPUPercent: 60},
+		{Name: "b", CPUPercent: 40},
+	}
+	// 3600 seconds at 30 W total, 10 W idle -> 20 Wh dynamic.
+	for i := 0; i < 3600; i++ {
+		if err := m.Step(30, 10, procs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wh := m.EnergyWh()
+	if len(wh) != 2 || wh[0].Name != "a" {
+		t.Fatalf("EnergyWh = %+v", wh)
+	}
+	if math.Abs(wh[0].Watts-12) > 1e-9 || math.Abs(wh[1].Watts-8) > 1e-9 {
+		t.Errorf("energies = %v, %v; want 12, 8 Wh", wh[0].Watts, wh[1].Watts)
+	}
+	osWh, idleWh := m.OverheadWh()
+	if math.Abs(osWh) > 1e-9 {
+		t.Errorf("osWh = %v", osWh)
+	}
+	if math.Abs(idleWh-10) > 1e-9 {
+		t.Errorf("idleWh = %v, want 10", idleWh)
+	}
+	if m.Seconds() != 3600 {
+		t.Errorf("Seconds = %d", m.Seconds())
+	}
+}

@@ -1,0 +1,23 @@
+package attribution_test
+
+import (
+	"fmt"
+
+	"repro/internal/attribution"
+)
+
+// Split one second of a machine's power between two workers by CPU share.
+func ExampleAttribute() {
+	shares, osWatts, _ := attribution.Attribute(50, 30, []attribution.ProcessActivity{
+		{Name: "indexer", CPUPercent: 150}, // 1.5 cores
+		{Name: "web", CPUPercent: 50},      // 0.5 cores
+	}, attribution.Weights{CPU: 1})
+	for _, s := range shares {
+		fmt.Printf("%s %.0f W\n", s.Name, s.Watts)
+	}
+	fmt.Printf("os %.0f W\n", osWatts)
+	// Output:
+	// indexer 15 W
+	// web 5 W
+	// os 0 W
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/featsel"
+	"repro/internal/models"
+)
+
+// testDataset collects a small Core2 cluster dataset once and shares it
+// across tests (collection is deterministic, so sharing is safe).
+var (
+	dsOnce sync.Once
+	dsVal  *Dataset
+	dsErr  error
+)
+
+func testDataset(t *testing.T) *Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		dsVal, dsErr = Collect("Core2", 3, []string{"Prime", "WordCount"}, 3, 42)
+	})
+	if dsErr != nil {
+		t.Fatalf("Collect: %v", dsErr)
+	}
+	return dsVal
+}
+
+func TestCollectDataset(t *testing.T) {
+	ds := testDataset(t)
+	if ds.Label != "Core2" {
+		t.Errorf("Label = %s", ds.Label)
+	}
+	if len(ds.ByWorkload) != 2 {
+		t.Fatalf("workloads = %d", len(ds.ByWorkload))
+	}
+	for w, traces := range ds.ByWorkload {
+		if len(traces) != 9 { // 3 machines x 3 runs
+			t.Errorf("%s: %d traces, want 9", w, len(traces))
+		}
+	}
+	if ds.ClusterIdle <= 0 {
+		t.Error("cluster idle missing")
+	}
+	if ds.CollectorOverhead <= 0 || ds.CollectorOverhead >= 0.01 {
+		t.Errorf("collector overhead = %v, want (0, 1%%)", ds.CollectorOverhead)
+	}
+	if got := len(ds.AllTraces()); got != 18 {
+		t.Errorf("AllTraces = %d, want 18", got)
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	if _, err := Collect("PDP11", 2, []string{"Prime"}, 1, 1); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+	if _, err := Collect("Atom", 2, []string{"FizzBuzz"}, 1, 1); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}
+
+func TestSelectFeaturesEndToEnd(t *testing.T) {
+	ds := testDataset(t)
+	res, err := ds.SelectFeatures(featsel.Options{})
+	if err != nil {
+		t.Fatalf("SelectFeatures: %v", err)
+	}
+	if len(res.Features) < 3 || len(res.Features) > 25 {
+		t.Errorf("selected %d features, want a compact set: %v", len(res.Features), res.Features)
+	}
+	// CPU utilization must be among them (the paper: most commonly
+	// identified feature on every platform).
+	found := false
+	for _, f := range res.Features {
+		if f == counters.CPUTotal {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CPU utilization not selected: %v", res.Features)
+	}
+	f := res.Funnel
+	if f.AfterCorr >= f.AfterConstant || f.AfterCoDep > f.AfterCorr {
+		t.Errorf("funnel not narrowing: %+v", f)
+	}
+}
+
+func clusterFeatureSpec(t *testing.T, ds *Dataset) models.FeatureSpec {
+	t.Helper()
+	res, err := ds.SelectFeatures(featsel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ensure the frequency counter is available for switching models.
+	spec := ClusterSpec(res.Features)
+	if spec.FreqInputIndex() < 0 {
+		spec.Counters = append(spec.Counters, counters.CPUFreqCore0)
+	}
+	return spec
+}
+
+func TestCrossValidateQuadraticBeatsTwelvePercent(t *testing.T) {
+	ds := testDataset(t)
+	spec := clusterFeatureSpec(t, ds)
+	cv, err := CrossValidate(ds.ByWorkload["Prime"], CVConfig{Tech: models.TechQuadratic, Spec: spec})
+	if err != nil {
+		t.Fatalf("CrossValidate: %v", err)
+	}
+	if len(cv.Folds) != 3 {
+		t.Fatalf("folds = %d, want 3 (one per run)", len(cv.Folds))
+	}
+	if cv.Cluster.DRE > 0.12 {
+		t.Errorf("quadratic cluster DRE = %.3f, paper bound is 0.12", cv.Cluster.DRE)
+	}
+	if cv.Machine.DRE > 0.20 {
+		t.Errorf("machine DRE = %.3f, too high", cv.Machine.DRE)
+	}
+	if cv.Machine.MedRelE > 0.05 {
+		t.Errorf("median relative error = %.4f, paper reports 0.5-2.5%%", cv.Machine.MedRelE)
+	}
+	if cv.WorstFold < 0 || cv.WorstFold >= len(cv.Folds) {
+		t.Errorf("WorstFold = %d", cv.WorstFold)
+	}
+}
+
+func TestCrossValidateNeedsRuns(t *testing.T) {
+	ds := testDataset(t)
+	byRun := ds.ByWorkload["Prime"][:3] // single run only
+	if _, err := CrossValidate(byRun, CVConfig{Tech: models.TechLinear, Spec: models.CPUOnlySpec()}); err == nil {
+		t.Error("expected error with a single run")
+	}
+}
+
+func TestEvaluateGridSkipsAndRanks(t *testing.T) {
+	ds := testDataset(t)
+	spec := clusterFeatureSpec(t, ds)
+	specs := []models.FeatureSpec{models.CPUOnlySpec(), spec}
+	techs := []models.Technique{models.TechLinear, models.TechQuadratic, models.TechSwitching}
+	entries, err := EvaluateGrid(ds.ByWorkload["Prime"], techs, specs, CVConfig{})
+	if err != nil {
+		t.Fatalf("EvaluateGrid: %v", err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("entries = %d, want 6", len(entries))
+	}
+	bySkip := map[string]int{}
+	for _, e := range entries {
+		if e.Skipped != "" {
+			bySkip[e.Tech.Short()+e.Spec.Label()]++
+			continue
+		}
+		if e.CV == nil {
+			t.Errorf("entry %s has neither CV nor skip reason", e.Label())
+		}
+	}
+	// QU and SU must be skipped (single feature).
+	if bySkip["QU"] != 1 || bySkip["SU"] != 1 {
+		t.Errorf("skips = %v, want QU and SU", bySkip)
+	}
+	best, err := BestEntry(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.CV == nil {
+		t.Fatal("best entry not evaluated")
+	}
+	// On the CPU-bound Prime workload, nonlinear models should win over
+	// the linear CPU-only strawman (the Fig. 4 claim).
+	var linU *CVResult
+	for _, e := range entries {
+		if e.Tech == models.TechLinear && e.Spec.Name == "cpu-only" {
+			linU = e.CV
+		}
+	}
+	if linU != nil && best.CV.Cluster.DRE >= linU.Cluster.DRE {
+		t.Errorf("best (%s, %.3f) does not beat linear CPU-only (%.3f)",
+			best.Label(), best.CV.Cluster.DRE, linU.Cluster.DRE)
+	}
+}
+
+func TestBestEntryEmpty(t *testing.T) {
+	if _, err := BestEntry([]GridEntry{{Skipped: "x"}}); err == nil {
+		t.Error("expected error for all-skipped grid")
+	}
+}
+
+func TestPredictSeriesAndStrawman(t *testing.T) {
+	ds := testDataset(t)
+	spec := clusterFeatureSpec(t, ds)
+	traces := ds.ByWorkload["Prime"]
+	s, err := PredictSeries(traces, CVConfig{Tech: models.TechQuadratic, Spec: spec}, 0, 1)
+	if err != nil {
+		t.Fatalf("PredictSeries: %v", err)
+	}
+	if len(s.Actual) != len(s.Pred) || len(s.Actual) == 0 {
+		t.Fatal("series misaligned")
+	}
+	good, err := s.Summarize(ds.ClusterIdle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straw, err := StrawmanSeries(traces, 0, 1, 2)
+	if err != nil {
+		t.Fatalf("StrawmanSeries: %v", err)
+	}
+	bad, err := straw.Summarize(ds.ClusterIdle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.DRE <= good.DRE {
+		t.Errorf("strawman DRE %.3f should exceed cluster model DRE %.3f", bad.DRE, good.DRE)
+	}
+	if _, err := PredictSeries(traces, CVConfig{Tech: models.TechLinear, Spec: spec}, 0, 99); err == nil {
+		t.Error("expected error for missing test run")
+	}
+	if _, err := StrawmanSeries(traces, 99, 0, 2); err == nil {
+		t.Error("expected error for missing train run")
+	}
+}
+
+func TestHeterogeneousCollectAndCV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heterogeneous collection in -short mode")
+	}
+	ds, err := CollectHeterogeneous("Hetero", []string{"Core2", "Core2", "Opteron", "Opteron"},
+		[]string{"Prime"}, 3, 7)
+	if err != nil {
+		t.Fatalf("CollectHeterogeneous: %v", err)
+	}
+	spec := clusterFeatureSpec(t, ds)
+	cv, err := CrossValidate(ds.ByWorkload["Prime"], CVConfig{Tech: models.TechQuadratic, Spec: spec})
+	if err != nil {
+		t.Fatalf("CrossValidate: %v", err)
+	}
+	// The paper reports the same worst-case 12% DRE for the mixed cluster.
+	if cv.Cluster.DRE > 0.12 {
+		t.Errorf("heterogeneous cluster DRE = %.3f, want <= 0.12", cv.Cluster.DRE)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	if got := sortedKeys(m); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("sortedKeys = %v", got)
+	}
+	if got := sortedKeys(map[string]int{}); len(got) != 0 {
+		t.Errorf("sortedKeys(empty) = %v", got)
+	}
+}
+
+func TestCapTraces(t *testing.T) {
+	mk := func(n int) *trace.Trace {
+		b := trace.NewBuilder("P", "W", "m", 0, []string{"c"}, 1)
+		for i := 0; i < n; i++ {
+			if err := b.Add([]float64{1}, 1, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	ts := []*trace.Trace{mk(100), mk(100)}
+	capped := capTraces(ts, 50)
+	total := capped[0].Len() + capped[1].Len()
+	if total > 60 {
+		t.Errorf("capTraces kept %d rows, want <= ~50", total)
+	}
+	same := capTraces(ts, 1000)
+	if same[0] != ts[0] {
+		t.Error("under-cap should return originals")
+	}
+	same2 := capTraces(ts, 0)
+	if same2[0] != ts[0] {
+		t.Error("zero cap should disable capping")
+	}
+}
+
+func TestGridEntryLabel(t *testing.T) {
+	e := GridEntry{Tech: models.TechQuadratic, Spec: models.FeatureSpec{Name: "cluster"}}
+	if e.Label() != "QC" {
+		t.Errorf("Label = %q, want QC", e.Label())
+	}
+	e = GridEntry{Tech: models.TechLinear, Spec: models.CPUOnlySpec()}
+	if e.Label() != "LU" {
+		t.Errorf("Label = %q, want LU", e.Label())
+	}
+}
+
+func TestSpecConstructors(t *testing.T) {
+	c := ClusterSpec([]string{"a", "b"})
+	if c.Name != "cluster" || len(c.Counters) != 2 {
+		t.Errorf("ClusterSpec = %+v", c)
+	}
+	g := GeneralSpec([]string{"x"})
+	if g.Name != "general" || g.Label() != "G" {
+		t.Errorf("GeneralSpec = %+v", g)
+	}
+}
+
+func TestCVConfigDefaults(t *testing.T) {
+	cfg := CVConfig{}.withDefaults()
+	if cfg.TrainStep != 2 || cfg.MaxTrainRows != 1000 || cfg.FitOpts.MaxKnots != 8 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	custom := CVConfig{TrainStep: 5, MaxTrainRows: 10, FitOpts: models.FitOptions{MaxKnots: 3}}.withDefaults()
+	if custom.TrainStep != 5 || custom.MaxTrainRows != 10 || custom.FitOpts.MaxKnots != 3 {
+		t.Errorf("custom overridden: %+v", custom)
+	}
+}

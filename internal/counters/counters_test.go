@@ -1,0 +1,310 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestStandardRegistrySize(t *testing.T) {
+	r := StandardRegistry()
+	if r.Len() < 230 {
+		t.Errorf("registry has %d counters, want >= 230 (paper starts from ~250)", r.Len())
+	}
+	if r.Len() > 320 {
+		t.Errorf("registry has %d counters, want a curated set not the whole namespace", r.Len())
+	}
+}
+
+func TestStandardRegistryTableIICounters(t *testing.T) {
+	r := StandardRegistry()
+	// Every counter the paper's Table II lists must exist.
+	for _, name := range []string{
+		CPUTotal, CPUFreqCore0, CPUInterrupts, CPUDPCTime,
+		MemPageFaults, MemCommitted, MemCacheFaults, MemPages, MemPageReads, MemPoolNonpaged,
+		DiskTimePct, DiskBytes, ProcPageFaults, ProcIOBytes, NetDatagrams,
+		FSDataMapPins, FSPinReads, FSPinReadHits, FSCopyReads, FSFastReadsNP, FSLazyFlushes,
+		JobPageFilePeak,
+	} {
+		if _, ok := r.Index(name); !ok {
+			t.Errorf("Table II counter %q missing from registry", name)
+		}
+	}
+}
+
+func TestRegistryCategoriesCovered(t *testing.T) {
+	r := StandardRegistry()
+	seen := map[Category]int{}
+	for _, d := range r.Defs {
+		seen[d.Category]++
+	}
+	for _, cat := range []Category{CatProcessor, CatProcessorPerf, CatMemory,
+		CatPhysicalDisk, CatProcess, CatJobObject, CatFSCache, CatNetwork} {
+		if seen[cat] == 0 {
+			t.Errorf("category %s has no counters", cat)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate counter name")
+		}
+	}()
+	r := NewRegistry()
+	r.Add(Def{Name: "x", Kind: KindConstant})
+	r.Add(Def{Name: "x", Kind: KindConstant})
+}
+
+func TestRegistryIndexAndNames(t *testing.T) {
+	r := StandardRegistry()
+	names := r.Names()
+	if len(names) != r.Len() {
+		t.Fatalf("Names length %d != Len %d", len(names), r.Len())
+	}
+	for i, n := range names {
+		j, ok := r.Index(n)
+		if !ok || j != i {
+			t.Fatalf("Index(%q) = %d,%v want %d", n, j, ok, i)
+		}
+	}
+	if _, ok := r.Index("no such counter"); ok {
+		t.Error("Index should miss unknown names")
+	}
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown counter")
+		}
+	}()
+	StandardRegistry().MustIndex("nope")
+}
+
+func TestCoDependenciesDeclared(t *testing.T) {
+	r := StandardRegistry()
+	deps := r.CoDependencies()
+	if len(deps) < 5 {
+		t.Errorf("registry declares %d co-dependencies, want several (a=b+c counters)", len(deps))
+	}
+	// Pages/sec = Pages Input/sec + Pages Output/sec must be among them.
+	pages := r.MustIndex(MemPages)
+	found := false
+	for _, d := range deps {
+		if d.Sum == pages && len(d.Parts) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Pages/sec co-dependency not declared")
+	}
+	// Sources must precede dependents so expansion is single-pass.
+	for _, d := range r.Defs {
+		idx := r.MustIndex(d.Name)
+		for _, s := range d.Sources {
+			if s >= idx {
+				t.Errorf("counter %q depends on later counter %d", d.Name, s)
+			}
+		}
+	}
+}
+
+// fakeSignals returns a complete signal map with value v for every signal
+// the registry references.
+func fakeSignals(r *Registry, v float64) Signals {
+	sig := Signals{}
+	for _, d := range r.Defs {
+		if d.Kind == KindSignal {
+			sig[d.Signal] = v
+		}
+	}
+	return sig
+}
+
+func TestExpanderProducesFullVector(t *testing.T) {
+	r := StandardRegistry()
+	e := NewExpander(r, 1)
+	out, err := e.Sample(fakeSignals(r, 50))
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if len(out) != r.Len() {
+		t.Fatalf("vector length %d, want %d", len(out), r.Len())
+	}
+	if e.SampleCount() != 1 {
+		t.Errorf("SampleCount = %d", e.SampleCount())
+	}
+}
+
+func TestExpanderMissingSignal(t *testing.T) {
+	r := StandardRegistry()
+	e := NewExpander(r, 1)
+	if _, err := e.Sample(Signals{}); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("expected missing-signal error, got %v", err)
+	}
+}
+
+func TestExpanderSumsAreExact(t *testing.T) {
+	r := StandardRegistry()
+	e := NewExpander(r, 2)
+	out, err := e.Sample(fakeSignals(r, 123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dep := range r.CoDependencies() {
+		sum := 0.0
+		for _, p := range dep.Parts {
+			sum += out[p]
+		}
+		if diff := out[dep.Sum] - sum; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("co-dependent counter %q != sum of parts (diff %g)", r.Defs[dep.Sum].Name, diff)
+		}
+	}
+}
+
+func TestExpanderLaggedCounters(t *testing.T) {
+	r := StandardRegistry()
+	e := NewExpander(r, 3)
+	var lagIdx, srcIdx int
+	for i, d := range r.Defs {
+		if d.Kind == KindLagged {
+			lagIdx, srcIdx = i, d.Sources[0]
+			break
+		}
+	}
+	first, err := e.Sample(fakeSignals(r, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[lagIdx] != 0 {
+		t.Errorf("first lagged value = %v, want 0", first[lagIdx])
+	}
+	second, err := e.Sample(fakeSignals(r, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[lagIdx] != first[srcIdx] {
+		t.Errorf("lagged value = %v, want previous source %v", second[lagIdx], first[srcIdx])
+	}
+}
+
+func TestExpanderDeterminism(t *testing.T) {
+	r := StandardRegistry()
+	run := func() [][]float64 {
+		e := NewExpander(r, 42)
+		var out [][]float64
+		for i := 0; i < 5; i++ {
+			v, err := e.Sample(fakeSignals(r, float64(i*10)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("non-deterministic counter %d at t=%d", j, i)
+			}
+		}
+	}
+}
+
+func TestExpanderScaledCountersCorrelate(t *testing.T) {
+	r := StandardRegistry()
+	e := NewExpander(r, 5)
+	// Vary the cpu_util signal and confirm the scaled per-core copy of
+	// the process CPU counter tracks the total closely.
+	procIdx := r.MustIndex(`Process(_Total)\% Processor Time`)
+	cpuIdx := r.MustIndex(CPUTotal)
+	var cpuVals, procVals []float64
+	for i := 0; i < 200; i++ {
+		sig := fakeSignals(r, 10)
+		sig["cpu_util"] = float64(i % 100)
+		out, err := e.Sample(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpuVals = append(cpuVals, out[cpuIdx])
+		procVals = append(procVals, out[procIdx])
+	}
+	if corr := mathx.Correlation(cpuVals, procVals); corr < 0.95 {
+		t.Errorf("scaled counter correlation = %v, want > 0.95", corr)
+	}
+}
+
+func TestExpanderConstantCounters(t *testing.T) {
+	r := StandardRegistry()
+	e := NewExpander(r, 6)
+	idx := r.MustIndex(`Memory\Commit Limit`)
+	a, _ := e.Sample(fakeSignals(r, 1))
+	b, _ := e.Sample(fakeSignals(r, 1000))
+	if a[idx] != b[idx] {
+		t.Error("constant counter changed between samples")
+	}
+}
+
+// Property: for non-negative base signals, every non-inverse counter the
+// expander produces is non-negative (Perfmon rates cannot go below zero).
+func TestExpanderNonNegativeProperty(t *testing.T) {
+	r := StandardRegistry()
+	e := NewExpander(r, 11)
+	rng := mathx.NewRand(12)
+	for iter := 0; iter < 200; iter++ {
+		sig := Signals{}
+		for _, d := range r.Defs {
+			if d.Kind == KindSignal {
+				sig[d.Signal] = rng.Float64() * 1e9
+			}
+		}
+		out, err := e.Sample(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			d := r.Defs[i]
+			// Inverse counters (negative Scale with an Offset) may dip
+			// below zero when the source saturates; everything else is a
+			// rate or level and must be non-negative.
+			if d.Kind == KindScaled && d.Scale < 0 {
+				continue
+			}
+			if d.Kind == KindSum {
+				continue // sums of parts that may include inverses
+			}
+			if v < 0 {
+				t.Fatalf("counter %q went negative: %v", d.Name, v)
+			}
+		}
+	}
+}
+
+func TestExpanderNoiseCountersBoundedAndMoving(t *testing.T) {
+	r := StandardRegistry()
+	e := NewExpander(r, 7)
+	var noiseIdx int
+	for i, d := range r.Defs {
+		if d.Kind == KindNoise {
+			noiseIdx = i
+			break
+		}
+	}
+	var vals []float64
+	for i := 0; i < 300; i++ {
+		out, _ := e.Sample(fakeSignals(r, 5))
+		vals = append(vals, out[noiseIdx])
+	}
+	if mathx.Variance(vals) == 0 {
+		t.Error("noise counter never moved")
+	}
+	for _, v := range vals {
+		if v < 0 {
+			t.Fatalf("noise counter went negative: %v", v)
+		}
+	}
+}

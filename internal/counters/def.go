@@ -1,0 +1,152 @@
+// Package counters models the Windows-Perfmon-style OS performance counter
+// namespace the paper samples at 1 Hz. It defines a registry of ~250
+// candidate counters across the paper's seven categories (Table II), with
+// the statistical structure the CHAOS feature-selection pipeline must cope
+// with: counters that directly reflect hardware activity, highly correlated
+// shadow counters, co-dependent aggregates (a = b + c) declared in counter
+// definitions, lagged copies, constants, and pure-noise counters.
+//
+// The simulated machine exposes a small set of ground-truth base signals;
+// an Expander turns those signals into the full counter vector each second.
+package counters
+
+import "fmt"
+
+// Category mirrors the Perfmon counter object the paper draws features
+// from (Table II's left column).
+type Category string
+
+// The seven categories used in the paper, plus System/PagingFile which the
+// candidate superset also contains (the paper starts from ~250 counters in
+// processor, memory, physical disk, process, job object, file system cache,
+// and network categories).
+const (
+	CatProcessor     Category = "Processor"
+	CatProcessorPerf Category = "Processor Performance"
+	CatMemory        Category = "Memory"
+	CatPhysicalDisk  Category = "Physical Disk"
+	CatProcess       Category = "Process"
+	CatJobObject     Category = "Job Object Details"
+	CatFSCache       Category = "File System Cache"
+	CatNetwork       Category = "Network"
+	CatSystem        Category = "System"
+	CatPagingFile    Category = "Paging File"
+	CatOther         Category = "Other"
+)
+
+// Kind describes how a counter's value is produced from base signals or
+// from other counters.
+type Kind int
+
+const (
+	// KindSignal reads a base signal directly (with observation noise).
+	KindSignal Kind = iota
+	// KindScaled is an affine copy of another counter: Scale*src + Offset,
+	// plus noise. Used to model the many near-duplicate counters Perfmon
+	// exposes (per-core copies, unit conversions, cumulative variants).
+	KindScaled
+	// KindSum is the exact sum of two or more source counters — the
+	// co-dependent counters (a = b + c) step 2 of Algorithm 1 removes by
+	// definition.
+	KindSum
+	// KindLagged reports the source counter's previous-second value.
+	KindLagged
+	// KindNoise is an irrelevant counter following a bounded random walk.
+	KindNoise
+	// KindConstant never changes (capacity/configuration counters).
+	KindConstant
+)
+
+// Def describes one counter.
+type Def struct {
+	Name     string
+	Category Category
+	Kind     Kind
+
+	Signal  string  // KindSignal: base signal name
+	Scale   float64 // KindScaled: multiplier (default 1)
+	Offset  float64 // KindScaled/KindConstant: additive constant
+	NoiseSD float64 // relative observation noise (fraction of value scale)
+	Sources []int   // KindScaled/KindSum/KindLagged: indices of sources
+}
+
+// Signals is the per-second base signal vector produced by the machine
+// simulator. Keys are stable signal names (see internal/sim).
+type Signals map[string]float64
+
+// Registry is an ordered set of counter definitions.
+type Registry struct {
+	Defs   []Def
+	byName map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// Add appends a definition and returns its index. It panics on duplicate
+// names: the registry is built from static code, so a duplicate is a
+// programming error.
+func (r *Registry) Add(d Def) int {
+	if _, dup := r.byName[d.Name]; dup {
+		panic(fmt.Sprintf("counters: duplicate counter %q", d.Name))
+	}
+	if d.Kind == KindScaled && d.Scale == 0 {
+		d.Scale = 1
+	}
+	idx := len(r.Defs)
+	r.Defs = append(r.Defs, d)
+	r.byName[d.Name] = idx
+	return idx
+}
+
+// Index returns the index of the named counter and whether it exists.
+func (r *Registry) Index(name string) (int, bool) {
+	i, ok := r.byName[name]
+	return i, ok
+}
+
+// MustIndex is Index for counters known to exist; it panics otherwise.
+func (r *Registry) MustIndex(name string) int {
+	i, ok := r.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("counters: unknown counter %q", name))
+	}
+	return i
+}
+
+// Names returns the counter names in index order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.Defs))
+	for i, d := range r.Defs {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Len returns the number of counters.
+func (r *Registry) Len() int { return len(r.Defs) }
+
+// CoDependencies returns the (Sum, Parts) identities declared by KindSum
+// counters, which Algorithm 1 step 2 consumes.
+func (r *Registry) CoDependencies() []CoDependency {
+	var out []CoDependency
+	for i, d := range r.Defs {
+		if d.Kind == KindSum {
+			out = append(out, CoDependency{Sum: i, Parts: append([]int(nil), d.Sources...)})
+		}
+	}
+	return out
+}
+
+// CoDependency mirrors regress.CoDependency without importing it, keeping
+// this package dependency-free. Sum is the aggregate counter index; Parts
+// are the component counter indices.
+type CoDependency struct {
+	Sum   int
+	Parts []int
+}
+
+// Category returns the category of counter i.
+func (r *Registry) Category(i int) Category { return r.Defs[i].Category }

@@ -1,0 +1,98 @@
+package counters
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mathx"
+)
+
+// Expander turns a per-second base-signal sample into the full counter
+// vector for one machine. It owns the per-counter observation-noise stream
+// and the state lagged and random-walk counters need, so one Expander must
+// be used per machine and fed samples in time order.
+type Expander struct {
+	reg  *Registry
+	rng  *rand.Rand
+	prev []float64 // previous full counter vector (for KindLagged)
+	walk []float64 // random-walk state per counter (KindNoise)
+	n    int       // samples produced
+}
+
+// NewExpander returns an Expander over reg seeded deterministically.
+func NewExpander(reg *Registry, seed int64) *Expander {
+	e := &Expander{
+		reg:  reg,
+		rng:  mathx.NewRand(seed),
+		prev: make([]float64, reg.Len()),
+		walk: make([]float64, reg.Len()),
+	}
+	for i, d := range reg.Defs {
+		if d.Kind == KindNoise {
+			e.walk[i] = d.Scale * (0.5 + e.rng.Float64())
+		}
+	}
+	return e
+}
+
+// Sample produces the counter vector for one second of base signals.
+// Counters are evaluated in registry order; KindScaled/KindSum/KindLagged
+// sources must precede their dependents, which StandardRegistry guarantees
+// by construction.
+func (e *Expander) Sample(sig Signals) ([]float64, error) {
+	out := make([]float64, e.reg.Len())
+	for i, d := range e.reg.Defs {
+		switch d.Kind {
+		case KindSignal:
+			v, ok := sig[d.Signal]
+			if !ok {
+				return nil, fmt.Errorf("counters: signal %q missing for counter %q", d.Signal, d.Name)
+			}
+			out[i] = e.noisy(v, d.NoiseSD)
+		case KindScaled:
+			src := out[d.Sources[0]]
+			out[i] = e.noisy(d.Scale*src+d.Offset, d.NoiseSD)
+		case KindSum:
+			s := 0.0
+			for _, j := range d.Sources {
+				s += out[j]
+			}
+			out[i] = s
+		case KindLagged:
+			out[i] = e.prev[d.Sources[0]]
+		case KindNoise:
+			// Mean-reverting bounded walk so the counter wanders but
+			// stays on a stable scale.
+			e.walk[i] += e.rng.NormFloat64()*d.Scale*0.1 - (e.walk[i]-d.Scale)*0.05
+			if e.walk[i] < 0 {
+				e.walk[i] = 0
+			}
+			out[i] = e.walk[i]
+		case KindConstant:
+			out[i] = d.Offset
+		default:
+			return nil, fmt.Errorf("counters: counter %q has unknown kind %d", d.Name, d.Kind)
+		}
+	}
+	copy(e.prev, out)
+	e.n++
+	return out, nil
+}
+
+// SampleCount returns how many samples the expander has produced.
+func (e *Expander) SampleCount() int { return e.n }
+
+// noisy applies multiplicative Gaussian observation noise scaled to the
+// value, plus a tiny additive dither so zero-valued counters still jitter
+// the way real Perfmon rates do.
+// Perfmon counters are non-negative; the noise is truncated at zero.
+func (e *Expander) noisy(v, sd float64) float64 {
+	if sd <= 0 {
+		return v
+	}
+	out := v*(1+e.rng.NormFloat64()*sd) + e.rng.NormFloat64()*sd*1e-3
+	if out < 0 {
+		out = 0
+	}
+	return out
+}

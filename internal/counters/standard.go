@@ -1,0 +1,254 @@
+package counters
+
+import "fmt"
+
+// Canonical counter names referenced elsewhere (Table II features and the
+// simulator's base signals). Keeping them as constants avoids stringly
+// typos across packages.
+const (
+	CPUTotal        = `Processor(_Total)\% Processor Time`
+	CPUFreqCore0    = `Processor Performance(0)\Frequency MHz`
+	CPUInterrupts   = `Processor(_Total)\Interrupts/sec`
+	CPUDPCTime      = `Processor(_Total)\% DPC Time`
+	MemPageFaults   = `Memory\Page Faults/sec`
+	MemCommitted    = `Memory\Committed Bytes`
+	MemCacheFaults  = `Memory\Cache Faults/sec`
+	MemPages        = `Memory\Pages/sec`
+	MemPageReads    = `Memory\Page Reads/sec`
+	MemPoolNonpaged = `Memory\Pool Nonpaged Allocs`
+	DiskTimePct     = `PhysicalDisk(_Total)\% Disk Time`
+	DiskBytes       = `PhysicalDisk(_Total)\Disk Bytes/sec`
+	ProcPageFaults  = `Process(_Total)\Page Faults/sec`
+	ProcIOBytes     = `Process(_Total)\IO Data Bytes/sec`
+	NetDatagrams    = `Network Interface(Total)\Datagrams/sec`
+	FSDataMapPins   = `Cache\Data Map Pins/sec`
+	FSPinReads      = `Cache\Pin Reads/sec`
+	FSPinReadHits   = `Cache\Pin Read Hits %`
+	FSCopyReads     = `Cache\Copy Reads/sec`
+	FSFastReadsNP   = `Cache\Fast Reads Not Possible/sec`
+	FSLazyFlushes   = `Cache\Lazy Write Flushes/sec`
+	JobPageFilePeak = `Job Object Details(_Total)\Page File Bytes Peak`
+)
+
+// maxCores and maxDisks size the per-instance counter fan-out. Platforms
+// with fewer cores/disks simply report (near-)constant zeros for the extra
+// instances, which the pipeline's constant-pruning step removes — the same
+// situation Perfmon presents on smaller machines.
+const (
+	maxCores = 8
+	maxDisks = 6
+	maxNICs  = 2
+	maxProcs = 10
+)
+
+// StandardRegistry builds the canonical ~250-counter candidate set used by
+// every platform, mirroring the paper's curated subset of the ~10,000
+// Windows counters.
+func StandardRegistry() *Registry {
+	r := NewRegistry()
+
+	sig := func(name string, cat Category, signal string, noise float64) int {
+		return r.Add(Def{Name: name, Category: cat, Kind: KindSignal, Signal: signal, NoiseSD: noise})
+	}
+	scaled := func(name string, cat Category, src int, scale, noise float64) int {
+		return r.Add(Def{Name: name, Category: cat, Kind: KindScaled, Sources: []int{src}, Scale: scale, NoiseSD: noise})
+	}
+	inverse := func(name string, cat Category, src int, scale, offset, noise float64) int {
+		return r.Add(Def{Name: name, Category: cat, Kind: KindScaled, Sources: []int{src}, Scale: scale, Offset: offset, NoiseSD: noise})
+	}
+	sum := func(name string, cat Category, srcs ...int) int {
+		return r.Add(Def{Name: name, Category: cat, Kind: KindSum, Sources: srcs})
+	}
+	lagged := func(name string, cat Category, src int) int {
+		return r.Add(Def{Name: name, Category: cat, Kind: KindLagged, Sources: []int{src}})
+	}
+	noise := func(name string, cat Category, scale float64) int {
+		return r.Add(Def{Name: name, Category: cat, Kind: KindNoise, Scale: scale})
+	}
+	constant := func(name string, cat Category, v float64) int {
+		return r.Add(Def{Name: name, Category: cat, Kind: KindConstant, Offset: v})
+	}
+
+	// --- Processor ---------------------------------------------------
+	cpu := sig(CPUTotal, CatProcessor, "cpu_util", 0.01)
+	user := sig(`Processor(_Total)\% User Time`, CatProcessor, "cpu_user", 0.015)
+	kern := sig(`Processor(_Total)\% Privileged Time`, CatProcessor, "cpu_kernel", 0.015)
+	sig(CPUInterrupts, CatProcessor, "cpu_interrupts", 0.02)
+	sig(CPUDPCTime, CatProcessor, "cpu_dpc", 0.03)
+	scaled(`Processor(_Total)\% Interrupt Time`, CatProcessor, r.MustIndex(CPUInterrupts), 0.001, 0.05)
+	scaled(`Processor(_Total)\DPCs Queued/sec`, CatProcessor, r.MustIndex(CPUDPCTime), 120, 0.05)
+	sig(`System\System Calls/sec`, CatSystem, "syscalls", 0.02)
+	sig(`System\Context Switches/sec`, CatSystem, "ctx_switches", 0.02)
+	scaled(`System\Processor Queue Length`, CatSystem, cpu, 0.06, 0.2)
+	// Per-core instances: direct signals for utilization and frequency.
+	for c := 0; c < maxCores; c++ {
+		sig(fmt.Sprintf(`Processor(%d)\%% Processor Time`, c), CatProcessor, fmt.Sprintf("core_util_%d", c), 0.015)
+		scaled(fmt.Sprintf(`Processor(%d)\%% User Time`, c), CatProcessor, user, 1.0/float64(maxCores)*8/8, 0.08)
+		scaled(fmt.Sprintf(`Processor(%d)\%% Privileged Time`, c), CatProcessor, kern, 1, 0.08)
+		scaled(fmt.Sprintf(`Processor(%d)\Interrupts/sec`, c), CatProcessor, r.MustIndex(CPUInterrupts), 1.0/float64(maxCores), 0.08)
+	}
+
+	// --- Processor Performance (frequency) ---------------------------
+	for c := 0; c < maxCores; c++ {
+		sig(fmt.Sprintf(`Processor Performance(%d)\Frequency MHz`, c), CatProcessorPerf, fmt.Sprintf("core_freq_%d", c), 0.002)
+	}
+	scaled(`Processor Performance(_Total)\% of Maximum Frequency`, CatProcessorPerf, r.MustIndex(CPUFreqCore0), 0.04, 0.01)
+
+	// --- Memory -------------------------------------------------------
+	pgIn := sig(`Memory\Pages Input/sec`, CatMemory, "pages_input", 0.02)
+	pgOut := sig(`Memory\Pages Output/sec`, CatMemory, "pages_output", 0.02)
+	sum(MemPages, CatMemory, pgIn, pgOut) // co-dependent aggregate
+	pf := sig(MemPageFaults, CatMemory, "page_faults", 0.02)
+	sig(MemCacheFaults, CatMemory, "cache_faults", 0.02)
+	sig(MemPageReads, CatMemory, "page_reads", 0.02)
+	scaled(`Memory\Page Writes/sec`, CatMemory, pgOut, 0.25, 0.05)
+	committed := sig(MemCommitted, CatMemory, "mem_committed", 0.005)
+	constant(`Memory\Commit Limit`, CatMemory, 3.4e10)
+	inverse(`Memory\Available Bytes`, CatMemory, committed, -0.8, 1.7e10, 0.01)
+	sig(MemPoolNonpaged, CatMemory, "pool_nonpaged", 0.01)
+	scaled(`Memory\Pool Nonpaged Bytes`, CatMemory, r.MustIndex(MemPoolNonpaged), 4096, 0.02)
+	scaled(`Memory\Pool Paged Allocs`, CatMemory, r.MustIndex(MemPoolNonpaged), 1.6, 0.05)
+	scaled(`Memory\Demand Zero Faults/sec`, CatMemory, pf, 0.55, 0.06)
+	scaled(`Memory\Transition Faults/sec`, CatMemory, pf, 0.3, 0.08)
+	scaled(`Memory\Cache Bytes`, CatMemory, committed, 0.12, 0.02)
+	noise(`Memory\Write Copies/sec`, CatMemory, 40)
+	constant(`Memory\System Code Resident Bytes`, CatMemory, 2.1e6)
+	lagged(`Memory\Pages Input/sec (prev)`, CatMemory, pgIn)
+
+	// --- Physical Disk -------------------------------------------------
+	dbusy := sig(DiskTimePct, CatPhysicalDisk, "disk_busy", 0.02)
+	drb := sig(`PhysicalDisk(_Total)\Disk Read Bytes/sec`, CatPhysicalDisk, "disk_read_bytes", 0.02)
+	dwb := sig(`PhysicalDisk(_Total)\Disk Write Bytes/sec`, CatPhysicalDisk, "disk_write_bytes", 0.02)
+	sum(DiskBytes, CatPhysicalDisk, drb, dwb) // co-dependent aggregate
+	dro := sig(`PhysicalDisk(_Total)\Disk Reads/sec`, CatPhysicalDisk, "disk_read_ops", 0.02)
+	dwo := sig(`PhysicalDisk(_Total)\Disk Writes/sec`, CatPhysicalDisk, "disk_write_ops", 0.02)
+	sum(`PhysicalDisk(_Total)\Disk Transfers/sec`, CatPhysicalDisk, dro, dwo)
+	sig(`PhysicalDisk(_Total)\Avg. Disk Queue Length`, CatPhysicalDisk, "disk_queue", 0.05)
+	inverse(`PhysicalDisk(_Total)\% Idle Time`, CatPhysicalDisk, dbusy, -1, 100, 0.02)
+	for d := 0; d < maxDisks; d++ {
+		sig(fmt.Sprintf(`PhysicalDisk(%d)\%% Disk Time`, d), CatPhysicalDisk, fmt.Sprintf("disk_busy_%d", d), 0.03)
+		sig(fmt.Sprintf(`PhysicalDisk(%d)\Disk Bytes/sec`, d), CatPhysicalDisk, fmt.Sprintf("disk_bytes_%d", d), 0.03)
+		sig(fmt.Sprintf(`PhysicalDisk(%d)\Disk Transfers/sec`, d), CatPhysicalDisk, fmt.Sprintf("disk_ops_%d", d), 0.03)
+	}
+
+	// --- Network --------------------------------------------------------
+	nsb := sig(`Network Interface(Total)\Bytes Sent/sec`, CatNetwork, "net_send_bytes", 0.02)
+	nrb := sig(`Network Interface(Total)\Bytes Received/sec`, CatNetwork, "net_recv_bytes", 0.02)
+	sum(`Network Interface(Total)\Bytes Total/sec`, CatNetwork, nsb, nrb)
+	nsp := sig(`Network Interface(Total)\Packets Sent/sec`, CatNetwork, "net_send_pkts", 0.02)
+	nrp := sig(`Network Interface(Total)\Packets Received/sec`, CatNetwork, "net_recv_pkts", 0.02)
+	pkts := sum(`Network Interface(Total)\Packets/sec`, CatNetwork, nsp, nrp)
+	scaled(NetDatagrams, CatNetwork, pkts, 0.92, 0.03)
+	dgs := scaled(`IPv4\Datagrams Sent/sec`, CatNetwork, nsp, 0.9, 0.04)
+	dgr := scaled(`IPv4\Datagrams Received/sec`, CatNetwork, nrp, 0.9, 0.04)
+	sum(`IPv4\Datagrams/sec`, CatNetwork, dgs, dgr)
+	noise(`Network Interface(Total)\Output Queue Length`, CatNetwork, 2)
+	constant(`Network Interface(Total)\Current Bandwidth`, CatNetwork, 1e9)
+	for n := 0; n < maxNICs; n++ {
+		share := 1.0
+		if n > 0 {
+			share = 0 // second NIC idle on these systems
+		}
+		scaled(fmt.Sprintf(`Network Interface(%d)\Bytes Sent/sec`, n), CatNetwork, nsb, share, 0.04)
+		scaled(fmt.Sprintf(`Network Interface(%d)\Bytes Received/sec`, n), CatNetwork, nrb, share, 0.04)
+		scaled(fmt.Sprintf(`Network Interface(%d)\Packets/sec`, n), CatNetwork, pkts, share, 0.04)
+	}
+	lagged(`Network Interface(Total)\Bytes Total/sec (prev)`, CatNetwork, r.MustIndex(`Network Interface(Total)\Bytes Total/sec`))
+
+	// --- Process ---------------------------------------------------------
+	procCPU := scaled(`Process(_Total)\% Processor Time`, CatProcess, cpu, float64(maxCores), 0.02)
+	ppf := sig(ProcPageFaults, CatProcess, "proc_page_faults", 0.02)
+	iorb := sig(`Process(_Total)\IO Read Bytes/sec`, CatProcess, "proc_io_read_bytes", 0.03)
+	iowb := sig(`Process(_Total)\IO Write Bytes/sec`, CatProcess, "proc_io_write_bytes", 0.03)
+	sum(ProcIOBytes, CatProcess, iorb, iowb)
+	noise(`Process(_Total)\IO Other Bytes/sec`, CatProcess, 3000)
+	ws := sig(`Process(_Total)\Working Set`, CatProcess, "mem_working_set", 0.01)
+	scaled(`Process(_Total)\Private Bytes`, CatProcess, ws, 0.85, 0.02)
+	scaled(`Process(_Total)\Virtual Bytes`, CatProcess, ws, 2.4, 0.02)
+	noise(`Process(_Total)\Thread Count`, CatProcess, 25)
+	noise(`Process(_Total)\Handle Count`, CatProcess, 300)
+	for p := 0; p < maxProcs; p++ {
+		// Synthetic per-process shares of the totals; shares differ so
+		// the copies correlate with (but do not duplicate) the totals.
+		share := 1.0 / float64(2+p)
+		scaled(fmt.Sprintf(`Process(worker%d)\%% Processor Time`, p), CatProcess, procCPU, share, 0.12)
+		scaled(fmt.Sprintf(`Process(worker%d)\Working Set`, p), CatProcess, ws, share, 0.1)
+		scaled(fmt.Sprintf(`Process(worker%d)\IO Data Bytes/sec`, p), CatProcess, r.MustIndex(ProcIOBytes), share, 0.15)
+		scaled(fmt.Sprintf(`Process(worker%d)\Page Faults/sec`, p), CatProcess, ppf, share, 0.15)
+	}
+
+	// --- Job Object Details ----------------------------------------------
+	pfp := sig(JobPageFilePeak, CatJobObject, "pagefile_peak", 0.005)
+	scaled(`Job Object Details(_Total)\Page File Bytes`, CatJobObject, pfp, 0.82, 0.03)
+	scaled(`Job Object Details(_Total)\Peak Job Memory Used`, CatJobObject, pfp, 1.15, 0.02)
+	scaled(`Job Object Details(_Total)\Current %% Processor Time`, CatJobObject, cpu, 0.95, 0.05)
+	scaled(`Job Object Details(_Total)\Pages/sec`, CatJobObject, r.MustIndex(MemPages), 0.9, 0.06)
+
+	// --- File System Cache ------------------------------------------------
+	sig(FSDataMapPins, CatFSCache, "fs_data_map_pins", 0.03)
+	pin := sig(FSPinReads, CatFSCache, "fs_pin_reads", 0.03)
+	sig(FSPinReadHits, CatFSCache, "fs_pin_read_hit_pct", 0.01)
+	cr := sig(FSCopyReads, CatFSCache, "fs_copy_reads", 0.03)
+	scaled(`Cache\Copy Read Hits %`, CatFSCache, r.MustIndex(FSPinReadHits), 0.97, 0.02)
+	scaled(`Cache\Fast Reads/sec`, CatFSCache, cr, 0.8, 0.05)
+	sig(FSFastReadsNP, CatFSCache, "fs_fast_reads_not_possible", 0.04)
+	lzf := sig(FSLazyFlushes, CatFSCache, "fs_lazy_write_flushes", 0.03)
+	scaled(`Cache\Lazy Write Pages/sec`, CatFSCache, lzf, 14, 0.05)
+	scaled(`Cache\Data Flushes/sec`, CatFSCache, lzf, 1.25, 0.05)
+	noise(`Cache\MDL Read Hits %`, CatFSCache, 5)
+	scaled(`Cache\Read Aheads/sec`, CatFSCache, pin, 0.4, 0.08)
+
+	// --- System / Paging file ---------------------------------------------
+	sfr := scaled(`System\File Read Operations/sec`, CatSystem, dro, 1.35, 0.05)
+	sfw := scaled(`System\File Write Operations/sec`, CatSystem, dwo, 1.3, 0.05)
+	sum(`System\File Data Operations/sec`, CatSystem, sfr, sfw)
+	noise(`System\File Control Operations/sec`, CatSystem, 120)
+	noise(`System\Processes`, CatSystem, 3)
+	noise(`System\Threads`, CatSystem, 40)
+	scaled(`Paging File(_Total)\% Usage`, CatPagingFile, pfp, 2.5e-9, 0.03)
+	lagged(`Paging File(_Total)\% Usage Peak`, CatPagingFile, pfp)
+
+	// --- Additional per-instance fan-out ------------------------------------
+	for c := 0; c < maxCores; c++ {
+		cu := r.MustIndex(fmt.Sprintf(`Processor(%d)\%% Processor Time`, c))
+		inverse(fmt.Sprintf(`Processor(%d)\%% Idle Time`, c), CatProcessor, cu, -1, 100, 0.02)
+		scaled(fmt.Sprintf(`Processor(%d)\%% DPC Time`, c), CatProcessor, r.MustIndex(CPUDPCTime), 1, 0.1)
+		scaled(fmt.Sprintf(`Processor(%d)\DPC Rate`, c), CatProcessor, r.MustIndex(CPUDPCTime), 20, 0.12)
+	}
+	for d := 0; d < maxDisks; d++ {
+		db := r.MustIndex(fmt.Sprintf(`PhysicalDisk(%d)\%% Disk Time`, d))
+		scaled(fmt.Sprintf(`PhysicalDisk(%d)\Avg. Disk sec/Transfer`, d), CatPhysicalDisk, db, 0.0002, 0.1)
+		scaled(fmt.Sprintf(`PhysicalDisk(%d)\Split IO/sec`, d), CatPhysicalDisk, db, 0.12, 0.15)
+	}
+	inverse(`Memory\Free System Page Table Entries`, CatMemory, committed, -1e-6, 6e4, 0.02)
+	scaled(`Memory\Standby Cache Normal Priority Bytes`, CatMemory, committed, 0.08, 0.04)
+	scaled(`Memory\Modified Page List Bytes`, CatMemory, pgOut, 4096*3, 0.1)
+	noise(`Memory\Free & Zero Page List Bytes`, CatMemory, 5e8)
+	scaled(`Network Interface(Total)\Packets Outbound Discarded`, CatNetwork, nsp, 1e-5, 0.5)
+	noise(`Network Interface(Total)\Packets Received Errors`, CatNetwork, 0.5)
+
+	// --- Irrelevant services (pure noise / constants) ----------------------
+	// Perfmon exposes hundreds of counters from idle services; a sample of
+	// them keeps the selection problem honest.
+	noiseNames := []string{
+		`Telephony\Lines`, `Print Queue\Jobs`, `Server\Sessions Errored Out`,
+		`Redirector\Packets/sec`, `Browser\Announcements Total/sec`,
+		`SMB Server Shares\Transferred Bytes/sec`, `WMI Objects\HiPerf Classes`,
+		`Event Tracing for Windows\Total Number of Distinct Enabled Providers`,
+		`USB\Bulk Bytes/sec`, `Terminal Services\Active Sessions`,
+		`Security System-Wide Statistics\KDC AS Requests`, `Objects\Events`,
+		`Objects\Mutexes`, `Objects\Sections`, `Objects\Semaphores`,
+	}
+	for i, n := range noiseNames {
+		noise(n, CatOther, float64(5+i*3))
+	}
+	constNames := []string{
+		`LogicalDisk(C:)\% Free Space`, `System\System Up Time Scale`,
+		`Memory\System Driver Total Bytes`, `Server\Server Announce Allocs`,
+	}
+	for i, n := range constNames {
+		constant(n, CatOther, float64(100+i*37))
+	}
+
+	return r
+}

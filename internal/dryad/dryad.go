@@ -1,0 +1,347 @@
+// Package dryad is a minimal Dryad/DryadLINQ-style distributed job
+// executor: jobs are DAGs of stages, stages contain tasks with resource
+// work amounts, and a seeded non-deterministic scheduler places tasks on
+// machines with free slots. Different seeds partition work differently
+// across machines and runs — the property that forced the paper to design
+// Algorithm 1 around per-machine models rather than naive pooling, and that
+// makes its train/test runs genuinely different.
+package dryad
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+)
+
+// TaskSpec describes one task's total work and the rates at which it
+// demands resources while running. Zero rates disable that resource.
+type TaskSpec struct {
+	Name string
+
+	// Total work amounts.
+	CPUWork        float64 // nominal core-seconds
+	DiskReadBytes  float64
+	DiskWriteBytes float64
+	NetSendBytes   float64
+	NetRecvBytes   float64
+	MemTouchBytes  float64
+
+	// Demand rates while the task runs.
+	CPURate       float64 // cores (default 1 if CPUWork > 0)
+	DiskReadRate  float64 // bytes/sec (default 64 MB/s if work > 0)
+	DiskWriteRate float64
+	NetSendRate   float64 // bytes/sec (default 40 MB/s if work > 0)
+	NetRecvRate   float64
+	MemTouchRate  float64 // bytes/sec (default 200 MB/s if work > 0)
+
+	// WorkingSet is the resident memory while the task runs.
+	WorkingSet float64
+	// MinSeconds is a floor on task duration (startup, serialization).
+	MinSeconds float64
+	// AvgIOBytes sets the average I/O size used to derive op counts from
+	// byte counts (default 128 KiB).
+	AvgIOBytes float64
+}
+
+func (t TaskSpec) withDefaults() TaskSpec {
+	def := func(v *float64, work, d float64) {
+		if *v == 0 && work > 0 {
+			*v = d
+		}
+	}
+	def(&t.CPURate, t.CPUWork, 1)
+	def(&t.DiskReadRate, t.DiskReadBytes, 64e6)
+	def(&t.DiskWriteRate, t.DiskWriteBytes, 64e6)
+	def(&t.NetSendRate, t.NetSendBytes, 40e6)
+	def(&t.NetRecvRate, t.NetRecvBytes, 40e6)
+	def(&t.MemTouchRate, t.MemTouchBytes, 200e6)
+	if t.AvgIOBytes == 0 {
+		t.AvgIOBytes = 128 * 1024
+	}
+	if t.MinSeconds == 0 {
+		t.MinSeconds = 1
+	}
+	return t
+}
+
+// Stage is a set of tasks that may run once all DependsOn stages finish.
+type Stage struct {
+	Name      string
+	Tasks     []TaskSpec
+	DependsOn []int
+}
+
+// Job is a DAG of stages.
+type Job struct {
+	Name   string
+	Stages []Stage
+}
+
+// Validate checks the stage DAG.
+func (j *Job) Validate() error {
+	if len(j.Stages) == 0 {
+		return fmt.Errorf("dryad: job %q has no stages", j.Name)
+	}
+	for i, st := range j.Stages {
+		if len(st.Tasks) == 0 {
+			return fmt.Errorf("dryad: job %q stage %q has no tasks", j.Name, st.Name)
+		}
+		for _, d := range st.DependsOn {
+			if d < 0 || d >= len(j.Stages) {
+				return fmt.Errorf("dryad: job %q stage %q depends on invalid stage %d", j.Name, st.Name, d)
+			}
+			if d >= i {
+				return fmt.Errorf("dryad: job %q stage %q has forward/self dependency on %d", j.Name, st.Name, d)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalTasks returns the number of tasks in the job.
+func (j *Job) TotalTasks() int {
+	n := 0
+	for _, s := range j.Stages {
+		n += len(s.Tasks)
+	}
+	return n
+}
+
+// task is the runtime state of one scheduled task.
+type task struct {
+	spec    TaskSpec
+	stage   int
+	machine int
+	age     float64
+
+	remCPU, remDR, remDW, remNS, remNR, remMem float64
+}
+
+func (t *task) done() bool {
+	const eps = 1e-6
+	return t.age >= t.spec.MinSeconds &&
+		t.remCPU < eps && t.remDR < eps && t.remDW < eps &&
+		t.remNS < eps && t.remNR < eps && t.remMem < eps
+}
+
+// demand returns what the task asks of its machine for one second.
+func (t *task) demand() sim.Demand {
+	d := sim.Demand{
+		CPU:            math.Min(t.remCPU, t.spec.CPURate),
+		DiskReadBytes:  math.Min(t.remDR, t.spec.DiskReadRate),
+		DiskWriteBytes: math.Min(t.remDW, t.spec.DiskWriteRate),
+		NetSendBytes:   math.Min(t.remNS, t.spec.NetSendRate),
+		NetRecvBytes:   math.Min(t.remNR, t.spec.NetRecvRate),
+		MemTouchBytes:  math.Min(t.remMem, t.spec.MemTouchRate),
+		WorkingSet:     t.spec.WorkingSet,
+		RunningTasks:   1,
+	}
+	d.DiskReadOps = d.DiskReadBytes / t.spec.AvgIOBytes
+	d.DiskWriteOps = d.DiskWriteBytes / t.spec.AvgIOBytes
+	return d
+}
+
+// Scheduler places a job's tasks on a cluster of machines and tracks work
+// progress. It is deliberately non-deterministic across seeds (greedy
+// placement with randomized tie-breaking and per-task work jitter), like
+// the Dryad/Quincy scheduler whose run-to-run variation the paper must
+// tolerate.
+type Scheduler struct {
+	job   *Job
+	rng   *rand.Rand
+	slots []int // free slots per machine
+
+	pending   []*task   // ready, unplaced tasks (in randomized order)
+	running   [][]*task // per machine
+	remaining []int     // unfinished tasks per stage
+	started   []bool    // stage released to pending
+	finished  int
+	total     int
+
+	// lastDemand remembers each running task's demand so served amounts
+	// can be apportioned back proportionally.
+	lastDemand [][]sim.Demand
+}
+
+// NewScheduler prepares a run of job over nMachines machines with the
+// given slots per machine. Seed drives placement order and work jitter.
+func NewScheduler(job *Job, slotsPerMachine []int, seed int64) (*Scheduler, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	if len(slotsPerMachine) == 0 {
+		return nil, fmt.Errorf("dryad: no machines")
+	}
+	for i, s := range slotsPerMachine {
+		if s <= 0 {
+			return nil, fmt.Errorf("dryad: machine %d has %d slots", i, s)
+		}
+	}
+	s := &Scheduler{
+		job:        job,
+		rng:        mathx.NewRand(mathx.DeriveSeed(seed, "sched:"+job.Name)),
+		slots:      append([]int(nil), slotsPerMachine...),
+		running:    make([][]*task, len(slotsPerMachine)),
+		lastDemand: make([][]sim.Demand, len(slotsPerMachine)),
+		remaining:  make([]int, len(job.Stages)),
+		started:    make([]bool, len(job.Stages)),
+		total:      job.TotalTasks(),
+	}
+	for i, st := range job.Stages {
+		s.remaining[i] = len(st.Tasks)
+	}
+	s.releaseReadyStages()
+	return s, nil
+}
+
+// releaseReadyStages moves tasks of newly-runnable stages into the pending
+// queue in randomized order with per-task work jitter.
+func (s *Scheduler) releaseReadyStages() {
+	for i, st := range s.job.Stages {
+		if s.started[i] {
+			continue
+		}
+		ready := true
+		for _, d := range st.DependsOn {
+			if s.remaining[d] > 0 {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		s.started[i] = true
+		for _, spec := range st.Tasks {
+			sp := spec.withDefaults()
+			jit := func(v float64) float64 { return v * (0.9 + 0.2*s.rng.Float64()) }
+			t := &task{
+				spec:   sp,
+				stage:  i,
+				remCPU: jit(sp.CPUWork), remDR: jit(sp.DiskReadBytes), remDW: jit(sp.DiskWriteBytes),
+				remNS: jit(sp.NetSendBytes), remNR: jit(sp.NetRecvBytes), remMem: jit(sp.MemTouchBytes),
+			}
+			s.pending = append(s.pending, t)
+		}
+		s.rng.Shuffle(len(s.pending), func(a, b int) {
+			s.pending[a], s.pending[b] = s.pending[b], s.pending[a]
+		})
+	}
+}
+
+// Done reports whether every task has completed.
+func (s *Scheduler) Done() bool { return s.finished == s.total }
+
+// Finished returns the number of completed tasks.
+func (s *Scheduler) Finished() int { return s.finished }
+
+// Tick assigns pending tasks to machines with free slots: most-free-slots
+// first with random tie-breaking.
+func (s *Scheduler) Tick() {
+	for len(s.pending) > 0 {
+		best, bestFree := -1, 0
+		order := s.rng.Perm(len(s.slots))
+		for _, m := range order {
+			if s.slots[m] > bestFree {
+				best, bestFree = m, s.slots[m]
+			}
+		}
+		if best < 0 {
+			return
+		}
+		t := s.pending[0]
+		s.pending = s.pending[1:]
+		t.machine = best
+		s.slots[best]--
+		s.running[best] = append(s.running[best], t)
+	}
+}
+
+// Demand aggregates the demand of machine m's running tasks for this
+// second, remembering the per-task split for Apply.
+func (s *Scheduler) Demand(m int) sim.Demand {
+	var agg sim.Demand
+	s.lastDemand[m] = s.lastDemand[m][:0]
+	for _, t := range s.running[m] {
+		d := t.demand()
+		s.lastDemand[m] = append(s.lastDemand[m], d)
+		agg.CPU += d.CPU
+		agg.DiskReadBytes += d.DiskReadBytes
+		agg.DiskWriteBytes += d.DiskWriteBytes
+		agg.DiskReadOps += d.DiskReadOps
+		agg.DiskWriteOps += d.DiskWriteOps
+		agg.NetSendBytes += d.NetSendBytes
+		agg.NetRecvBytes += d.NetRecvBytes
+		agg.MemTouchBytes += d.MemTouchBytes
+		agg.WorkingSet += d.WorkingSet
+		agg.RunningTasks++
+	}
+	return agg
+}
+
+// Apply distributes what machine m actually served back to its tasks
+// proportionally to their demands, advances task ages, retires completed
+// tasks, and releases any newly-unblocked stages.
+func (s *Scheduler) Apply(m int, served sim.Served) {
+	run := s.running[m]
+	if len(run) == 0 {
+		return
+	}
+	var agg sim.Demand
+	for _, d := range s.lastDemand[m] {
+		agg.CPU += d.CPU
+		agg.DiskReadBytes += d.DiskReadBytes
+		agg.DiskWriteBytes += d.DiskWriteBytes
+		agg.NetSendBytes += d.NetSendBytes
+		agg.NetRecvBytes += d.NetRecvBytes
+		agg.MemTouchBytes += d.MemTouchBytes
+	}
+	frac := func(got, want float64) float64 {
+		if want <= 0 {
+			return 0
+		}
+		return math.Min(1, got/want)
+	}
+	fCPU := frac(served.CPU, agg.CPU)
+	fDR := frac(served.DiskReadBytes, agg.DiskReadBytes)
+	fDW := frac(served.DiskWriteBytes, agg.DiskWriteBytes)
+	fNS := frac(served.NetSendBytes, agg.NetSendBytes)
+	fNR := frac(served.NetRecvBytes, agg.NetRecvBytes)
+	fMem := frac(served.MemTouchBytes, agg.MemTouchBytes)
+
+	keep := run[:0]
+	for i, t := range run {
+		d := s.lastDemand[m][i]
+		t.remCPU -= d.CPU * fCPU
+		t.remDR -= d.DiskReadBytes * fDR
+		t.remDW -= d.DiskWriteBytes * fDW
+		t.remNS -= d.NetSendBytes * fNS
+		t.remNR -= d.NetRecvBytes * fNR
+		t.remMem -= d.MemTouchBytes * fMem
+		clampNonNeg(&t.remCPU, &t.remDR, &t.remDW, &t.remNS, &t.remNR, &t.remMem)
+		t.age++
+		if t.done() {
+			s.finished++
+			s.remaining[t.stage]--
+			s.slots[m]++
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	s.running[m] = keep
+	s.releaseReadyStages()
+}
+
+// RunningTasks returns the number of tasks currently placed on machine m.
+func (s *Scheduler) RunningTasks(m int) int { return len(s.running[m]) }
+
+func clampNonNeg(vs ...*float64) {
+	for _, v := range vs {
+		if *v < 0 {
+			*v = 0
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package dryad
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func tinyJob() *Job {
+	return &Job{
+		Name: "tiny",
+		Stages: []Stage{
+			{Name: "a", Tasks: []TaskSpec{
+				{Name: "t0", CPUWork: 2, MinSeconds: 1},
+				{Name: "t1", CPUWork: 2, MinSeconds: 1},
+			}},
+			{Name: "b", DependsOn: []int{0}, Tasks: []TaskSpec{
+				{Name: "t2", DiskWriteBytes: 10e6, MinSeconds: 1},
+			}},
+		},
+	}
+}
+
+// fullServe pretends the machine served everything demanded.
+func fullServe(d sim.Demand) sim.Served {
+	return sim.Served{
+		CPU:            d.CPU,
+		DiskReadBytes:  d.DiskReadBytes,
+		DiskWriteBytes: d.DiskWriteBytes,
+		DiskReadOps:    d.DiskReadOps,
+		DiskWriteOps:   d.DiskWriteOps,
+		NetSendBytes:   d.NetSendBytes,
+		NetRecvBytes:   d.NetRecvBytes,
+		MemTouchBytes:  d.MemTouchBytes,
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	if err := tinyJob().Validate(); err != nil {
+		t.Errorf("valid job rejected: %v", err)
+	}
+	bad := &Job{Name: "empty"}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for no stages")
+	}
+	bad = &Job{Name: "emptystage", Stages: []Stage{{Name: "s"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for stage with no tasks")
+	}
+	bad = &Job{Name: "fwd", Stages: []Stage{
+		{Name: "a", DependsOn: []int{0}, Tasks: []TaskSpec{{CPUWork: 1}}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for self dependency")
+	}
+	bad = &Job{Name: "oob", Stages: []Stage{
+		{Name: "a", DependsOn: []int{5}, Tasks: []TaskSpec{{CPUWork: 1}}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for out-of-range dependency")
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	if _, err := NewScheduler(tinyJob(), nil, 1); err == nil {
+		t.Error("expected error for no machines")
+	}
+	if _, err := NewScheduler(tinyJob(), []int{0}, 1); err == nil {
+		t.Error("expected error for zero slots")
+	}
+}
+
+func TestSchedulerRunsJobToCompletion(t *testing.T) {
+	job := tinyJob()
+	s, err := NewScheduler(job, []int{2, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 100 && !s.Done(); tick++ {
+		s.Tick()
+		for m := 0; m < 2; m++ {
+			d := s.Demand(m)
+			s.Apply(m, fullServe(d))
+		}
+	}
+	if !s.Done() {
+		t.Fatalf("job did not complete; finished %d/%d", s.Finished(), job.TotalTasks())
+	}
+	if s.Finished() != job.TotalTasks() {
+		t.Errorf("Finished = %d, want %d", s.Finished(), job.TotalTasks())
+	}
+}
+
+func TestStageDependencyOrder(t *testing.T) {
+	// Stage b must not start before stage a completes.
+	job := tinyJob()
+	s, err := NewScheduler(job, []int{4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawWriteWhileAUnfinished := false
+	for tick := 0; tick < 100 && !s.Done(); tick++ {
+		s.Tick()
+		d := s.Demand(0)
+		if s.remaining[0] > 0 && d.DiskWriteBytes > 0 {
+			sawWriteWhileAUnfinished = true
+		}
+		s.Apply(0, fullServe(d))
+	}
+	if sawWriteWhileAUnfinished {
+		t.Error("stage b ran while stage a still had unfinished tasks")
+	}
+	if !s.Done() {
+		t.Fatal("job did not complete")
+	}
+}
+
+func TestSlotLimitRespected(t *testing.T) {
+	job := &Job{Name: "many", Stages: []Stage{{Name: "s"}}}
+	for i := 0; i < 20; i++ {
+		job.Stages[0].Tasks = append(job.Stages[0].Tasks, TaskSpec{CPUWork: 5})
+	}
+	s, err := NewScheduler(job, []int{3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 500 && !s.Done(); tick++ {
+		s.Tick()
+		if n := s.RunningTasks(0); n > 3 {
+			t.Fatalf("machine running %d tasks with 3 slots", n)
+		}
+		d := s.Demand(0)
+		// Serve only part of the CPU demand (capacity 2 cores).
+		served := fullServe(d)
+		if served.CPU > 2 {
+			served.CPU = 2
+		}
+		s.Apply(0, served)
+	}
+	if !s.Done() {
+		t.Fatal("job did not complete")
+	}
+}
+
+func TestPartialServiceSlowsTasks(t *testing.T) {
+	job := &Job{Name: "one", Stages: []Stage{{Name: "s", Tasks: []TaskSpec{{CPUWork: 10, MinSeconds: 1}}}}}
+	runTicks := func(cpuPerSec float64) int {
+		s, err := NewScheduler(job, []int{1}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tick := 1; tick < 1000; tick++ {
+			s.Tick()
+			d := s.Demand(0)
+			served := fullServe(d)
+			if served.CPU > cpuPerSec {
+				served.CPU = cpuPerSec
+			}
+			s.Apply(0, served)
+			if s.Done() {
+				return tick
+			}
+		}
+		t.Fatal("job never completed")
+		return -1
+	}
+	fast := runTicks(1.0)
+	slow := runTicks(0.25)
+	if slow <= fast {
+		t.Errorf("partial service should slow completion: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestSchedulerSeedChangesPlacement(t *testing.T) {
+	job := &Job{Name: "many", Stages: []Stage{{Name: "s"}}}
+	for i := 0; i < 12; i++ {
+		job.Stages[0].Tasks = append(job.Stages[0].Tasks, TaskSpec{CPUWork: 3})
+	}
+	placements := func(seed int64) []int {
+		s, err := NewScheduler(job, []int{2, 2, 2}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var counts []int
+		for tick := 0; tick < 200 && !s.Done(); tick++ {
+			s.Tick()
+			snapshot := []int{s.RunningTasks(0), s.RunningTasks(1), s.RunningTasks(2)}
+			counts = append(counts, snapshot...)
+			for m := 0; m < 3; m++ {
+				d := s.Demand(m)
+				served := fullServe(d)
+				if served.CPU > 1 {
+					served.CPU = 1
+				}
+				s.Apply(m, served)
+			}
+		}
+		return counts
+	}
+	a, b := placements(1), placements(2)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules; scheduler is not run-varying")
+	}
+}
+
+func TestTaskMinSeconds(t *testing.T) {
+	job := &Job{Name: "min", Stages: []Stage{{Name: "s", Tasks: []TaskSpec{{CPUWork: 0.1, MinSeconds: 5}}}}}
+	s, err := NewScheduler(job, []int{1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := 0
+	for ; ticks < 100 && !s.Done(); ticks++ {
+		s.Tick()
+		s.Apply(0, fullServe(s.Demand(0)))
+	}
+	if ticks < 5 {
+		t.Errorf("task finished in %d ticks despite MinSeconds=5", ticks)
+	}
+}
+
+func TestDemandRatesCapped(t *testing.T) {
+	job := &Job{Name: "rate", Stages: []Stage{{Name: "s", Tasks: []TaskSpec{{
+		DiskReadBytes: 1e9, DiskReadRate: 10e6, MinSeconds: 1,
+	}}}}}
+	s, err := NewScheduler(job, []int{1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tick()
+	d := s.Demand(0)
+	if d.DiskReadBytes > 10e6+1 {
+		t.Errorf("demand %v exceeds task rate 10e6", d.DiskReadBytes)
+	}
+	if d.DiskReadOps <= 0 {
+		t.Error("disk ops should be derived from bytes")
+	}
+}

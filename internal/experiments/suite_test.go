@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestSuiteCachesDatasets(t *testing.T) {
+	s := fastSuite(t)
+	a, err := s.Dataset(s.Cfg.Platforms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Dataset(s.Cfg.Platforms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Dataset not cached: two different pointers")
+	}
+	fa, err := s.Features(s.Cfg.Platforms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := s.Features(s.Cfg.Platforms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Error("Features not cached")
+	}
+	g1, err := s.Grid(s.Cfg.Platforms[0], s.Cfg.Workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := s.Grid(s.Cfg.Platforms[0], s.Cfg.Workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &g1[0] != &g2[0] {
+		t.Error("Grid not cached")
+	}
+}
+
+func TestSeedDatasetsShares(t *testing.T) {
+	s := fastSuite(t)
+	ds, err := s.Dataset(s.Cfg.Platforms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewSuite(Fast())
+	fresh.SeedDatasets(s.Datasets())
+	got, err := fresh.Dataset(s.Cfg.Platforms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ds {
+		t.Error("SeedDatasets did not share the dataset pointer")
+	}
+}
+
+func TestPickHelpers(t *testing.T) {
+	s := NewSuite(Fast())
+	if got := s.PickPlatform("Core2"); got != "Core2" {
+		t.Errorf("PickPlatform(Core2) = %s", got)
+	}
+	if got := s.PickPlatform("Athlon"); got != s.Cfg.Platforms[len(s.Cfg.Platforms)-1] {
+		t.Errorf("PickPlatform fallback = %s", got)
+	}
+	if got := s.PickWorkload(s.Cfg.Workloads[1]); got != s.Cfg.Workloads[1] {
+		t.Errorf("PickWorkload = %s", got)
+	}
+	if got := s.PickWorkload("Nope"); got != s.Cfg.Workloads[0] {
+		t.Errorf("PickWorkload fallback = %s", got)
+	}
+}
+
+func TestUnknownDatasetWorkload(t *testing.T) {
+	s := fastSuite(t)
+	if _, err := s.Grid(s.Cfg.Platforms[0], "NotCollected"); err == nil {
+		t.Error("expected error for uncollected workload")
+	}
+	fresh := NewSuite(Fast())
+	if _, err := fresh.Dataset("PDP11"); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// TableI prints the platform inventory (paper Table I).
+func TableI(w io.Writer) {
+	section(w, "Table I: platforms")
+	fmt.Fprintf(w, "%-9s %-8s %-45s %-12s %6s %6s\n",
+		"Platform", "Class", "CPU", "Power range", "Mem", "Disks")
+	for _, name := range sim.PlatformNames() {
+		p, err := sim.Platform(name)
+		if err != nil {
+			fmt.Fprintf(w, "%-9s error: %v\n", name, err)
+			continue
+		}
+		fmt.Fprintf(w, "%-9s %-8s %-45s %3.0f-%3.0f W    %3dGB %6d\n",
+			p.Name, p.Class, p.CPUModel, p.IdlePowerW, p.MaxPowerW, p.MemGB, p.TotalDisks())
+	}
+}
+
+// TableIIResult is the structured form of Table II.
+type TableIIResult struct {
+	// Platforms in column order.
+	Platforms []string
+	// Selected maps platform -> its cluster feature set.
+	Selected map[string][]string
+	// General is the cross-platform feature set.
+	General []string
+}
+
+// TableII runs Algorithm 1 on every configured platform and builds the
+// feature matrix of paper Table II.
+func (s *Suite) TableII(w io.Writer) (*TableIIResult, error) {
+	res := &TableIIResult{Platforms: s.Cfg.Platforms, Selected: map[string][]string{}}
+	for _, p := range s.Cfg.Platforms {
+		fr, err := s.Features(p)
+		if err != nil {
+			return nil, err
+		}
+		res.Selected[p] = fr.Features
+	}
+	gen, err := s.General()
+	if err != nil {
+		return nil, err
+	}
+	res.General = gen
+
+	section(w, "Table II: significant performance counters per cluster")
+	all := map[string]bool{}
+	for _, fs := range res.Selected {
+		for _, f := range fs {
+			all[f] = true
+		}
+	}
+	for _, f := range gen {
+		all[f] = true
+	}
+	names := make([]string, 0, len(all))
+	for f := range all {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-55s", "Counter")
+	for _, p := range res.Platforms {
+		fmt.Fprintf(w, " %-8s", p[:minInt(8, len(p))])
+	}
+	fmt.Fprintf(w, " %-8s\n", "General")
+	inSet := func(fs []string, f string) string {
+		for _, x := range fs {
+			if x == f {
+				return "X"
+			}
+		}
+		return ""
+	}
+	for _, f := range names {
+		fmt.Fprintf(w, "%-55s", truncate(f, 55))
+		for _, p := range res.Platforms {
+			fmt.Fprintf(w, " %-8s", inSet(res.Selected[p], f))
+		}
+		fmt.Fprintf(w, " %-8s\n", inSet(gen, f))
+	}
+	return res, nil
+}
+
+// TableIIIRow is one workload's error-metric comparison for one platform.
+type TableIIIRow struct {
+	Platform, Workload, BestLabel string
+	RMSE, PctErr, DRE             float64
+}
+
+// TableIII compares rMSE, percent error, and DRE at machine granularity
+// for the mobile (Core2) and embedded (Atom) clusters (paper Table III):
+// the same small rMSE reads as a much larger DRE on the small-range Atom.
+func (s *Suite) TableIII(w io.Writer, platforms ...string) ([]TableIIIRow, error) {
+	if len(platforms) == 0 {
+		platforms = []string{"Core2", "Atom"}
+	}
+	var rows []TableIIIRow
+	section(w, "Table III: machine-level rMSE vs %Err vs DRE")
+	fmt.Fprintf(w, "%-9s %-10s %-6s %8s %8s %8s\n", "Platform", "Workload", "Model", "rMSE(W)", "%Err", "DRE")
+	for _, p := range platforms {
+		if !contains(s.Cfg.Platforms, p) {
+			continue
+		}
+		for _, wl := range s.Cfg.Workloads {
+			best, err := s.Best(p, wl)
+			if err != nil {
+				return nil, err
+			}
+			m := best.CV.Machine
+			row := TableIIIRow{Platform: p, Workload: wl, BestLabel: best.Label(),
+				RMSE: m.RMSE, PctErr: m.PctErr, DRE: m.DRE}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%-9s %-10s %-6s %8.2f %7.1f%% %7.1f%%\n",
+				p, wl, row.BestLabel, row.RMSE, row.PctErr*100, row.DRE*100)
+		}
+	}
+	return rows, nil
+}
+
+// TableIVCell is one (workload, platform) cell: the best model's cluster
+// DRE and its technique/feature-set label.
+type TableIVCell struct {
+	Platform, Workload, Label string
+	ClusterDRE                float64
+	MachineMedRelE            float64
+}
+
+// TableIV finds the best technique x feature set for every workload and
+// cluster (paper Table IV). The paper's headline claims: every cell is
+// under 12% DRE, and the quadratic model with cluster features wins most
+// cells.
+func (s *Suite) TableIV(w io.Writer) ([]TableIVCell, error) {
+	var cells []TableIVCell
+	section(w, "Table IV: best average cluster DRE per workload and cluster")
+	fmt.Fprintf(w, "%-10s", "Workload")
+	for _, p := range s.Cfg.Platforms {
+		fmt.Fprintf(w, " %12s", p)
+	}
+	fmt.Fprintln(w)
+	for _, wl := range s.Cfg.Workloads {
+		fmt.Fprintf(w, "%-10s", wl)
+		for _, p := range s.Cfg.Platforms {
+			best, err := s.Best(p, wl)
+			if err != nil {
+				return nil, err
+			}
+			cell := TableIVCell{Platform: p, Workload: wl, Label: best.Label(),
+				ClusterDRE:     best.CV.Cluster.DRE,
+				MachineMedRelE: best.CV.Machine.MedRelE}
+			cells = append(cells, cell)
+			fmt.Fprintf(w, " %6.1f%%, %-4s", cell.ClusterDRE*100, cell.Label)
+		}
+		fmt.Fprintln(w)
+	}
+	return cells, nil
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// BestLabelHistogram counts winning labels across Table IV cells — used to
+// check the "quadratic + cluster features wins most cells" claim.
+func BestLabelHistogram(cells []TableIVCell) map[string]int {
+	out := map[string]int{}
+	for _, c := range cells {
+		out[c.Label]++
+	}
+	return out
+}

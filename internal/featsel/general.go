@@ -1,0 +1,64 @@
+package featsel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/counters"
+)
+
+// General builds the cross-platform feature set of Table II from the
+// per-cluster selections: features common to several clusters are kept,
+// and each counter category represented in any cluster set contributes its
+// most commonly selected feature, so no subsystem goes unobserved. The
+// frequency and utilization counters are always included — every platform
+// exposed them as dominant features.
+func General(byCluster map[string]*Result, reg *counters.Registry, minClusters int) ([]string, error) {
+	if len(byCluster) == 0 {
+		return nil, fmt.Errorf("featsel: no cluster results")
+	}
+	if minClusters <= 0 {
+		minClusters = (len(byCluster) + 1) / 2
+	}
+	count := map[string]int{}
+	for _, res := range byCluster {
+		for _, f := range res.Features {
+			count[f]++
+		}
+	}
+	selected := map[string]bool{
+		counters.CPUTotal:     true,
+		counters.CPUFreqCore0: true,
+	}
+	for f, c := range count {
+		if c >= minClusters {
+			selected[f] = true
+		}
+	}
+	// Category coverage: for every category that appears in any cluster
+	// set, ensure its most common representative is present.
+	bestPerCat := map[counters.Category]string{}
+	for f, c := range count {
+		idx, ok := reg.Index(f)
+		if !ok {
+			continue
+		}
+		cat := reg.Category(idx)
+		cur, have := bestPerCat[cat]
+		if !have || c > count[cur] || (c == count[cur] && f < cur) {
+			bestPerCat[cat] = f
+		}
+	}
+	for _, f := range bestPerCat {
+		selected[f] = true
+	}
+	out := make([]string, 0, len(selected))
+	for f := range selected {
+		if _, ok := reg.Index(f); !ok {
+			return nil, fmt.Errorf("featsel: general feature %q not in registry", f)
+		}
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out, nil
+}

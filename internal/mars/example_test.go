@@ -1,0 +1,28 @@
+package mars_test
+
+import (
+	"fmt"
+
+	"repro/internal/mars"
+	"repro/internal/mathx"
+)
+
+// Fit a piecewise-linear model to a function with a kink: MARS places a
+// hinge near the knee and recovers both slopes.
+func ExampleFit() {
+	n := 200
+	x := mathx.NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := float64(i) / 20 // 0..10
+		x.Set(i, 0, v)
+		if v <= 5 {
+			y[i] = 2 * v
+		} else {
+			y[i] = 10 + 6*(v-5)
+		}
+	}
+	m, _ := mars.Fit(x, y, mars.Options{MaxDegree: 1, MaxKnots: 20})
+	fmt.Printf("f(2) = %.1f, f(8) = %.1f\n", m.Predict([]float64{2}), m.Predict([]float64{8}))
+	// Output: f(2) = 4.0, f(8) = 28.0
+}

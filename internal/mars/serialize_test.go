@@ -1,0 +1,43 @@
+package mars
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	x, y := genPiecewise(90, 300, 0.1)
+	m, err := Fit(x, y, Options{MaxKnots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.NumTerms() != m.NumTerms() || back.NumInputs != m.NumInputs {
+		t.Fatalf("structure lost: %d/%d terms, %d/%d inputs",
+			back.NumTerms(), m.NumTerms(), back.NumInputs, m.NumInputs)
+	}
+	for _, v := range []float64{0, 2.5, 5, 7.5, 10} {
+		if a, b := m.Predict([]float64{v}), back.Predict([]float64{v}); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("prediction changed at %v: %v vs %v", v, a, b)
+		}
+	}
+}
+
+func TestGCVRecordedAndFinite(t *testing.T) {
+	x, y := genPiecewise(91, 200, 0.3)
+	m, err := Fit(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(m.GCV) || math.IsInf(m.GCV, 0) || m.GCV < 0 {
+		t.Errorf("GCV = %v", m.GCV)
+	}
+}

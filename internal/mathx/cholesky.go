@@ -1,0 +1,99 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// CholeskySolve solves the symmetric positive-definite system G·x = b via
+// Cholesky factorization. If the factorization fails (G not positive
+// definite to working precision), it retries with progressively larger
+// diagonal jitter up to maxJitter. It is used for normal-equation solves on
+// small Gram matrices where speed matters more than ultimate precision
+// (e.g. MARS forward-pass candidate scoring).
+func CholeskySolve(g *Matrix, b []float64, maxJitter float64) ([]float64, error) {
+	n := g.Rows
+	if g.Cols != n {
+		return nil, fmt.Errorf("mathx: CholeskySolve needs square matrix, got %dx%d", g.Rows, g.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("mathx: CholeskySolve rhs length %d, want %d", len(b), n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// Scale jitter to the matrix magnitude.
+	maxDiag := 0.0
+	for i := 0; i < n; i++ {
+		if d := math.Abs(g.At(i, i)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		maxDiag = 1
+	}
+	jitter := 0.0
+	for attempt := 0; attempt < 8; attempt++ {
+		l, ok := cholesky(g, jitter)
+		if ok {
+			return choleskyBackSolve(l, b), nil
+		}
+		if jitter == 0 {
+			jitter = maxDiag * 1e-12
+		} else {
+			jitter *= 100
+		}
+		if maxJitter > 0 && jitter > maxJitter*maxDiag {
+			break
+		}
+	}
+	return nil, ErrSingular
+}
+
+// cholesky returns the lower-triangular factor of g + jitter·I, or ok=false
+// if a non-positive pivot is encountered.
+func cholesky(g *Matrix, jitter float64) (*Matrix, bool) {
+	n := g.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := g.At(j, j) + jitter
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, false
+		}
+		l.Set(j, j, math.Sqrt(d))
+		for i := j + 1; i < n; i++ {
+			s := g.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/l.At(j, j))
+		}
+	}
+	return l, true
+}
+
+// choleskyBackSolve solves L·Lᵀ·x = b.
+func choleskyBackSolve(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	x := make([]float64, n)
+	// Forward: L·z = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ·x = z.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}

@@ -1,0 +1,344 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Errorf("Set/At round trip failed")
+	}
+	row := m.Row(1)
+	if row[0] != 4 || row[2] != 6 {
+		t.Errorf("Row(1) = %v", row)
+	}
+	col := m.Col(1)
+	if col[0] != 2 || col[1] != 5 {
+		t.Errorf("Col(1) = %v", col)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil {
+		t.Fatalf("FromRows(nil): %v", err)
+	}
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Errorf("empty matrix dims = %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSelectCols(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	s := m.SelectCols([]int{2, 0})
+	if s.Rows != 2 || s.Cols != 2 {
+		t.Fatalf("dims = %dx%d", s.Rows, s.Cols)
+	}
+	if s.At(0, 0) != 3 || s.At(0, 1) != 1 || s.At(1, 0) != 6 || s.At(1, 1) != 4 {
+		t.Errorf("SelectCols = %+v", s)
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	s := m.SelectRows([]int{2, 0})
+	if s.At(0, 0) != 5 || s.At(1, 1) != 2 {
+		t.Errorf("SelectRows = %+v", s)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestMulAndTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	at := a.Transpose()
+	if at.At(0, 1) != 3 || at.At(1, 0) != 2 {
+		t.Errorf("Transpose = %+v", at)
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Error("expected dimension error from Mul")
+	}
+}
+
+func TestAppendCol(t *testing.T) {
+	m, _ := FromRows([][]float64{{1}, {2}})
+	out, err := m.AppendCol([]float64{10, 20})
+	if err != nil {
+		t.Fatalf("AppendCol: %v", err)
+	}
+	if out.Cols != 2 || out.At(0, 1) != 10 || out.At(1, 1) != 20 {
+		t.Errorf("AppendCol = %+v", out)
+	}
+	if _, err := m.AppendCol([]float64{1}); err == nil {
+		t.Error("expected length error")
+	}
+	empty := &Matrix{}
+	out2, err := empty.AppendCol([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("AppendCol to empty: %v", err)
+	}
+	if out2.Rows != 3 || out2.Cols != 1 {
+		t.Errorf("AppendCol to empty dims = %dx%d", out2.Rows, out2.Cols)
+	}
+}
+
+func TestQRSolveExact(t *testing.T) {
+	// Square well-conditioned system with a known solution.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	f, err := QR(a)
+	if err != nil {
+		t.Fatalf("QR: %v", err)
+	}
+	x, err := f.Solve([]float64{5, 10})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+	if !almostEqual(x[0], 1, 1e-10) || !almostEqual(x[1], 3, 1e-10) {
+		t.Errorf("Solve = %v, want [1 3]", x)
+	}
+}
+
+func TestQRRejectsWide(t *testing.T) {
+	if _, err := QR(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for wide matrix")
+	}
+}
+
+func TestQRLeastSquaresOverdetermined(t *testing.T) {
+	// y = 2 + 3x with exact data; least squares must recover it.
+	n := 50
+	x := NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xv := float64(i) / 10
+		x.Set(i, 0, 1)
+		x.Set(i, 1, xv)
+		y[i] = 2 + 3*xv
+	}
+	f, err := QR(x)
+	if err != nil {
+		t.Fatalf("QR: %v", err)
+	}
+	beta, err := f.Solve(y)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almostEqual(beta[0], 2, 1e-9) || !almostEqual(beta[1], 3, 1e-9) {
+		t.Errorf("beta = %v, want [2 3]", beta)
+	}
+}
+
+func TestQRSingularDetection(t *testing.T) {
+	// Duplicate columns are singular.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	f, err := QR(a)
+	if err != nil {
+		t.Fatalf("QR: %v", err)
+	}
+	if f.IsFullRank() {
+		t.Error("IsFullRank = true for rank-1 matrix")
+	}
+	if _, err := f.Solve([]float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("Solve error = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLeastSquaresRidgeFallback(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	beta, ridged, err := SolveLeastSquares(a, []float64{2, 4, 6})
+	if err != nil {
+		t.Fatalf("SolveLeastSquares: %v", err)
+	}
+	if !ridged {
+		t.Error("expected ridge fallback for singular system")
+	}
+	// Prediction should still be near-perfect even though individual
+	// coefficients are regularized.
+	pred := beta[0]*1 + beta[1]*1
+	if !almostEqual(pred, 2, 1e-3) {
+		t.Errorf("ridged prediction = %v, want ~2", pred)
+	}
+}
+
+func TestRidgeSolveValidation(t *testing.T) {
+	a, _ := FromRows([][]float64{{1}, {2}})
+	if _, err := RidgeSolve(a, []float64{1, 2}, 0); err == nil {
+		t.Error("expected error for non-positive lambda")
+	}
+}
+
+func TestRidgeShrinksTowardZero(t *testing.T) {
+	n := 30
+	x := NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i))
+		y[i] = 5 * float64(i)
+	}
+	small, err := RidgeSolve(x, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RidgeSolve(x, y, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(small[0], 5, 1e-6) {
+		t.Errorf("tiny-lambda ridge = %v, want ~5", small[0])
+	}
+	if math.Abs(big[0]) >= math.Abs(small[0]) {
+		t.Errorf("large lambda should shrink coefficient: %v vs %v", big[0], small[0])
+	}
+}
+
+func TestXtXInverse(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0}, {0, 2}, {1, 1}})
+	inv, err := XtXInverse(a)
+	if err != nil {
+		t.Fatalf("XtXInverse: %v", err)
+	}
+	// XtX = [[2,1],[1,5]]; inverse = 1/9 [[5,-1],[-1,2]].
+	want := [][]float64{{5.0 / 9, -1.0 / 9}, {-1.0 / 9, 2.0 / 9}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !almostEqual(inv.At(i, j), want[i][j], 1e-10) {
+				t.Errorf("inv(%d,%d) = %v, want %v", i, j, inv.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+// Property: QR solve reproduces the coefficients of randomly generated
+// well-conditioned linear systems.
+func TestQRSolveProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, p := 40, 4
+		x := NewMatrix(n, p)
+		trueBeta := make([]float64, p)
+		for j := 0; j < p; j++ {
+			trueBeta[j] = r.NormFloat64() * 3
+		}
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				x.Set(i, j, r.NormFloat64())
+			}
+			for j := 0; j < p; j++ {
+				y[i] += x.At(i, j) * trueBeta[j]
+			}
+		}
+		f, err := QR(x)
+		if err != nil {
+			return false
+		}
+		beta, err := f.Solve(y)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < p; j++ {
+			if !almostEqual(beta[j], trueBeta[j], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: residuals of a least-squares fit are orthogonal to the column
+// space of X (the normal equations hold).
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(2))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, p := 30, 3
+		x := NewMatrix(n, p)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				x.Set(i, j, r.NormFloat64())
+			}
+			y[i] = r.NormFloat64() * 5
+		}
+		beta, _, err := SolveLeastSquares(x, y)
+		if err != nil {
+			return false
+		}
+		pred, _ := x.MulVec(beta)
+		for j := 0; j < p; j++ {
+			dot := 0.0
+			for i := 0; i < n; i++ {
+				dot += x.At(i, j) * (y[i] - pred[i])
+			}
+			if math.Abs(dot) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package mathx
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// NewRand returns a deterministic *rand.Rand for the given seed. All
+// randomness in the repository flows through explicit seeds so experiments
+// are exactly reproducible.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// DeriveSeed deterministically derives a child seed from a parent seed and
+// a name, so that independent subsystems (machines, workload runs, noise
+// channels) get decorrelated but reproducible random streams.
+func DeriveSeed(parent int64, name string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(parent >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// TruncatedNormal draws from a normal distribution with the given mean and
+// standard deviation, rejecting samples more than 3σ from the mean. It is
+// used for bounded physical quantities such as manufacturing variation.
+func TruncatedNormal(r *rand.Rand, mean, stddev float64) float64 {
+	if stddev <= 0 {
+		return mean
+	}
+	for i := 0; i < 64; i++ {
+		v := r.NormFloat64()
+		if v >= -3 && v <= 3 {
+			return mean + stddev*v
+		}
+	}
+	return mean
+}

@@ -1,0 +1,37 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// The paper's Table III point: the same absolute error reads very
+// differently on systems with different dynamic ranges.
+func ExampleDRE() {
+	// 0.6 W rMSE on an Atom-class machine (22-26 W range)...
+	atom, _ := metrics.DRE(0.6, 26, 22)
+	// ...and on a Core 2 Duo-class machine (25-46 W range).
+	core2, _ := metrics.DRE(0.6, 46, 25)
+	fmt.Printf("Atom DRE %.0f%%, Core2 DRE %.0f%%\n", atom*100, core2*100)
+	// Output: Atom DRE 15%, Core2 DRE 3%
+}
+
+func ExampleEvaluate() {
+	actual := []float64{30, 35, 40, 45, 50}
+	pred := []float64{31, 34, 41, 44, 52}
+	s, _ := metrics.Evaluate(pred, actual, 25) // idle = 25 W
+	fmt.Printf("rMSE %.2f W, DRE %.1f%%, median abs err %.1f W\n",
+		s.RMSE, s.DRE*100, s.MedAbsE)
+	// Output: rMSE 1.26 W, DRE 5.1%, median abs err 1.0 W
+}
+
+func ExampleEnergyWh() {
+	// Half an hour at a constant 200 W.
+	power := make([]float64, 1800)
+	for i := range power {
+		power[i] = 200
+	}
+	fmt.Printf("%.0f Wh\n", metrics.EnergyWh(power))
+	// Output: 100 Wh
+}

@@ -1,0 +1,137 @@
+// Package metrics implements the error measures the paper evaluates power
+// models with — most importantly the Dynamic Range Error (DRE, Eq. 6):
+// root-mean-squared error divided by the dynamic power range, a stricter
+// and platform-independent alternative to percent-of-total-power errors.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Summary collects the error measures for one prediction series.
+type Summary struct {
+	N        int     // samples
+	RMSE     float64 // watts
+	PctErr   float64 // RMSE / mean actual power (the common "% error")
+	MedAbsE  float64 // median absolute error, watts
+	MedRelE  float64 // median absolute error / actual, per sample
+	DRE      float64 // RMSE / (max actual - idle)
+	DynRange float64 // max actual - idle, watts
+	MaxErr   float64 // worst absolute error, watts
+}
+
+// MSE returns the mean squared error between pred and actual.
+func MSE(pred, actual []float64) (float64, error) {
+	if len(pred) != len(actual) {
+		return 0, fmt.Errorf("metrics: %d predictions vs %d actuals", len(pred), len(actual))
+	}
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("metrics: empty series")
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - actual[i]
+		s += d * d
+	}
+	return s / float64(len(pred)), nil
+}
+
+// RMSE returns the root-mean-squared error.
+func RMSE(pred, actual []float64) (float64, error) {
+	m, err := MSE(pred, actual)
+	return math.Sqrt(m), err
+}
+
+// DRE computes Eq. 6: rmse / (pmax - pidle). It errors if the range is
+// not positive, which indicates a degenerate evaluation set.
+func DRE(rmse, pmax, pidle float64) (float64, error) {
+	if pmax <= pidle {
+		return 0, fmt.Errorf("metrics: dynamic range [%g, %g] is empty", pidle, pmax)
+	}
+	return rmse / (pmax - pidle), nil
+}
+
+// Evaluate computes the full summary for a prediction series. idleWatts is
+// the measured at-rest power of the machine (or summed for a cluster); the
+// dynamic range is max(actual) - idleWatts.
+func Evaluate(pred, actual []float64, idleWatts float64) (Summary, error) {
+	rmse, err := RMSE(pred, actual)
+	if err != nil {
+		return Summary{}, err
+	}
+	_, pmax := mathx.MinMax(actual)
+	dre, err := DRE(rmse, pmax, idleWatts)
+	if err != nil {
+		return Summary{}, err
+	}
+	absErr := make([]float64, len(pred))
+	relErr := make([]float64, len(pred))
+	maxErr := 0.0
+	for i := range pred {
+		a := math.Abs(pred[i] - actual[i])
+		absErr[i] = a
+		if actual[i] != 0 {
+			relErr[i] = a / actual[i]
+		}
+		if a > maxErr {
+			maxErr = a
+		}
+	}
+	mean := mathx.Mean(actual)
+	pct := 0.0
+	if mean != 0 {
+		pct = rmse / mean
+	}
+	return Summary{
+		N:        len(pred),
+		RMSE:     rmse,
+		PctErr:   pct,
+		MedAbsE:  mathx.Median(absErr),
+		MedRelE:  mathx.Median(relErr),
+		DRE:      dre,
+		DynRange: pmax - idleWatts,
+		MaxErr:   maxErr,
+	}, nil
+}
+
+// EnergyWh integrates a 1 Hz power series (watts) into watt-hours — the
+// per-run energy accounting some related work models directly.
+func EnergyWh(power []float64) float64 {
+	s := 0.0
+	for _, p := range power {
+		s += p
+	}
+	return s / 3600
+}
+
+// Average returns the field-wise mean of several summaries (the paper
+// reports fold- and machine-averaged figures). N is summed.
+func Average(ss []Summary) Summary {
+	if len(ss) == 0 {
+		return Summary{}
+	}
+	var out Summary
+	for _, s := range ss {
+		out.N += s.N
+		out.RMSE += s.RMSE
+		out.PctErr += s.PctErr
+		out.MedAbsE += s.MedAbsE
+		out.MedRelE += s.MedRelE
+		out.DRE += s.DRE
+		out.DynRange += s.DynRange
+		if s.MaxErr > out.MaxErr {
+			out.MaxErr = s.MaxErr
+		}
+	}
+	k := float64(len(ss))
+	out.RMSE /= k
+	out.PctErr /= k
+	out.MedAbsE /= k
+	out.MedRelE /= k
+	out.DRE /= k
+	out.DynRange /= k
+	return out
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMSEAndRMSE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	actual := []float64{1, 2, 5}
+	mse, err := MSE(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mse-4.0/3) > 1e-12 {
+		t.Errorf("MSE = %v, want 4/3", mse)
+	}
+	rmse, err := RMSE(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rmse-math.Sqrt(4.0/3)) > 1e-12 {
+		t.Errorf("RMSE = %v", rmse)
+	}
+}
+
+func TestMSEErrors(t *testing.T) {
+	if _, err := MSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := MSE(nil, nil); err == nil {
+		t.Error("expected empty-series error")
+	}
+}
+
+func TestDRE(t *testing.T) {
+	// The paper's Table III point: a small rMSE can be a large DRE when
+	// the dynamic range is small (Atom) and a modest one when it is
+	// large (Core2).
+	atomDRE, err := DRE(0.6, 26, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(atomDRE-0.15) > 1e-12 {
+		t.Errorf("Atom-like DRE = %v, want 0.15", atomDRE)
+	}
+	core2DRE, err := DRE(2.2, 46, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core2DRE >= atomDRE {
+		t.Errorf("larger range should dilute DRE: %v vs %v", core2DRE, atomDRE)
+	}
+	if _, err := DRE(1, 5, 5); err == nil {
+		t.Error("expected error for empty dynamic range")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	actual := []float64{30, 35, 40, 45, 50}
+	pred := []float64{31, 34, 41, 44, 52}
+	s, err := Evaluate(pred, actual, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.DynRange != 25 {
+		t.Errorf("DynRange = %v, want 50-25", s.DynRange)
+	}
+	wantRMSE := math.Sqrt((1.0 + 1 + 1 + 1 + 4) / 5)
+	if math.Abs(s.RMSE-wantRMSE) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", s.RMSE, wantRMSE)
+	}
+	if math.Abs(s.DRE-wantRMSE/25) > 1e-12 {
+		t.Errorf("DRE = %v", s.DRE)
+	}
+	if s.MedAbsE != 1 {
+		t.Errorf("MedAbsE = %v, want 1", s.MedAbsE)
+	}
+	if s.MaxErr != 2 {
+		t.Errorf("MaxErr = %v, want 2", s.MaxErr)
+	}
+	if s.PctErr <= 0 || s.MedRelE <= 0 {
+		t.Error("relative errors should be positive")
+	}
+}
+
+func TestEvaluatePerfectPrediction(t *testing.T) {
+	actual := []float64{30, 40, 50}
+	s, err := Evaluate(actual, actual, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RMSE != 0 || s.DRE != 0 || s.MedAbsE != 0 || s.MaxErr != 0 {
+		t.Errorf("perfect prediction should have zero errors: %+v", s)
+	}
+}
+
+func TestEvaluateDegenerateRange(t *testing.T) {
+	if _, err := Evaluate([]float64{1}, []float64{1}, 5); err == nil {
+		t.Error("expected error when idle exceeds max actual")
+	}
+}
+
+func TestEnergyWh(t *testing.T) {
+	// 3600 seconds at 100 W = 100 Wh.
+	power := make([]float64, 3600)
+	for i := range power {
+		power[i] = 100
+	}
+	if got := EnergyWh(power); math.Abs(got-100) > 1e-9 {
+		t.Errorf("EnergyWh = %v, want 100", got)
+	}
+	if EnergyWh(nil) != 0 {
+		t.Error("empty series should be zero energy")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := Summary{N: 10, RMSE: 2, PctErr: 0.1, MedAbsE: 1, MedRelE: 0.05, DRE: 0.2, DynRange: 10, MaxErr: 5}
+	b := Summary{N: 20, RMSE: 4, PctErr: 0.2, MedAbsE: 3, MedRelE: 0.15, DRE: 0.4, DynRange: 20, MaxErr: 3}
+	avg := Average([]Summary{a, b})
+	if avg.N != 30 {
+		t.Errorf("N = %d, want summed 30", avg.N)
+	}
+	if avg.RMSE != 3 || avg.DRE != 0.30000000000000004 && avg.DRE != 0.3 {
+		t.Errorf("averages wrong: %+v", avg)
+	}
+	if avg.MaxErr != 5 {
+		t.Errorf("MaxErr should be the max, got %v", avg.MaxErr)
+	}
+	if got := Average(nil); got.N != 0 {
+		t.Errorf("Average(nil) = %+v", got)
+	}
+}

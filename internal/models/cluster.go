@@ -1,0 +1,107 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// MachineModel is a deployable machine-level power model: the technique,
+// the feature spec describing its inputs, and the fitted model. It is the
+// "abstract machine" model Algorithm 1 produces — one per platform class,
+// applied to every machine of that class.
+type MachineModel struct {
+	Platform string
+	Spec     FeatureSpec
+	Model    Model
+}
+
+// FitMachineModel pools the given traces (all machines and runs of one
+// platform) and fits the technique on the spec's features.
+func FitMachineModel(tech Technique, ts []*trace.Trace, spec FeatureSpec, opts FitOptions) (*MachineModel, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("models: no training traces")
+	}
+	x, y, err := BuildPooledDesign(ts, spec)
+	if err != nil {
+		return nil, err
+	}
+	if tech == TechSwitching && opts.FreqCol == 0 {
+		opts.FreqCol = spec.FreqInputIndex()
+		if opts.FreqCol < 0 {
+			return nil, fmt.Errorf("models: switching model needs the frequency counter in its feature set")
+		}
+	}
+	m, err := Fit(tech, x, y, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &MachineModel{Platform: ts[0].Platform, Spec: spec, Model: m}, nil
+}
+
+// PredictTrace returns the per-second power prediction for one machine's
+// trace.
+func (mm *MachineModel) PredictTrace(t *trace.Trace) ([]float64, error) {
+	x, _, err := BuildDesign(t, mm.Spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		out[i] = mm.Model.Predict(x.Data[i*x.Cols : (i+1)*x.Cols])
+	}
+	return out, nil
+}
+
+// ClusterModel composes machine models into a cluster power model (Eq. 5):
+// cluster power is the sum of per-machine predictions, each machine using
+// the model of its platform class. Heterogeneous clusters work by
+// construction.
+type ClusterModel struct {
+	ByPlatform map[string]*MachineModel
+}
+
+// NewClusterModel builds a cluster model from machine models.
+func NewClusterModel(mms ...*MachineModel) (*ClusterModel, error) {
+	if len(mms) == 0 {
+		return nil, fmt.Errorf("models: no machine models")
+	}
+	cm := &ClusterModel{ByPlatform: map[string]*MachineModel{}}
+	for _, mm := range mms {
+		if _, dup := cm.ByPlatform[mm.Platform]; dup {
+			return nil, fmt.Errorf("models: duplicate machine model for platform %q", mm.Platform)
+		}
+		cm.ByPlatform[mm.Platform] = mm
+	}
+	return cm, nil
+}
+
+// PredictCluster sums per-machine predictions over time for one run's
+// aligned machine traces. All traces must have equal length (they are
+// sampled on the same 1 Hz clock).
+func (cm *ClusterModel) PredictCluster(ts []*trace.Trace) (pred, actual []float64, err error) {
+	if len(ts) == 0 {
+		return nil, nil, fmt.Errorf("models: no traces to predict")
+	}
+	n := ts[0].Len()
+	pred = make([]float64, n)
+	actual = make([]float64, n)
+	for _, t := range ts {
+		if t.Len() != n {
+			return nil, nil, fmt.Errorf("models: trace lengths differ (%d vs %d); cluster traces must be aligned", t.Len(), n)
+		}
+		mm, ok := cm.ByPlatform[t.Platform]
+		if !ok {
+			return nil, nil, fmt.Errorf("models: no machine model for platform %q", t.Platform)
+		}
+		p, err := mm.PredictTrace(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < n; i++ {
+			pred[i] += p[i]
+			actual[i] += t.Power[i]
+		}
+	}
+	return pred, actual, nil
+}

@@ -1,0 +1,203 @@
+package models
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/trace"
+)
+
+// powerTrace builds a trace whose power is a simple linear function of the
+// counters plus noise, for machine-model fitting tests.
+func powerTrace(t *testing.T, platform, machine string, run int, n int, seed int64) *trace.Trace {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	names := []string{counters.CPUTotal, counters.CPUFreqCore0}
+	b := trace.NewBuilder(platform, "Synth", machine, run, names, 20)
+	for i := 0; i < n; i++ {
+		u := r.Float64() * 100
+		f := []float64{800, 1600, 2260}[r.Intn(3)]
+		power := 20 + 0.2*u + 0.002*f + r.NormFloat64()*0.1
+		if err := b.Add([]float64{u, f}, power, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func clusterSpec() FeatureSpec {
+	return FeatureSpec{Name: "cluster", Counters: []string{counters.CPUTotal, counters.CPUFreqCore0}}
+}
+
+func TestFitMachineModelAndPredictTrace(t *testing.T) {
+	train := []*trace.Trace{
+		powerTrace(t, "Core2", "m0", 0, 300, 1),
+		powerTrace(t, "Core2", "m1", 0, 300, 2),
+	}
+	mm, err := FitMachineModel(TechLinear, train, clusterSpec(), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.Platform != "Core2" {
+		t.Errorf("platform = %s", mm.Platform)
+	}
+	test := powerTrace(t, "Core2", "m2", 1, 100, 3)
+	pred, err := mm.PredictTrace(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pred {
+		if math.Abs(pred[i]-test.Power[i]) > 1.0 {
+			t.Fatalf("prediction %v vs actual %v at %d", pred[i], test.Power[i], i)
+		}
+	}
+}
+
+func TestFitMachineModelNoTraces(t *testing.T) {
+	if _, err := FitMachineModel(TechLinear, nil, clusterSpec(), FitOptions{}); err == nil {
+		t.Error("expected error for empty training set")
+	}
+}
+
+func TestClusterModelComposition(t *testing.T) {
+	c2 := []*trace.Trace{powerTrace(t, "Core2", "m0", 0, 300, 4)}
+	op := []*trace.Trace{powerTrace(t, "Opteron", "m1", 0, 300, 5)}
+	mmC2, err := FitMachineModel(TechLinear, c2, clusterSpec(), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmOp, err := FitMachineModel(TechLinear, op, clusterSpec(), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewClusterModel(mmC2, mmOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heterogeneous prediction: one trace of each platform.
+	testC2 := powerTrace(t, "Core2", "m2", 1, 80, 6)
+	testOp := powerTrace(t, "Opteron", "m3", 1, 80, 7)
+	pred, actual, err := cm.PredictCluster([]*trace.Trace{testC2, testOp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 80 {
+		t.Fatalf("prediction length %d", len(pred))
+	}
+	for i := range pred {
+		if wantA := testC2.Power[i] + testOp.Power[i]; math.Abs(actual[i]-wantA) > 1e-9 {
+			t.Fatalf("actual cluster power wrong at %d", i)
+		}
+		if math.Abs(pred[i]-actual[i]) > 2 {
+			t.Fatalf("cluster prediction off by %v at %d", pred[i]-actual[i], i)
+		}
+	}
+}
+
+func TestClusterModelErrors(t *testing.T) {
+	if _, err := NewClusterModel(); err == nil {
+		t.Error("expected error for no machine models")
+	}
+	mm, err := FitMachineModel(TechLinear, []*trace.Trace{powerTrace(t, "Core2", "m0", 0, 200, 8)}, clusterSpec(), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClusterModel(mm, mm); err == nil {
+		t.Error("expected error for duplicate platform")
+	}
+	cm, _ := NewClusterModel(mm)
+	if _, _, err := cm.PredictCluster(nil); err == nil {
+		t.Error("expected error for no traces")
+	}
+	if _, _, err := cm.PredictCluster([]*trace.Trace{powerTrace(t, "Atom", "x", 0, 10, 9)}); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+	a := powerTrace(t, "Core2", "m1", 0, 10, 10)
+	b := powerTrace(t, "Core2", "m2", 0, 12, 11)
+	if _, _, err := cm.PredictCluster([]*trace.Trace{a, b}); err == nil {
+		t.Error("expected error for misaligned traces")
+	}
+}
+
+func TestMachineModelJSONRoundTrip(t *testing.T) {
+	train := []*trace.Trace{powerTrace(t, "Core2", "m0", 0, 400, 12)}
+	for _, tech := range Techniques() {
+		opts := FitOptions{}
+		if tech == TechSwitching {
+			opts.FreqCol = 1
+		}
+		mm, err := FitMachineModel(tech, train, clusterSpec(), opts)
+		if err != nil {
+			t.Fatalf("fit %s: %v", tech, err)
+		}
+		data, err := json.Marshal(mm)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", tech, err)
+		}
+		var back MachineModel
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", tech, err)
+		}
+		if back.Platform != mm.Platform || back.Model.Technique() != tech {
+			t.Fatalf("%s: metadata lost in round trip", tech)
+		}
+		// Same predictions after the round trip.
+		test := powerTrace(t, "Core2", "m1", 1, 50, 13)
+		p1, err := mm.PredictTrace(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := back.PredictTrace(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range p1 {
+			if math.Abs(p1[i]-p2[i]) > 1e-12 {
+				t.Fatalf("%s: prediction changed after serialization", tech)
+			}
+		}
+	}
+}
+
+func TestClusterModelJSONRoundTrip(t *testing.T) {
+	mm, err := FitMachineModel(TechQuadratic, []*trace.Trace{powerTrace(t, "Core2", "m0", 0, 400, 14)}, clusterSpec(), FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _ := NewClusterModel(mm)
+	data, err := json.Marshal(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ClusterModel
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.ByPlatform) != 1 || back.ByPlatform["Core2"] == nil {
+		t.Fatalf("round trip lost platforms: %+v", back.ByPlatform)
+	}
+	var empty ClusterModel
+	if err := json.Unmarshal([]byte(`{}`), &empty); err == nil {
+		t.Error("expected error for empty cluster model JSON")
+	}
+}
+
+func TestModelEnvelopeErrors(t *testing.T) {
+	var mm MachineModel
+	if err := json.Unmarshal([]byte(`{"platform":"x"}`), &mm); err == nil {
+		t.Error("expected error for missing model payload")
+	}
+	if err := json.Unmarshal([]byte(`{"platform":"x","model":{"technique":"linear"}}`), &mm); err == nil {
+		t.Error("expected error for empty linear payload")
+	}
+	if err := json.Unmarshal([]byte(`{"platform":"x","model":{"technique":"bogus"}}`), &mm); err == nil {
+		t.Error("expected error for unknown technique")
+	}
+}

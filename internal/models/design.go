@@ -1,0 +1,138 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+	"repro/internal/mathx"
+	"repro/internal/trace"
+)
+
+// FeatureSpec names the counters a model consumes and whether lagged
+// copies of the CPU frequency are appended as extra inputs — the paper's
+// "+MHz(t−1)" variant (Table IV's "QCP"), generalized to the frequency
+// *window* of Lewis et al. that §VI discusses.
+type FeatureSpec struct {
+	Name     string   // display name: "cpu-only", "cluster", "general", ...
+	Counters []string // counter names, in model-input order
+	// LagFreq appends the previous-second frequency (equivalent to
+	// LagWindow = 1).
+	LagFreq bool
+	// LagWindow appends frequencies at t−1 … t−LagWindow. Overrides
+	// LagFreq when larger.
+	LagWindow int
+}
+
+// lagWindow resolves the effective number of lagged frequency columns.
+func (f FeatureSpec) lagWindow() int {
+	if f.LagWindow > 0 {
+		return f.LagWindow
+	}
+	if f.LagFreq {
+		return 1
+	}
+	return 0
+}
+
+// NumInputs returns the model input width implied by the spec.
+func (f FeatureSpec) NumInputs() int {
+	return len(f.Counters) + f.lagWindow()
+}
+
+// FreqInputIndex returns the index of the current-frequency input within
+// the spec's counters, or -1 when absent. The switching technique needs it.
+func (f FeatureSpec) FreqInputIndex() int {
+	for i, n := range f.Counters {
+		if n == counters.CPUFreqCore0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Label returns the paper-style short code of the feature set ("U" for
+// CPU-utilization-only, "C" cluster, "G" general, with "P" appended for
+// the lagged-frequency variant).
+func (f FeatureSpec) Label() string {
+	var code string
+	switch f.Name {
+	case "cpu-only":
+		code = "U"
+	case "cluster":
+		code = "C"
+	case "general":
+		code = "G"
+	default:
+		code = f.Name
+	}
+	switch w := f.lagWindow(); {
+	case w == 1:
+		code += "P"
+	case w > 1:
+		code += fmt.Sprintf("P%d", w)
+	}
+	return code
+}
+
+// BuildDesign extracts the model inputs from a trace: the spec's counter
+// columns plus, when LagFreq is set, a column with the frequency counter
+// shifted one second back (the first sample reuses its own value). It
+// returns the design matrix and the power response.
+func BuildDesign(t *trace.Trace, spec FeatureSpec) (*mathx.Matrix, []float64, error) {
+	sub, err := trace.SelectColumns(t, spec.Counters)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := sub.X
+	if w := spec.lagWindow(); w > 0 {
+		fi := spec.FreqInputIndex()
+		if fi < 0 {
+			return nil, nil, fmt.Errorf("models: lagged frequency requires %q among counters", counters.CPUFreqCore0)
+		}
+		for k := 1; k <= w; k++ {
+			lag := make([]float64, x.Rows)
+			for i := 0; i < x.Rows; i++ {
+				src := i - k
+				if src < 0 {
+					src = 0
+				}
+				lag[i] = x.At(src, fi)
+			}
+			if x, err = x.AppendCol(lag); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return x, t.Power, nil
+}
+
+// BuildPooledDesign stacks the designs of several traces (e.g. all
+// machines and runs of a cluster) into one training set. The lag column is
+// computed per trace so no sample sees another trace's history.
+func BuildPooledDesign(ts []*trace.Trace, spec FeatureSpec) (*mathx.Matrix, []float64, error) {
+	if len(ts) == 0 {
+		return nil, nil, fmt.Errorf("models: no traces to pool")
+	}
+	var total int
+	for _, t := range ts {
+		total += t.Len()
+	}
+	out := mathx.NewMatrix(total, spec.NumInputs())
+	y := make([]float64, 0, total)
+	row := 0
+	for _, t := range ts {
+		x, py, err := BuildDesign(t, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(out.Data[row*out.Cols:], x.Data)
+		row += x.Rows
+		y = append(y, py...)
+	}
+	return out, y, nil
+}
+
+// CPUOnlySpec is the strawman single-feature set (utilization only).
+func CPUOnlySpec() FeatureSpec {
+	return FeatureSpec{Name: "cpu-only", Counters: []string{counters.CPUTotal}}
+}

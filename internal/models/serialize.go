@@ -1,0 +1,113 @@
+package models
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/mars"
+)
+
+// modelEnvelope is the JSON wire form of a Model: a technique tag plus the
+// matching payload.
+type modelEnvelope struct {
+	Technique Technique   `json:"technique"`
+	Linear    *Linear     `json:"linear,omitempty"`
+	MARS      *mars.Model `json:"mars,omitempty"`
+	Means     []float64   `json:"means,omitempty"`  // MARS input scaler
+	Scales    []float64   `json:"scales,omitempty"` // MARS input scaler
+	Lo        []float64   `json:"lo,omitempty"`     // MARS input clamps
+	Hi        []float64   `json:"hi,omitempty"`     // MARS input clamps
+	Switching *Switching  `json:"switching,omitempty"`
+}
+
+func envelope(m Model) (*modelEnvelope, error) {
+	switch v := m.(type) {
+	case *Linear:
+		return &modelEnvelope{Technique: TechLinear, Linear: v}, nil
+	case *marsModel:
+		return &modelEnvelope{Technique: v.tech, MARS: v.m, Means: v.means, Scales: v.scales, Lo: v.lo, Hi: v.hi}, nil
+	case *Switching:
+		return &modelEnvelope{Technique: TechSwitching, Switching: v}, nil
+	default:
+		return nil, fmt.Errorf("models: cannot serialize model type %T", m)
+	}
+}
+
+func (e *modelEnvelope) model() (Model, error) {
+	switch e.Technique {
+	case TechLinear:
+		if e.Linear == nil {
+			return nil, fmt.Errorf("models: linear envelope missing payload")
+		}
+		return e.Linear, nil
+	case TechPiecewise, TechQuadratic:
+		if e.MARS == nil {
+			return nil, fmt.Errorf("models: %s envelope missing MARS payload", e.Technique)
+		}
+		if len(e.Means) != len(e.Scales) {
+			return nil, fmt.Errorf("models: %s envelope scaler mismatch (%d means, %d scales)",
+				e.Technique, len(e.Means), len(e.Scales))
+		}
+		return &marsModel{m: e.MARS, tech: e.Technique, means: e.Means, scales: e.Scales, lo: e.Lo, hi: e.Hi}, nil
+	case TechSwitching:
+		if e.Switching == nil {
+			return nil, fmt.Errorf("models: switching envelope missing payload")
+		}
+		return e.Switching, nil
+	default:
+		return nil, fmt.Errorf("models: unknown technique %q in envelope", e.Technique)
+	}
+}
+
+// machineModelJSON is the wire form of MachineModel.
+type machineModelJSON struct {
+	Platform string         `json:"platform"`
+	Spec     FeatureSpec    `json:"feature_spec"`
+	Model    *modelEnvelope `json:"model"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (mm *MachineModel) MarshalJSON() ([]byte, error) {
+	env, err := envelope(mm.Model)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(machineModelJSON{Platform: mm.Platform, Spec: mm.Spec, Model: env})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (mm *MachineModel) UnmarshalJSON(data []byte) error {
+	var w machineModelJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Model == nil {
+		return fmt.Errorf("models: machine model JSON missing model")
+	}
+	m, err := w.Model.model()
+	if err != nil {
+		return err
+	}
+	mm.Platform = w.Platform
+	mm.Spec = w.Spec
+	mm.Model = m
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (cm *ClusterModel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(cm.ByPlatform)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (cm *ClusterModel) UnmarshalJSON(data []byte) error {
+	byPlatform := map[string]*MachineModel{}
+	if err := json.Unmarshal(data, &byPlatform); err != nil {
+		return err
+	}
+	if len(byPlatform) == 0 {
+		return fmt.Errorf("models: cluster model JSON has no machine models")
+	}
+	cm.ByPlatform = byPlatform
+	return nil
+}

@@ -1,0 +1,349 @@
+// Package online is the deployment path of CHAOS: streaming cluster power
+// estimation from live OS counter samples, residual monitoring against an
+// occasionally-available meter, drift detection, and retraining — the
+// "online power prediction" use the paper builds its models for, plus the
+// adaptation loop its automatic-framework motivation calls for ("rapidly
+// and easily build new models for applications, thus adapting to new
+// characteristics and workloads", §IV-A).
+package online
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// Sample is one machine's counter vector for one second, in the counter
+// order the Predictor was configured with.
+type Sample struct {
+	MachineID string
+	Platform  string
+	Counters  []float64
+}
+
+// Estimate is the output of one prediction step.
+type Estimate struct {
+	ClusterWatts float64
+	PerMachine   map[string]float64
+}
+
+// Predictor turns per-second counter samples into power estimates using a
+// fitted cluster model. It keeps per-machine frequency history so feature
+// specs with lagged inputs work in streaming mode. Predictor is safe for
+// concurrent use (samples from independent collection goroutines).
+type Predictor struct {
+	mu    sync.Mutex
+	model *models.ClusterModel
+	// names is the incoming counter order; indexes below are derived
+	// from it per platform spec.
+	names   []string
+	byName  map[string]int
+	history map[string][]float64 // machineID -> recent freq values (newest last)
+}
+
+// NewPredictor builds a streaming predictor over the cluster model.
+// names is the counter order of incoming Sample.Counters (typically the
+// full registry order from the collector).
+func NewPredictor(model *models.ClusterModel, names []string) (*Predictor, error) {
+	if model == nil || len(model.ByPlatform) == 0 {
+		return nil, fmt.Errorf("online: nil or empty cluster model")
+	}
+	p := &Predictor{
+		model:   model,
+		names:   append([]string(nil), names...),
+		byName:  map[string]int{},
+		history: map[string][]float64{},
+	}
+	for i, n := range p.names {
+		p.byName[n] = i
+	}
+	// Verify every platform's features are resolvable up front.
+	for platform, mm := range model.ByPlatform {
+		for _, c := range mm.Spec.Counters {
+			if _, ok := p.byName[c]; !ok {
+				return nil, fmt.Errorf("online: model for %s needs counter %q not present in the stream", platform, c)
+			}
+		}
+	}
+	return p, nil
+}
+
+// maxLagWindow bounds the frequency history we need to keep.
+const maxLagWindow = 16
+
+// Step consumes one second of samples (one per machine) and returns the
+// cluster estimate.
+func (p *Predictor) Step(samples []Sample) (*Estimate, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("online: no samples")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	est := &Estimate{PerMachine: make(map[string]float64, len(samples))}
+	for _, s := range samples {
+		mm, ok := p.model.ByPlatform[s.Platform]
+		if !ok {
+			return nil, fmt.Errorf("online: no machine model for platform %q", s.Platform)
+		}
+		if len(s.Counters) != len(p.names) {
+			return nil, fmt.Errorf("online: sample from %s has %d counters, want %d", s.MachineID, len(s.Counters), len(p.names))
+		}
+		row, err := p.buildRow(mm.Spec, s)
+		if err != nil {
+			return nil, err
+		}
+		w := mm.Model.Predict(row)
+		est.PerMachine[s.MachineID] = w
+		est.ClusterWatts += w
+	}
+	return est, nil
+}
+
+// buildRow assembles the model input for one sample, maintaining lag
+// history.
+func (p *Predictor) buildRow(spec models.FeatureSpec, s Sample) ([]float64, error) {
+	row := make([]float64, 0, spec.NumInputs())
+	for _, c := range spec.Counters {
+		row = append(row, s.Counters[p.byName[c]])
+	}
+	w := spec.NumInputs() - len(spec.Counters)
+	if w > 0 {
+		fi := spec.FreqInputIndex()
+		if fi < 0 {
+			return nil, fmt.Errorf("online: spec %q has lagged inputs but no frequency counter", spec.Name)
+		}
+		cur := row[fi]
+		hist := p.history[s.MachineID]
+		for k := 1; k <= w; k++ {
+			idx := len(hist) - k
+			if idx < 0 {
+				row = append(row, cur) // cold start: clamp to current
+			} else {
+				row = append(row, hist[idx])
+			}
+		}
+		hist = append(hist, cur)
+		if len(hist) > maxLagWindow {
+			hist = hist[len(hist)-maxLagWindow:]
+		}
+		p.history[s.MachineID] = hist
+	}
+	return row, nil
+}
+
+// Monitor tracks prediction residuals against metered power and raises a
+// drift signal when the error level departs from the trained regime — the
+// cue to rebuild the model for a new workload.
+type Monitor struct {
+	mu sync.Mutex
+	// baseline is the expected residual scale (e.g. the training rMSE).
+	baseline float64
+	// threshold is the CUSUM alarm level in baseline units.
+	threshold float64
+	// slack is the CUSUM drift allowance in baseline units.
+	slack float64
+
+	cusum   float64
+	ewma    float64
+	alpha   float64
+	n       int
+	drifted bool
+}
+
+// NewMonitor creates a residual monitor. baselineRMSE is the model's
+// validated error scale; threshold (in multiples of the baseline,
+// typically 8–32) sets alarm sensitivity.
+func NewMonitor(baselineRMSE, threshold float64) (*Monitor, error) {
+	if baselineRMSE <= 0 {
+		return nil, fmt.Errorf("online: baseline rMSE must be positive, got %g", baselineRMSE)
+	}
+	if threshold <= 0 {
+		threshold = 16
+	}
+	return &Monitor{
+		baseline:  baselineRMSE,
+		threshold: threshold,
+		slack:     0.5,
+		alpha:     0.05,
+	}, nil
+}
+
+// Observe feeds one prediction/measurement pair. It returns true if the
+// observation tripped the drift alarm.
+func (m *Monitor) Observe(pred, actual float64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := math.Abs(pred-actual) / m.baseline
+	m.n++
+	m.ewma = (1-m.alpha)*m.ewma + m.alpha*r
+	// One-sided CUSUM on the standardized residual magnitude: grows when
+	// errors systematically exceed (1 + slack) baselines.
+	m.cusum += r - 1 - m.slack
+	if m.cusum < 0 {
+		m.cusum = 0
+	}
+	if m.cusum > m.threshold {
+		m.drifted = true
+	}
+	return m.drifted
+}
+
+// Drifted reports whether the alarm has fired since the last Reset.
+func (m *Monitor) Drifted() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.drifted
+}
+
+// EWMA returns the smoothed residual level in baseline units.
+func (m *Monitor) EWMA() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ewma
+}
+
+// Observations returns the number of pairs observed.
+func (m *Monitor) Observations() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// Reset clears the alarm and statistics (call after retraining).
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cusum, m.ewma, m.n = 0, 0, 0
+	m.drifted = false
+}
+
+// Retrainer accumulates recent labeled samples (counters + metered power)
+// per machine and rebuilds the cluster model on demand.
+type Retrainer struct {
+	mu       sync.Mutex
+	names    []string
+	capacity int
+	buffers  map[string]*ring // machineID -> recent samples
+	platform map[string]string
+}
+
+type ring struct {
+	rows  [][]float64
+	power []float64
+	next  int
+	full  bool
+}
+
+func newRing(capacity int) *ring {
+	return &ring{rows: make([][]float64, capacity), power: make([]float64, capacity)}
+}
+
+func (r *ring) add(row []float64, watts float64) {
+	r.rows[r.next] = append([]float64(nil), row...)
+	r.power[r.next] = watts
+	r.next++
+	if r.next == len(r.rows) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *ring) snapshot() ([][]float64, []float64) {
+	n := r.next
+	if r.full {
+		n = len(r.rows)
+	}
+	rows := make([][]float64, 0, n)
+	power := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, r.rows[i])
+		power = append(power, r.power[i])
+	}
+	return rows, power
+}
+
+// NewRetrainer buffers up to capacity seconds per machine.
+func NewRetrainer(names []string, capacity int) (*Retrainer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("online: retrainer capacity must be positive, got %d", capacity)
+	}
+	return &Retrainer{
+		names:    append([]string(nil), names...),
+		capacity: capacity,
+		buffers:  map[string]*ring{},
+		platform: map[string]string{},
+	}, nil
+}
+
+// Add records one labeled second from a machine.
+func (rt *Retrainer) Add(s Sample, meteredWatts float64) error {
+	if len(s.Counters) != len(rt.names) {
+		return fmt.Errorf("online: sample has %d counters, want %d", len(s.Counters), len(rt.names))
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b := rt.buffers[s.MachineID]
+	if b == nil {
+		b = newRing(rt.capacity)
+		rt.buffers[s.MachineID] = b
+	}
+	rt.platform[s.MachineID] = s.Platform
+	b.add(s.Counters, meteredWatts)
+	return nil
+}
+
+// Buffered returns the number of labeled seconds currently held for a
+// machine.
+func (rt *Retrainer) Buffered(machineID string) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b := rt.buffers[machineID]
+	if b == nil {
+		return 0
+	}
+	rows, _ := b.snapshot()
+	return len(rows)
+}
+
+// Retrain fits a fresh cluster model of the given technique and spec from
+// the buffered samples, pooling machines per platform like the offline
+// pipeline does.
+func (rt *Retrainer) Retrain(tech models.Technique, spec models.FeatureSpec) (*models.ClusterModel, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	byPlatform := map[string][]*trace.Trace{}
+	for id, b := range rt.buffers {
+		rows, power := b.snapshot()
+		if len(rows) == 0 {
+			continue
+		}
+		builder := trace.NewBuilder(rt.platform[id], "online", id, 0, rt.names, 0)
+		for i := range rows {
+			if err := builder.Add(rows[i], power[i], power[i]); err != nil {
+				return nil, err
+			}
+		}
+		t, err := builder.Build()
+		if err != nil {
+			return nil, err
+		}
+		p := rt.platform[id]
+		byPlatform[p] = append(byPlatform[p], t)
+	}
+	if len(byPlatform) == 0 {
+		return nil, fmt.Errorf("online: no buffered samples to retrain from")
+	}
+	var mms []*models.MachineModel
+	for p, ts := range byPlatform {
+		mm, err := models.FitMachineModel(tech, ts, spec,
+			models.FitOptions{FreqCol: spec.FreqInputIndex(), MaxKnots: 8})
+		if err != nil {
+			return nil, fmt.Errorf("online: retraining %s: %w", p, err)
+		}
+		mms = append(mms, mm)
+	}
+	return models.NewClusterModel(mms...)
+}

@@ -1,0 +1,464 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// fixture builds a trained cluster model plus streaming samples from a
+// simulated Core2 cluster: run 0 trains, run 1 streams.
+type fixture struct {
+	model   *models.ClusterModel
+	names   []string
+	spec    models.FeatureSpec
+	streams []*trace.Trace // test run traces
+	rmse    float64
+}
+
+func buildFixture(t *testing.T, spec models.FeatureSpec, workloads []string) *fixture {
+	t.Helper()
+	ds, err := core.Collect("Core2", 2, workloads, 2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := ds.ByWorkload[workloads[0]]
+	byRun := trace.ByRun(traces)
+	var train []*trace.Trace
+	for _, tr := range byRun[0] {
+		train = append(train, trace.Subsample(tr, 2))
+	}
+	mm, err := models.FitMachineModel(models.TechQuadratic, train, spec,
+		models.FitOptions{FreqCol: spec.FreqInputIndex(), MaxKnots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := models.NewClusterModel(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Training-regime RMSE for the monitor baseline.
+	pred, actual, err := cm.PredictCluster(byRun[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rss float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		rss += d * d
+	}
+	return &fixture{
+		model:   cm,
+		names:   train[0].Names,
+		spec:    spec,
+		streams: byRun[1],
+		rmse:    math.Sqrt(rss / float64(len(pred))),
+	}
+}
+
+func defaultSpec() models.FeatureSpec {
+	return models.FeatureSpec{Name: "cluster", Counters: []string{
+		counters.CPUTotal, counters.CPUFreqCore0, counters.MemCacheFaults,
+	}}
+}
+
+// samplesAt extracts second i of every machine trace as streaming samples.
+func samplesAt(ts []*trace.Trace, i int) []Sample {
+	out := make([]Sample, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, Sample{
+			MachineID: t.MachineID,
+			Platform:  t.Platform,
+			Counters:  t.X.Row(i),
+		})
+	}
+	return out
+}
+
+func TestPredictorMatchesOfflinePredictions(t *testing.T) {
+	fx := buildFixture(t, defaultSpec(), []string{"Prime"})
+	p, err := NewPredictor(fx.model, fx.names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offline reference.
+	offPred, _, err := fx.model.PredictCluster(fx.streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fx.streams[0].Len()
+	for i := 0; i < n; i++ {
+		est, err := p.Step(samplesAt(fx.streams, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est.ClusterWatts-offPred[i]) > 1e-9 {
+			t.Fatalf("streaming prediction %v != offline %v at t=%d", est.ClusterWatts, offPred[i], i)
+		}
+		if len(est.PerMachine) != len(fx.streams) {
+			t.Fatalf("per-machine estimates = %d", len(est.PerMachine))
+		}
+	}
+}
+
+func TestPredictorLaggedSpecStreaming(t *testing.T) {
+	spec := defaultSpec()
+	spec.LagWindow = 2
+	fx := buildFixture(t, spec, []string{"Prime"})
+	p, err := NewPredictor(fx.model, fx.names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offPred, _, err := fx.model.PredictCluster(fx.streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fx.streams[0].Len()
+	mismatches := 0
+	for i := 0; i < n; i++ {
+		est, err := p.Step(samplesAt(fx.streams, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Offline clamps lags at the trace start identically, so the
+		// streaming path must agree everywhere.
+		if math.Abs(est.ClusterWatts-offPred[i]) > 1e-9 {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		t.Errorf("%d/%d lagged streaming predictions disagree with offline", mismatches, n)
+	}
+}
+
+func TestPredictorValidation(t *testing.T) {
+	fx := buildFixture(t, defaultSpec(), []string{"Prime"})
+	if _, err := NewPredictor(nil, fx.names); err == nil {
+		t.Error("expected error for nil model")
+	}
+	if _, err := NewPredictor(fx.model, []string{"bogus"}); err == nil {
+		t.Error("expected error for unresolvable counters")
+	}
+	p, err := NewPredictor(fx.model, fx.names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Step(nil); err == nil {
+		t.Error("expected error for empty step")
+	}
+	if _, err := p.Step([]Sample{{MachineID: "x", Platform: "VAX", Counters: make([]float64, len(fx.names))}}); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+	if _, err := p.Step([]Sample{{MachineID: "x", Platform: "Core2", Counters: []float64{1}}}); err == nil {
+		t.Error("expected error for short counter row")
+	}
+}
+
+func TestMonitorQuietOnInRegimeErrors(t *testing.T) {
+	m, err := NewMonitor(2.0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		// Residuals at the baseline scale: no drift.
+		if m.Observe(100, 100+2.0*sign(i)) {
+			t.Fatalf("false drift alarm at observation %d", i)
+		}
+	}
+	if m.Drifted() {
+		t.Error("monitor drifted on in-regime errors")
+	}
+	if m.Observations() != 1000 {
+		t.Errorf("Observations = %d", m.Observations())
+	}
+}
+
+func sign(i int) float64 {
+	if i%2 == 0 {
+		return 1
+	}
+	return -1
+}
+
+func TestMonitorCatchesRegimeShift(t *testing.T) {
+	m, err := NewMonitor(2.0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-regime phase.
+	for i := 0; i < 100; i++ {
+		m.Observe(100, 101)
+	}
+	// Errors jump to 5x baseline: the alarm must fire quickly.
+	fired := -1
+	for i := 0; i < 100; i++ {
+		if m.Observe(100, 110) {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("drift never detected")
+	}
+	if fired > 30 {
+		t.Errorf("drift detected only after %d observations", fired)
+	}
+	m.Reset()
+	if m.Drifted() || m.EWMA() != 0 || m.Observations() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(0, 10); err == nil {
+		t.Error("expected error for zero baseline")
+	}
+	m, err := NewMonitor(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.threshold <= 0 {
+		t.Error("default threshold not applied")
+	}
+}
+
+func TestRetrainerRoundTrip(t *testing.T) {
+	fx := buildFixture(t, defaultSpec(), []string{"Prime"})
+	rt, err := NewRetrainer(fx.names, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fx.streams[0].Len()
+	for i := 0; i < n; i++ {
+		for _, tr := range fx.streams {
+			s := Sample{MachineID: tr.MachineID, Platform: tr.Platform, Counters: tr.X.Row(i)}
+			if err := rt.Add(s, tr.Power[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := rt.Buffered(fx.streams[0].MachineID); got != min(n, 600) {
+		t.Errorf("Buffered = %d, want %d", got, min(n, 600))
+	}
+	cm, err := rt.Retrain(models.TechQuadratic, fx.spec)
+	if err != nil {
+		t.Fatalf("Retrain: %v", err)
+	}
+	// The retrained model should predict the very data it was fed with
+	// reasonable accuracy.
+	pred, actual, err := cm.PredictCluster(fx.streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rss float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		rss += d * d
+	}
+	rmse := math.Sqrt(rss / float64(len(pred)))
+	if rmse > fx.rmse*3+1 {
+		t.Errorf("retrained model rMSE %v vs original %v", rmse, fx.rmse)
+	}
+}
+
+func TestRetrainerRingEviction(t *testing.T) {
+	rt, err := NewRetrainer([]string{"a"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := rt.Add(Sample{MachineID: "m", Platform: "Core2", Counters: []float64{float64(i)}}, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rt.Buffered("m"); got != 3 {
+		t.Errorf("Buffered = %d, want ring capacity 3", got)
+	}
+	if rt.Buffered("ghost") != 0 {
+		t.Error("unknown machine should buffer zero")
+	}
+}
+
+func TestRetrainerValidation(t *testing.T) {
+	if _, err := NewRetrainer([]string{"a"}, 0); err == nil {
+		t.Error("expected error for zero capacity")
+	}
+	rt, _ := NewRetrainer([]string{"a", "b"}, 5)
+	if err := rt.Add(Sample{MachineID: "m", Counters: []float64{1}}, 1); err == nil {
+		t.Error("expected error for short counter row")
+	}
+	if _, err := rt.Retrain(models.TechLinear, models.CPUOnlySpec()); err == nil {
+		t.Error("expected error with no buffered data")
+	}
+}
+
+// TestDriftLoopEndToEnd: a model trained on Prime drifts when the cluster
+// switches to the I/O-heavy Sort workload; retraining on the new samples
+// restores accuracy. This is the paper's adaptation story in miniature.
+func TestDriftLoopEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end drift loop in -short mode")
+	}
+	ds, err := core.Collect("Core2", 2, []string{"Prime", "Sort"}, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := defaultSpec()
+	byRunPrime := trace.ByRun(ds.ByWorkload["Prime"])
+	var train []*trace.Trace
+	for _, tr := range byRunPrime[0] {
+		train = append(train, trace.Subsample(tr, 2))
+	}
+	mm, err := models.FitMachineModel(models.TechQuadratic, train, spec,
+		models.FitOptions{MaxKnots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _ := models.NewClusterModel(mm)
+
+	// Baseline RMSE on held-out Prime.
+	pred, actual, err := cm.PredictCluster(byRunPrime[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rss float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		rss += d * d
+	}
+	baseline := math.Sqrt(rss / float64(len(pred)))
+
+	p, err := NewPredictor(cm, train[0].Names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(baseline, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRetrainer(train[0].Names, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream the Sort workload (unmodeled regime).
+	sortRun := trace.ByRun(ds.ByWorkload["Sort"])[0]
+	n := sortRun[0].Len()
+	driftAt := -1
+	for i := 0; i < n; i++ {
+		ss := samplesAt(sortRun, i)
+		est, err := p.Step(ss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var clusterActual float64
+		for _, tr := range sortRun {
+			clusterActual += tr.Power[i]
+		}
+		for k, tr := range sortRun {
+			if err := rt.Add(ss[k], tr.Power[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if mon.Observe(est.ClusterWatts, clusterActual) && driftAt < 0 {
+			driftAt = i
+		}
+	}
+	if driftAt < 0 {
+		t.Fatal("workload change never triggered drift")
+	}
+
+	// Retrain on the buffered Sort seconds; accuracy on the second Sort
+	// run must improve over the stale Prime model.
+	cm2, err := rt.Retrain(models.TechQuadratic, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortRun2 := trace.ByRun(ds.ByWorkload["Sort"])[1]
+	stale, actual2, err := cm.PredictCluster(sortRun2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _, err := cm2.PredictCluster(sortRun2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse := func(p []float64) float64 {
+		var s float64
+		for i := range p {
+			d := p[i] - actual2[i]
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(p)))
+	}
+	if rmse(fresh) >= rmse(stale) {
+		t.Errorf("retrained rMSE %v should beat stale %v", rmse(fresh), rmse(stale))
+	}
+}
+
+// TestConcurrentUse exercises Predictor, Monitor, and Retrainer from
+// several goroutines (run with -race to verify the locking).
+func TestConcurrentUse(t *testing.T) {
+	fx := buildFixture(t, defaultSpec(), []string{"Prime"})
+	p, err := NewPredictor(fx.model, fx.names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(fx.rmse+0.1, 1e9) // effectively never alarms
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRetrainer(fx.names, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fx.streams[0].Len()
+	if n > 120 {
+		n = 120
+	}
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < n; i++ {
+				ss := samplesAt(fx.streams, i)
+				est, err := p.Step(ss)
+				if err != nil {
+					done <- err
+					return
+				}
+				mon.Observe(est.ClusterWatts, est.ClusterWatts+0.5)
+				for k, tr := range fx.streams {
+					if err := rt.Add(ss[k], tr.Power[i]); err != nil {
+						done <- err
+						return
+					}
+				}
+				mon.EWMA()
+				rt.Buffered(fx.streams[0].MachineID)
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mon.Observations() != 4*n {
+		t.Errorf("Observations = %d, want %d", mon.Observations(), 4*n)
+	}
+	if _, err := rt.Retrain(models.TechLinear, fx.spec); err != nil {
+		t.Fatalf("Retrain after concurrent adds: %v", err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// LassoResult holds an L1-regularized linear fit in the original (not
+// standardized) coordinate system.
+type LassoResult struct {
+	Intercept  float64
+	Coef       []float64
+	Lambda     float64
+	Iterations int
+	Converged  bool
+}
+
+// Selected returns the indices of predictors with nonzero coefficients.
+func (l *LassoResult) Selected() []int {
+	var out []int
+	for j, c := range l.Coef {
+		if c != 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Predict returns the fitted value for one predictor row.
+func (l *LassoResult) Predict(x []float64) float64 {
+	y := l.Intercept
+	for j, c := range l.Coef {
+		y += c * x[j]
+	}
+	return y
+}
+
+func softThreshold(z, gamma float64) float64 {
+	switch {
+	case z > gamma:
+		return z - gamma
+	case z < -gamma:
+		return z + gamma
+	default:
+		return 0
+	}
+}
+
+// Lasso fits an L1-regularized linear regression by cyclic coordinate
+// descent on standardized predictors (Friedman et al.'s glmnet update).
+// lambda is expressed on the standardized scale; larger values zero out
+// more coefficients. This is step 3 of the paper's Algorithm 1, used to
+// discard irrelevant features in high-dimensional counter spaces.
+func Lasso(x *mathx.Matrix, y []float64, lambda float64, maxIter int) (*LassoResult, error) {
+	n, p := x.Rows, x.Cols
+	if n != len(y) {
+		return nil, fmt.Errorf("regress: %d rows but %d responses", n, len(y))
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("regress: lasso needs at least 2 observations, got %d", n)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("regress: negative lambda %g", lambda)
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	// Standardize predictors and center the response.
+	cols := make([][]float64, p)
+	means := make([]float64, p)
+	scales := make([]float64, p)
+	for j := 0; j < p; j++ {
+		cols[j], means[j], scales[j] = mathx.Standardize(x.Col(j))
+	}
+	ybar := mathx.Mean(y)
+	resid := make([]float64, n)
+	for i := range resid {
+		resid[i] = y[i] - ybar
+	}
+	beta := make([]float64, p) // standardized-scale coefficients
+	nf := float64(n)
+	var iter int
+	converged := false
+	for iter = 0; iter < maxIter; iter++ {
+		maxDelta := 0.0
+		for j := 0; j < p; j++ {
+			cj := cols[j]
+			// rho = (1/n) Σ x_ij (resid_i + x_ij β_j); unit variance
+			// columns make the denominator 1.
+			rho := 0.0
+			for i := 0; i < n; i++ {
+				rho += cj[i] * resid[i]
+			}
+			rho = rho/nf + beta[j]
+			newBeta := softThreshold(rho, lambda)
+			if d := newBeta - beta[j]; d != 0 {
+				for i := 0; i < n; i++ {
+					resid[i] -= d * cj[i]
+				}
+				if a := math.Abs(d); a > maxDelta {
+					maxDelta = a
+				}
+				beta[j] = newBeta
+			}
+		}
+		if maxDelta < 1e-7 {
+			converged = true
+			break
+		}
+	}
+	// Back-transform to original coordinates.
+	out := &LassoResult{
+		Coef:       make([]float64, p),
+		Lambda:     lambda,
+		Iterations: iter + 1,
+		Converged:  converged,
+	}
+	intercept := ybar
+	for j := 0; j < p; j++ {
+		if beta[j] == 0 {
+			continue
+		}
+		c := beta[j] / scales[j]
+		out.Coef[j] = c
+		intercept -= c * means[j]
+	}
+	out.Intercept = intercept
+	return out, nil
+}
+
+// LassoMaxLambda returns the smallest lambda at which all coefficients are
+// zero for the given data (on the standardized scale). Useful to construct
+// a regularization path.
+func LassoMaxLambda(x *mathx.Matrix, y []float64) float64 {
+	n, p := x.Rows, x.Cols
+	if n == 0 || p == 0 {
+		return 0
+	}
+	ybar := mathx.Mean(y)
+	maxAbs := 0.0
+	for j := 0; j < p; j++ {
+		z, _, _ := mathx.Standardize(x.Col(j))
+		dot := 0.0
+		for i := 0; i < n; i++ {
+			dot += z[i] * (y[i] - ybar)
+		}
+		if a := math.Abs(dot) / float64(n); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return maxAbs
+}
+
+// LassoPath fits the lasso over a geometric grid of nLambda values from
+// LassoMaxLambda down to ratio times it, returning fits from most to least
+// regularized. It is used to pick a lambda that keeps roughly targetK
+// features (Algorithm 1 step 3 wants "on the order of 10").
+func LassoPath(x *mathx.Matrix, y []float64, nLambda int, ratio float64) ([]*LassoResult, error) {
+	if nLambda < 2 {
+		return nil, fmt.Errorf("regress: lasso path needs at least 2 lambdas, got %d", nLambda)
+	}
+	if ratio <= 0 || ratio >= 1 {
+		return nil, fmt.Errorf("regress: lasso path ratio %g out of (0,1)", ratio)
+	}
+	lmax := LassoMaxLambda(x, y)
+	if lmax == 0 {
+		lmax = 1
+	}
+	out := make([]*LassoResult, 0, nLambda)
+	for k := 0; k < nLambda; k++ {
+		frac := float64(k) / float64(nLambda-1)
+		lambda := lmax * math.Pow(ratio, frac)
+		fit, err := Lasso(x, y, lambda, 2000)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fit)
+	}
+	return out, nil
+}
+
+// LassoSelect runs a lasso path and returns the selected feature indices of
+// the first (most regularized) fit that keeps at least targetK features; if
+// none does, it returns the least-regularized fit's selection.
+func LassoSelect(x *mathx.Matrix, y []float64, targetK int) ([]int, error) {
+	path, err := LassoPath(x, y, 30, 1e-3)
+	if err != nil {
+		return nil, err
+	}
+	for _, fit := range path {
+		if sel := fit.Selected(); len(sel) >= targetK {
+			return sel, nil
+		}
+	}
+	return path[len(path)-1].Selected(), nil
+}

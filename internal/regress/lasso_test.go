@@ -1,0 +1,188 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func TestSoftThreshold(t *testing.T) {
+	cases := []struct{ z, g, want float64 }{
+		{3, 1, 2},
+		{-3, 1, -2},
+		{0.5, 1, 0},
+		{-0.5, 1, 0},
+		{1, 1, 0},
+	}
+	for _, c := range cases {
+		if got := softThreshold(c.z, c.g); got != c.want {
+			t.Errorf("softThreshold(%v,%v) = %v, want %v", c.z, c.g, got, c.want)
+		}
+	}
+}
+
+func TestLassoSelectsTrueSupport(t *testing.T) {
+	// 3 real predictors out of 20.
+	r := rand.New(rand.NewSource(10))
+	n, p := 400, 20
+	x := mathx.NewMatrix(n, p)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			x.Set(i, j, r.NormFloat64())
+		}
+		y[i] = 10 + 4*x.At(i, 0) - 3*x.At(i, 7) + 2*x.At(i, 13) + r.NormFloat64()*0.2
+	}
+	fit, err := Lasso(x, y, 0.5, 2000)
+	if err != nil {
+		t.Fatalf("Lasso: %v", err)
+	}
+	if !fit.Converged {
+		t.Error("lasso did not converge")
+	}
+	sel := fit.Selected()
+	want := map[int]bool{0: true, 7: true, 13: true}
+	for _, j := range sel {
+		if !want[j] {
+			t.Errorf("selected spurious feature %d", j)
+		}
+	}
+	if len(sel) != 3 {
+		t.Errorf("selected = %v, want exactly the 3 true features", sel)
+	}
+}
+
+func TestLassoZeroLambdaApproachesOLS(t *testing.T) {
+	x, y := synthData(11, 300, []float64{2, -1}, 0.05)
+	fit, err := Lasso(x, y, 0, 5000)
+	if err != nil {
+		t.Fatalf("Lasso: %v", err)
+	}
+	if math.Abs(fit.Coef[0]-2) > 0.05 || math.Abs(fit.Coef[1]+1) > 0.05 {
+		t.Errorf("lambda=0 coefs = %v, want ~[2 -1]", fit.Coef)
+	}
+	if math.Abs(fit.Intercept-1.5) > 0.05 {
+		t.Errorf("intercept = %v, want ~1.5", fit.Intercept)
+	}
+}
+
+func TestLassoValidation(t *testing.T) {
+	x := mathx.NewMatrix(5, 2)
+	if _, err := Lasso(x, []float64{1}, 0.1, 10); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := Lasso(x, make([]float64, 5), -1, 10); err == nil {
+		t.Error("expected negative lambda error")
+	}
+	if _, err := Lasso(mathx.NewMatrix(1, 2), []float64{1}, 0.1, 10); err == nil {
+		t.Error("expected too-few-rows error")
+	}
+}
+
+func TestLassoMaxLambdaKillsEverything(t *testing.T) {
+	x, y := synthData(12, 200, []float64{3, -2, 1}, 0.1)
+	lmax := LassoMaxLambda(x, y)
+	if lmax <= 0 {
+		t.Fatalf("lmax = %v", lmax)
+	}
+	fit, err := Lasso(x, y, lmax*1.0001, 1000)
+	if err != nil {
+		t.Fatalf("Lasso: %v", err)
+	}
+	if len(fit.Selected()) != 0 {
+		t.Errorf("at lambda >= lmax all coefficients should be zero, got %v", fit.Selected())
+	}
+	// Just below lmax at least one coefficient should appear.
+	fit2, err := Lasso(x, y, lmax*0.9, 2000)
+	if err != nil {
+		t.Fatalf("Lasso: %v", err)
+	}
+	if len(fit2.Selected()) == 0 {
+		t.Error("just below lmax, expected at least one active coefficient")
+	}
+}
+
+func TestLassoPathMonotoneSupport(t *testing.T) {
+	x, y := synthData(13, 300, []float64{5, 3, -2, 1, 0.5}, 0.2)
+	path, err := LassoPath(x, y, 12, 1e-3)
+	if err != nil {
+		t.Fatalf("LassoPath: %v", err)
+	}
+	if len(path) != 12 {
+		t.Fatalf("path length = %d", len(path))
+	}
+	// Lambdas decrease along the path, support sizes should be
+	// non-decreasing in the aggregate (allow small local wiggle of 1).
+	prev := -1
+	for i, fit := range path {
+		k := len(fit.Selected())
+		if prev >= 0 && k < prev-1 {
+			t.Errorf("support shrank sharply at step %d: %d -> %d", i, prev, k)
+		}
+		prev = k
+	}
+	last := path[len(path)-1]
+	if len(last.Selected()) != 5 {
+		t.Errorf("least-regularized fit selected %v, want all 5", last.Selected())
+	}
+}
+
+func TestLassoPathValidation(t *testing.T) {
+	x, y := synthData(14, 50, []float64{1}, 0.1)
+	if _, err := LassoPath(x, y, 1, 0.1); err == nil {
+		t.Error("expected nLambda validation error")
+	}
+	if _, err := LassoPath(x, y, 5, 0); err == nil {
+		t.Error("expected ratio validation error")
+	}
+	if _, err := LassoPath(x, y, 5, 1); err == nil {
+		t.Error("expected ratio validation error")
+	}
+}
+
+func TestLassoSelectTargetK(t *testing.T) {
+	x, y := synthData(15, 400, []float64{6, 5, 4, 3, 2, 1}, 0.1)
+	sel, err := LassoSelect(x, y, 3)
+	if err != nil {
+		t.Fatalf("LassoSelect: %v", err)
+	}
+	if len(sel) < 3 {
+		t.Errorf("selected %v, want at least 3", sel)
+	}
+}
+
+// Property: lasso coefficients shrink (in L1 norm) as lambda grows.
+func TestLassoShrinkageProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(16))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, p := 120, 5
+		x := mathx.NewMatrix(n, p)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				x.Set(i, j, r.NormFloat64())
+			}
+			y[i] = 2*x.At(i, 0) - 3*x.At(i, 2) + r.NormFloat64()
+		}
+		l1 := func(fit *LassoResult) float64 {
+			s := 0.0
+			for _, c := range fit.Coef {
+				s += math.Abs(c)
+			}
+			return s
+		}
+		small, err1 := Lasso(x, y, 0.05, 3000)
+		big, err2 := Lasso(x, y, 0.8, 3000)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return l1(big) <= l1(small)+1e-9
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package regress
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mathx"
+)
+
+// MixedResult is a fixed-slope / per-group-intercept linear model — the
+// simplest useful member of the hierarchical/mixed-model family the paper
+// considers as an alternative to pooling (§IV). Groups are machines: each
+// machine gets its own intercept (absorbing static power variation), while
+// slopes are shared across the cluster.
+type MixedResult struct {
+	// Intercepts maps group label to its intercept.
+	Intercepts map[string]float64
+	// GrandIntercept is the mean intercept, used for unseen groups.
+	GrandIntercept float64
+	Coef           []float64
+	// InterceptVar is the variance of the per-group intercepts: the
+	// between-machine variance component. Comparing it against the
+	// residual variance is the paper's §IV test for whether simple
+	// pooling loses accuracy.
+	InterceptVar float64
+	Sigma2       float64 // residual variance
+	N            int
+}
+
+// MixedOLS fits y = a_g + Σ b_j x_j with one intercept per group. It is
+// equivalent to OLS with group dummy variables, implemented by within-group
+// centering (the fixed-effects estimator) for numerical economy.
+func MixedOLS(x *mathx.Matrix, y []float64, groups []string) (*MixedResult, error) {
+	n, p := x.Rows, x.Cols
+	if n != len(y) || n != len(groups) {
+		return nil, fmt.Errorf("regress: mixed dims: %d rows, %d responses, %d groups", n, len(y), len(groups))
+	}
+	if n <= p+1 {
+		return nil, fmt.Errorf("%w: n=%d, p=%d", ErrTooFewRows, n, p)
+	}
+	// Group means.
+	type acc struct {
+		n    int
+		y    float64
+		x    []float64
+		rows []int
+	}
+	byGroup := map[string]*acc{}
+	for i, g := range groups {
+		a := byGroup[g]
+		if a == nil {
+			a = &acc{x: make([]float64, p)}
+			byGroup[g] = a
+		}
+		a.n++
+		a.y += y[i]
+		for j := 0; j < p; j++ {
+			a.x[j] += x.At(i, j)
+		}
+		a.rows = append(a.rows, i)
+	}
+	for _, a := range byGroup {
+		a.y /= float64(a.n)
+		for j := range a.x {
+			a.x[j] /= float64(a.n)
+		}
+	}
+	// Within-group centered regression for the shared slopes.
+	cx := mathx.NewMatrix(n, p)
+	cy := make([]float64, n)
+	for g, a := range byGroup {
+		_ = g
+		for _, i := range a.rows {
+			cy[i] = y[i] - a.y
+			for j := 0; j < p; j++ {
+				cx.Set(i, j, x.At(i, j)-a.x[j])
+			}
+		}
+	}
+	fit, err := OLS(cx, cy)
+	if err != nil {
+		return nil, err
+	}
+	res := &MixedResult{
+		Intercepts: make(map[string]float64, len(byGroup)),
+		Coef:       fit.Coef,
+		N:          n,
+	}
+	// Per-group intercepts: a_g = ȳ_g − Σ b_j x̄_gj.
+	var labels []string
+	for g := range byGroup {
+		labels = append(labels, g)
+	}
+	sort.Strings(labels)
+	var sum float64
+	for _, g := range labels {
+		a := byGroup[g]
+		ig := a.y
+		for j := 0; j < p; j++ {
+			ig -= fit.Coef[j] * a.x[j]
+		}
+		res.Intercepts[g] = ig
+		sum += ig
+	}
+	res.GrandIntercept = sum / float64(len(labels))
+	var vsum float64
+	for _, g := range labels {
+		d := res.Intercepts[g] - res.GrandIntercept
+		vsum += d * d
+	}
+	if len(labels) > 1 {
+		res.InterceptVar = vsum / float64(len(labels)-1)
+	}
+	// Residual variance over the full model.
+	var rss float64
+	for i := 0; i < n; i++ {
+		pred := res.PredictGroup(groups[i], x.Data[i*p:(i+1)*p])
+		d := y[i] - pred
+		rss += d * d
+	}
+	res.Sigma2 = rss / float64(n-p-len(labels))
+	return res, nil
+}
+
+// PredictGroup predicts for a row belonging to the named group; unknown
+// groups fall back to the grand intercept.
+func (m *MixedResult) PredictGroup(group string, row []float64) float64 {
+	a, ok := m.Intercepts[group]
+	if !ok {
+		a = m.GrandIntercept
+	}
+	for j, c := range m.Coef {
+		a += c * row[j]
+	}
+	return a
+}
+
+// PoolingAdequate applies the paper's §IV criterion: pooling (one shared
+// intercept) is adequate when the between-machine intercept variance is
+// small relative to the residual variance. ratio is InterceptVar/Sigma2;
+// the fit is considered poolable below the threshold.
+func (m *MixedResult) PoolingAdequate(threshold float64) (ratio float64, ok bool) {
+	if threshold <= 0 {
+		threshold = 1.0
+	}
+	if m.Sigma2 <= 0 {
+		return 0, true
+	}
+	ratio = m.InterceptVar / m.Sigma2
+	return ratio, ratio < threshold
+}

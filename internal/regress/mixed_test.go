@@ -1,0 +1,109 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// mixedData generates grouped data with per-group intercepts and shared
+// slopes.
+func mixedData(seed int64, perGroup int, intercepts map[string]float64, slope float64, noise float64) (*mathx.Matrix, []float64, []string) {
+	r := rand.New(rand.NewSource(seed))
+	var rows [][]float64
+	var y []float64
+	var groups []string
+	for g, a := range map[string]float64(intercepts) {
+		for i := 0; i < perGroup; i++ {
+			x := r.Float64() * 10
+			rows = append(rows, []float64{x})
+			y = append(y, a+slope*x+r.NormFloat64()*noise)
+			groups = append(groups, g)
+		}
+	}
+	m, _ := mathx.FromRows(rows)
+	return m, y, groups
+}
+
+func TestMixedOLSRecoversStructure(t *testing.T) {
+	intercepts := map[string]float64{"m0": 20, "m1": 22, "m2": 18}
+	x, y, groups := mixedData(1, 200, intercepts, 1.5, 0.1)
+	fit, err := MixedOLS(x, y, groups)
+	if err != nil {
+		t.Fatalf("MixedOLS: %v", err)
+	}
+	if math.Abs(fit.Coef[0]-1.5) > 0.02 {
+		t.Errorf("slope = %v, want ~1.5", fit.Coef[0])
+	}
+	for g, want := range intercepts {
+		if got := fit.Intercepts[g]; math.Abs(got-want) > 0.1 {
+			t.Errorf("intercept[%s] = %v, want ~%v", g, got, want)
+		}
+	}
+	if math.Abs(fit.GrandIntercept-20) > 0.1 {
+		t.Errorf("grand intercept = %v, want ~20", fit.GrandIntercept)
+	}
+	// Between-group variance of {18,20,22} is 4.
+	if math.Abs(fit.InterceptVar-4) > 0.5 {
+		t.Errorf("intercept variance = %v, want ~4", fit.InterceptVar)
+	}
+}
+
+func TestMixedOLSPredictGroup(t *testing.T) {
+	x, y, groups := mixedData(2, 150, map[string]float64{"a": 10, "b": 30}, 2, 0.1)
+	fit, err := MixedOLS(x, y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := fit.PredictGroup("a", []float64{5})
+	pb := fit.PredictGroup("b", []float64{5})
+	if math.Abs(pa-20) > 0.5 || math.Abs(pb-40) > 0.5 {
+		t.Errorf("group predictions = %v, %v; want ~20, ~40", pa, pb)
+	}
+	// Unknown group falls back to the grand intercept (~20 for {10,30}).
+	pu := fit.PredictGroup("zzz", []float64{5})
+	if math.Abs(pu-30) > 0.5 {
+		t.Errorf("unknown-group prediction = %v, want ~30", pu)
+	}
+}
+
+func TestMixedOLSValidation(t *testing.T) {
+	x := mathx.NewMatrix(5, 1)
+	if _, err := MixedOLS(x, make([]float64, 4), make([]string, 5)); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := MixedOLS(x, make([]float64, 5), make([]string, 4)); err == nil {
+		t.Error("expected group length error")
+	}
+	if _, err := MixedOLS(mathx.NewMatrix(2, 3), make([]float64, 2), make([]string, 2)); err == nil {
+		t.Error("expected too-few-rows error")
+	}
+}
+
+func TestPoolingAdequate(t *testing.T) {
+	// Small machine-to-machine variation vs residual noise: poolable.
+	x, y, groups := mixedData(3, 150, map[string]float64{"a": 20, "b": 20.2}, 1, 1.0)
+	fit, err := MixedOLS(x, y, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, ok := fit.PoolingAdequate(1.0)
+	if !ok {
+		t.Errorf("nearly identical machines should be poolable (ratio %v)", ratio)
+	}
+	// Huge intercept spread vs tiny noise: pooling loses accuracy.
+	x2, y2, groups2 := mixedData(4, 150, map[string]float64{"a": 10, "b": 60}, 1, 0.2)
+	fit2, err := MixedOLS(x2, y2, groups2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio2, ok2 := fit2.PoolingAdequate(1.0)
+	if ok2 {
+		t.Errorf("widely varying machines should not be poolable (ratio %v)", ratio2)
+	}
+	if ratio2 <= ratio {
+		t.Errorf("ratios should order by heterogeneity: %v vs %v", ratio, ratio2)
+	}
+}

@@ -1,0 +1,192 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func synthData(seed int64, n int, trueBeta []float64, noise float64) (*mathx.Matrix, []float64) {
+	r := rand.New(rand.NewSource(seed))
+	p := len(trueBeta)
+	x := mathx.NewMatrix(n, p)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = 1.5 // intercept
+		for j := 0; j < p; j++ {
+			v := r.NormFloat64()
+			x.Set(i, j, v)
+			y[i] += trueBeta[j] * v
+		}
+		y[i] += r.NormFloat64() * noise
+	}
+	return x, y
+}
+
+func TestOLSRecoversCoefficients(t *testing.T) {
+	x, y := synthData(1, 500, []float64{2, -3, 0.5}, 0.01)
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if math.Abs(fit.Intercept-1.5) > 0.01 {
+		t.Errorf("intercept = %v, want ~1.5", fit.Intercept)
+	}
+	want := []float64{2, -3, 0.5}
+	for j, w := range want {
+		if math.Abs(fit.Coef[j]-w) > 0.01 {
+			t.Errorf("coef[%d] = %v, want ~%v", j, fit.Coef[j], w)
+		}
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R2 = %v, want ~1", fit.R2)
+	}
+	if fit.Ridged {
+		t.Error("well-conditioned fit should not need ridge")
+	}
+}
+
+func TestOLSPredict(t *testing.T) {
+	fit := &OLSResult{Intercept: 1, Coef: []float64{2, 3}}
+	if got := fit.Predict([]float64{1, 2}); got != 9 {
+		t.Errorf("Predict = %v, want 9", got)
+	}
+}
+
+func TestOLSSignificance(t *testing.T) {
+	// Column 0 strongly predicts y; column 1 is pure noise.
+	x, y := synthData(2, 300, []float64{5, 0}, 0.5)
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if fit.PValues[1] > 1e-6 {
+		t.Errorf("true predictor p = %v, want tiny", fit.PValues[1])
+	}
+	if fit.PValues[2] < 0.01 {
+		t.Errorf("noise predictor p = %v, want large", fit.PValues[2])
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	x := mathx.NewMatrix(3, 5)
+	if _, err := OLS(x, []float64{1, 2, 3}); !errors.Is(err, ErrTooFewRows) {
+		t.Errorf("err = %v, want ErrTooFewRows", err)
+	}
+	if _, err := OLS(mathx.NewMatrix(4, 1), []float64{1, 2}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestOLSCollinearFallsBackToRidge(t *testing.T) {
+	// Two identical columns.
+	n := 50
+	x := mathx.NewMatrix(n, 2)
+	y := make([]float64, n)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		x.Set(i, 0, v)
+		x.Set(i, 1, v)
+		y[i] = 4 * v
+	}
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if !fit.Ridged {
+		t.Error("expected ridge fallback on collinear design")
+	}
+	// Combined effect should still predict well.
+	if got := fit.Predict([]float64{1, 1}); math.Abs(got-4) > 0.1 {
+		t.Errorf("collinear prediction = %v, want ~4", got)
+	}
+}
+
+func TestStepwiseDropsNoise(t *testing.T) {
+	// 2 real predictors + 4 noise predictors.
+	r := rand.New(rand.NewSource(4))
+	n, p := 400, 6
+	x := mathx.NewMatrix(n, p)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			x.Set(i, j, r.NormFloat64())
+		}
+		y[i] = 3*x.At(i, 0) - 2*x.At(i, 1) + r.NormFloat64()*0.3
+	}
+	res, err := Stepwise(x, y, 0.01, 1)
+	if err != nil {
+		t.Fatalf("Stepwise: %v", err)
+	}
+	if len(res.Kept) != 2 || res.Kept[0] != 0 || res.Kept[1] != 1 {
+		t.Errorf("Kept = %v, want [0 1]", res.Kept)
+	}
+	if len(res.Dropped) != 4 {
+		t.Errorf("Dropped = %v, want 4 noise columns", res.Dropped)
+	}
+	if res.Fit == nil || res.Fit.R2 < 0.9 {
+		t.Errorf("final fit R2 = %+v", res.Fit)
+	}
+}
+
+func TestStepwiseMinKeep(t *testing.T) {
+	// All noise: stepwise would drop everything, but minKeep floors it.
+	r := rand.New(rand.NewSource(5))
+	n, p := 200, 4
+	x := mathx.NewMatrix(n, p)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			x.Set(i, j, r.NormFloat64())
+		}
+		y[i] = r.NormFloat64()
+	}
+	res, err := Stepwise(x, y, 0.05, 2)
+	if err != nil {
+		t.Fatalf("Stepwise: %v", err)
+	}
+	if len(res.Kept) < 2 {
+		t.Errorf("Kept = %v, want at least 2 (minKeep)", res.Kept)
+	}
+}
+
+func TestStepwiseAlphaValidation(t *testing.T) {
+	x := mathx.NewMatrix(10, 1)
+	if _, err := Stepwise(x, make([]float64, 10), 0, 1); err == nil {
+		t.Error("expected alpha validation error")
+	}
+	if _, err := Stepwise(x, make([]float64, 10), 1.5, 1); err == nil {
+		t.Error("expected alpha validation error")
+	}
+}
+
+// Property: OLS R2 lies in [0, 1] for random data, and predictions on the
+// training data have RSS no worse than the intercept-only model.
+func TestOLSR2Property(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(6))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, p := 60, 3
+		x := mathx.NewMatrix(n, p)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				x.Set(i, j, r.NormFloat64())
+			}
+			y[i] = r.NormFloat64() * 10
+		}
+		fit, err := OLS(x, y)
+		if err != nil {
+			return false
+		}
+		return fit.R2 >= -1e-10 && fit.R2 <= 1+1e-10
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package regress
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestCorrelationPrune(t *testing.T) {
+	// col1 = 2*col0 (perfectly correlated), col2 independent.
+	r := rand.New(rand.NewSource(20))
+	n := 100
+	x := mathx.NewMatrix(n, 3)
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		x.Set(i, 0, v)
+		x.Set(i, 1, 2*v)
+		x.Set(i, 2, r.NormFloat64())
+	}
+	kept, removed, err := CorrelationPrune(x, 0.95)
+	if err != nil {
+		t.Fatalf("CorrelationPrune: %v", err)
+	}
+	if !reflect.DeepEqual(kept, []int{0, 2}) {
+		t.Errorf("kept = %v, want [0 2]", kept)
+	}
+	if !reflect.DeepEqual(removed, []int{1}) {
+		t.Errorf("removed = %v, want [1]", removed)
+	}
+}
+
+func TestCorrelationPruneNegativeCorrelation(t *testing.T) {
+	n := 50
+	x := mathx.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i))
+		x.Set(i, 1, -float64(i))
+	}
+	kept, _, err := CorrelationPrune(x, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 {
+		t.Errorf("kept = %v, want one of a perfectly anti-correlated pair removed", kept)
+	}
+}
+
+func TestCorrelationPruneTransitiveGroups(t *testing.T) {
+	// Three copies of the same signal: keep exactly one.
+	r := rand.New(rand.NewSource(21))
+	n := 80
+	x := mathx.NewMatrix(n, 4)
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		x.Set(i, 0, v)
+		x.Set(i, 1, v*3+1)
+		x.Set(i, 2, v*-2)
+		x.Set(i, 3, r.NormFloat64())
+	}
+	kept, _, err := CorrelationPrune(x, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(kept, []int{0, 3}) {
+		t.Errorf("kept = %v, want [0 3]", kept)
+	}
+}
+
+func TestCorrelationPruneValidation(t *testing.T) {
+	x := mathx.NewMatrix(5, 2)
+	if _, _, err := CorrelationPrune(x, 0); err == nil {
+		t.Error("expected threshold validation error")
+	}
+	if _, _, err := CorrelationPrune(x, 1.5); err == nil {
+		t.Error("expected threshold validation error")
+	}
+}
+
+func TestCoDependentPrune(t *testing.T) {
+	// 5 columns; col 4 = col 1 + col 2: drop the aggregate (4) and all
+	// parts except the last (drop 1, keep 2).
+	kept, removed := CoDependentPrune(5, []CoDependency{{Sum: 4, Parts: []int{1, 2}}})
+	if !reflect.DeepEqual(kept, []int{0, 2, 3}) {
+		t.Errorf("kept = %v, want [0 2 3]", kept)
+	}
+	if !reflect.DeepEqual(removed, []int{1, 4}) {
+		t.Errorf("removed = %v, want [1 4]", removed)
+	}
+}
+
+func TestCoDependentPruneBoundsAndEmpty(t *testing.T) {
+	kept, removed := CoDependentPrune(3, []CoDependency{{Sum: 99, Parts: []int{-1, 2}}})
+	if !reflect.DeepEqual(kept, []int{0, 1, 2}) || removed != nil {
+		t.Errorf("out-of-range deps should be ignored: kept=%v removed=%v", kept, removed)
+	}
+	kept, removed = CoDependentPrune(2, nil)
+	if len(kept) != 2 || removed != nil {
+		t.Errorf("no deps: kept=%v removed=%v", kept, removed)
+	}
+}
+
+func TestDropConstant(t *testing.T) {
+	x, _ := mathx.FromRows([][]float64{
+		{1, 5, 2},
+		{2, 5, 3},
+		{3, 5, 4},
+	})
+	kept, removed := DropConstant(x)
+	if !reflect.DeepEqual(kept, []int{0, 2}) {
+		t.Errorf("kept = %v, want [0 2]", kept)
+	}
+	if !reflect.DeepEqual(removed, []int{1}) {
+		t.Errorf("removed = %v, want [1]", removed)
+	}
+}

@@ -1,0 +1,414 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/counters"
+	"repro/internal/mathx"
+)
+
+// Demand is what the workload layer asks of a machine for one second.
+// CPU work is expressed in nominal-frequency core-seconds: one unit is one
+// core running flat out at the platform's top frequency for one second.
+type Demand struct {
+	CPU            float64 // nominal core-seconds of compute wanted
+	DiskReadBytes  float64
+	DiskWriteBytes float64
+	DiskReadOps    float64
+	DiskWriteOps   float64
+	NetSendBytes   float64
+	NetRecvBytes   float64
+	MemTouchBytes  float64 // memory bandwidth demand
+	WorkingSet     float64 // resident bytes of the running tasks
+	RunningTasks   int
+}
+
+// Served reports how much of the demand the machine completed this second;
+// the scheduler uses it to decrement remaining task work.
+type Served struct {
+	CPU            float64
+	DiskReadBytes  float64
+	DiskWriteBytes float64
+	DiskReadOps    float64
+	DiskWriteOps   float64
+	NetSendBytes   float64
+	NetRecvBytes   float64
+	MemTouchBytes  float64
+}
+
+// PowerSample pairs the hidden true wall power with the metered reading
+// (WattsUp-style: 1 Hz, ~1.5% error, 0.1 W resolution).
+type PowerSample struct {
+	TrueWatts  float64
+	MeterWatts float64
+}
+
+// Variability holds the per-machine multipliers that model manufacturing
+// and assembly variation (the paper observed up to 10% machine-to-machine
+// differences at idle and under load).
+type Variability struct {
+	IdleMul float64 // scales idle wall power
+	MaxMul  float64 // scales max wall power
+	CPUMul  float64 // scales the CPU share of dynamic power
+	MemMul  float64
+	DiskMul float64
+	NetMul  float64
+}
+
+// Machine simulates one server: core/P-state dynamics with an
+// ondemand-style governor, disk and NIC service with capacity limits, the
+// hidden ground-truth power function, and the counter base signals.
+type Machine struct {
+	Spec *PlatformSpec
+	ID   string
+	Var  Variability
+
+	rng      *rand.Rand
+	meterRNG *rand.Rand
+
+	freqIdx []int // per-core P-state index
+	inC1    bool
+	// prevCoreUtil drives the governor (it reacts to last second's load).
+	prevCoreUtil []float64
+
+	// Power calibration (DC side), derived from the spec's wall range and
+	// the PSU curve.
+	pdcIdle, pdcMax  float64
+	rawIdle, rawMax  float64
+	wander           float64 // AR(1) unmodeled power wander
+	pagefilePeak     float64
+	osWorkingSet     float64
+	memBandwidth     float64 // bytes/sec
+	totalDiskBytes   float64
+	totalDiskOps     float64
+	netBytesPerSec   float64
+	interruptBase    float64
+	seconds          int
+	idleMeasuredWatt float64
+
+	// Observation-noise profile (see NoiseProfile).
+	meterSD  float64
+	wanderSD float64
+}
+
+// NoiseProfile scales the simulator's observation and unmodeled-power
+// noise. The defaults match the paper's instrumentation: a WattsUp-class
+// meter (95% of readings within 1.5%) plus slow unmodeled wander. The
+// sensitivity ablation sweeps these to show how absolute model errors
+// track substrate noise.
+type NoiseProfile struct {
+	// MeterSD is the multiplicative meter error sigma (default 0.0075).
+	MeterSD float64
+	// WanderSD scales the AR(1) unmodeled power wander (default 0.008).
+	WanderSD float64
+}
+
+// DefaultNoise returns the standard profile.
+func DefaultNoise() NoiseProfile { return NoiseProfile{MeterSD: 0.0075, WanderSD: 0.008} }
+
+// NewMachine builds a machine of the given platform with the default
+// noise profile. Seed controls all of the machine's randomness
+// (variability draw, jitter, meter noise).
+func NewMachine(spec *PlatformSpec, id string, seed int64) (*Machine, error) {
+	return NewMachineNoisy(spec, id, seed, DefaultNoise())
+}
+
+// NewMachineNoisy is NewMachine with an explicit noise profile.
+func NewMachineNoisy(spec *PlatformSpec, id string, seed int64, np NoiseProfile) (*Machine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if np.MeterSD < 0 || np.WanderSD < 0 {
+		return nil, fmt.Errorf("sim: negative noise profile %+v", np)
+	}
+	rng := mathx.NewRand(mathx.DeriveSeed(seed, "machine:"+id))
+	v := Variability{
+		IdleMul: mathx.TruncatedNormal(rng, 1, 0.025),
+		MaxMul:  mathx.TruncatedNormal(rng, 1, 0.03),
+		CPUMul:  mathx.TruncatedNormal(rng, 1, 0.08),
+		MemMul:  mathx.TruncatedNormal(rng, 1, 0.12),
+		DiskMul: mathx.TruncatedNormal(rng, 1, 0.12),
+		NetMul:  mathx.TruncatedNormal(rng, 1, 0.15),
+	}
+	m := &Machine{
+		Spec:     spec,
+		ID:       id,
+		Var:      v,
+		rng:      rng,
+		meterRNG: mathx.NewRand(mathx.DeriveSeed(seed, "meter:"+id)),
+
+		freqIdx:      make([]int, spec.Cores),
+		prevCoreUtil: make([]float64, spec.Cores),
+		osWorkingSet: 1.2e9 + rng.Float64()*2e8,
+		memBandwidth: 2.0e9 * math.Sqrt(float64(spec.MemGB)),
+		meterSD:      np.MeterSD,
+		wanderSD:     np.WanderSD,
+	}
+	for _, d := range spec.Disks {
+		p := diskTable[d.Type]
+		m.totalDiskBytes += p.maxBytesSec * float64(d.Count)
+		m.totalDiskOps += p.maxOpsSec * float64(d.Count)
+	}
+	m.netBytesPerSec = spec.NetMbps / 8 * 1e6
+	m.interruptBase = 250 + rng.Float64()*100
+
+	// Calibrate the DC-side power range to the spec's wall range through
+	// the PSU efficiency curve.
+	idleTarget := spec.IdlePowerW * v.IdleMul
+	maxTarget := spec.MaxPowerW * v.MaxMul
+	m.pdcMax = maxTarget * psuEfficiency(1)
+	x := idleTarget * 0.85
+	for i := 0; i < 40; i++ {
+		x = idleTarget * psuEfficiency(x/m.pdcMax)
+	}
+	m.pdcIdle = x
+	m.rawIdle = m.rawDynamic(m.restComponents())
+	m.rawMax = m.rawDynamic(components{cpu: 1, mem: 1, disk: 1, net: 1})
+	if m.rawMax <= m.rawIdle {
+		return nil, fmt.Errorf("sim: machine %s calibration failed (rawIdle=%g rawMax=%g)", id, m.rawIdle, m.rawMax)
+	}
+	m.idleMeasuredWatt = idleTarget
+	return m, nil
+}
+
+// components are normalized per-subsystem activity levels in [0, 1].
+type components struct{ cpu, mem, disk, net float64 }
+
+// rawDynamic combines component activity into a single normalized dynamic
+// level, applying the platform weights and the machine's per-component
+// variability multipliers.
+func (m *Machine) rawDynamic(c components) float64 {
+	s := m.Spec
+	return s.CPUWeight*m.Var.CPUMul*c.cpu +
+		s.MemWeight*m.Var.MemMul*c.mem +
+		s.DiskWeight*m.Var.DiskMul*c.disk +
+		s.NetWeight*m.Var.NetMul*c.net
+}
+
+// restComponents is the component vector of a machine at rest: cores at
+// the lowest P-state (or C1), no I/O.
+func (m *Machine) restComponents() components {
+	fr := m.Spec.FreqStatesMHz[0] / m.Spec.MaxFreqMHz()
+	if m.Spec.HasC1 {
+		fr = 0
+	}
+	return components{cpu: coreDynamic(fr, 0)}
+}
+
+// coreDynamic is the hidden per-core power law: activity scales with
+// f·V(f)² (V rises with frequency), plus a floor for a clocked-but-idle
+// core. A core in C1 (fr = 0) contributes nothing.
+func coreDynamic(freqRatio, util float64) float64 {
+	if freqRatio <= 0 {
+		return 0
+	}
+	v := 0.6 + 0.4*freqRatio
+	base := freqRatio * v * v
+	return base * (0.22 + 0.78*util)
+}
+
+// psuEfficiency is the power-supply efficiency at a DC load fraction: it
+// peaks near mid-load and falls toward both extremes, which makes wall
+// power convex in load at the top of the range — the effect that defeats
+// linear models there.
+func psuEfficiency(load float64) float64 {
+	load = mathx.Clamp(load, 0, 1.15)
+	return 0.89 - 0.13*(load-0.45)*(load-0.45)
+}
+
+// IdleWatts returns the machine's calibrated idle wall power (the
+// "Power_idle" term of the paper's DRE metric, measured at rest).
+func (m *Machine) IdleWatts() float64 { return m.idleMeasuredWatt }
+
+// MaxFreqMHz exposes the nominal frequency for the workload layer.
+func (m *Machine) MaxFreqMHz() float64 { return m.Spec.MaxFreqMHz() }
+
+// governor advances P-states based on the previous second's utilization
+// (ondemand-style, with a little hysteresis noise so transitions are not
+// perfectly deterministic functions of load).
+func (m *Machine) governor(anyDemand bool) {
+	s := m.Spec
+	top := len(s.FreqStatesMHz) - 1
+	switch s.DVFS {
+	case DVFSNone:
+		return
+	case DVFSShared:
+		avg := mathx.Mean(m.prevCoreUtil)
+		idx := m.freqIdx[0]
+		if avg > 0.70 && idx < top && m.rng.Float64() > 0.05 {
+			idx++
+		} else if avg < 0.25 && idx > 0 && m.rng.Float64() > 0.05 {
+			idx--
+		}
+		for c := range m.freqIdx {
+			m.freqIdx[c] = idx
+		}
+	case DVFSPerCore:
+		if !anyDemand && s.HasC1 {
+			m.inC1 = true
+			return
+		}
+		if m.inC1 {
+			// Wake at the lowest P-state.
+			m.inC1 = false
+			for c := range m.freqIdx {
+				m.freqIdx[c] = 0
+			}
+		}
+		for c := range m.freqIdx {
+			u := m.prevCoreUtil[c]
+			if u > 0.70 && m.freqIdx[c] < top && m.rng.Float64() > 0.07 {
+				m.freqIdx[c]++
+			} else if u < 0.25 && m.freqIdx[c] > 0 && m.rng.Float64() > 0.07 {
+				m.freqIdx[c]--
+			}
+		}
+	}
+}
+
+// Step advances the machine by one second under the given demand. It
+// returns what was served, the counter base signals, and the power sample.
+func (m *Machine) Step(d Demand) (Served, counters.Signals, PowerSample) {
+	s := m.Spec
+	m.seconds++
+
+	// Workload demand (before background noise) decides whether the
+	// package may sleep: any outstanding task work keeps it awake.
+	anyDemand := d.CPU > 0 || d.DiskReadBytes+d.DiskWriteBytes > 0 ||
+		d.NetSendBytes+d.NetRecvBytes > 0 || d.MemTouchBytes > 0 || d.RunningTasks > 0
+
+	// Background OS activity keeps "idle" machines realistically non-flat.
+	bgCPU := 0.004 + 0.006*m.rng.Float64()
+	d.CPU += bgCPU * float64(s.Cores)
+	d.DiskWriteBytes += 20e3 * m.rng.Float64()
+	d.DiskWriteOps += 2 * m.rng.Float64()
+
+	m.governor(anyDemand)
+
+	// --- CPU service -------------------------------------------------
+	nc := s.Cores
+	fmax := s.MaxFreqMHz()
+	freqRatio := make([]float64, nc)
+	for c := 0; c < nc; c++ {
+		if m.inC1 {
+			freqRatio[c] = 0
+		} else {
+			freqRatio[c] = s.FreqStatesMHz[m.freqIdx[c]] / fmax
+		}
+	}
+	// Distribute the requested work across cores: an even share first,
+	// then spill leftovers onto the fastest cores. Per-core jitter makes
+	// core utilizations diverge the way a real scheduler's do.
+	coreBusy := make([]float64, nc)
+	capacity := 0.0
+	for c := 0; c < nc; c++ {
+		capacity += freqRatio[c]
+	}
+	servedCPU := 0.0
+	if capacity > 0 && d.CPU > 0 {
+		want := math.Min(d.CPU, capacity)
+		for c := 0; c < nc; c++ {
+			share := want / capacity * freqRatio[c]
+			jitter := 1 + 0.25*(m.rng.Float64()-0.5)
+			coreBusy[c] = mathx.Clamp(share*jitter/math.Max(freqRatio[c], 1e-9), 0, 1)
+		}
+		// The jitter redistributes work between cores but must not
+		// fabricate extra service: rescale if it overshot the request.
+		done := 0.0
+		for c := 0; c < nc; c++ {
+			done += coreBusy[c] * freqRatio[c]
+		}
+		if done > want && done > 0 {
+			f := want / done
+			for c := 0; c < nc; c++ {
+				coreBusy[c] *= f
+			}
+			done = want
+		}
+		// Spill: serve remaining work on under-committed cores in order.
+		rem := want - done
+		for c := 0; c < nc && rem > 1e-12; c++ {
+			room := (1 - coreBusy[c]) * freqRatio[c]
+			take := math.Min(room, rem)
+			if freqRatio[c] > 0 {
+				coreBusy[c] += take / freqRatio[c]
+			}
+			rem -= take
+		}
+		for c := 0; c < nc; c++ {
+			servedCPU += coreBusy[c] * freqRatio[c]
+		}
+	}
+	copy(m.prevCoreUtil, coreBusy)
+	cpuUtil := mathx.Mean(coreBusy) // busy-time fraction, what Perfmon reports
+
+	// --- Disk service --------------------------------------------------
+	wantBytes := d.DiskReadBytes + d.DiskWriteBytes
+	wantOps := d.DiskReadOps + d.DiskWriteOps
+	byteScale, opScale := 1.0, 1.0
+	if wantBytes > m.totalDiskBytes {
+		byteScale = m.totalDiskBytes / wantBytes
+	}
+	if wantOps > m.totalDiskOps {
+		opScale = m.totalDiskOps / wantOps
+	}
+	diskScale := math.Min(byteScale, opScale)
+	servedRead := d.DiskReadBytes * diskScale
+	servedWrite := d.DiskWriteBytes * diskScale
+	servedReadOps := d.DiskReadOps * diskScale
+	servedWriteOps := d.DiskWriteOps * diskScale
+	diskBusy := 0.0
+	if m.totalDiskBytes > 0 {
+		diskBusy = mathx.Clamp(
+			0.6*(servedRead+servedWrite)/m.totalDiskBytes+
+				0.4*(servedReadOps+servedWriteOps)/m.totalDiskOps, 0, 1)
+	}
+
+	// --- Network service -------------------------------------------------
+	netScale := 1.0
+	if tot := d.NetSendBytes + d.NetRecvBytes; tot > m.netBytesPerSec {
+		netScale = m.netBytesPerSec / tot
+	}
+	servedSend := d.NetSendBytes * netScale
+	servedRecv := d.NetRecvBytes * netScale
+	netFrac := (servedSend + servedRecv) / m.netBytesPerSec
+
+	// --- Memory ------------------------------------------------------------
+	servedTouch := math.Min(d.MemTouchBytes, m.memBandwidth)
+	memFrac := servedTouch / m.memBandwidth
+
+	// --- Hidden ground-truth power -------------------------------------------
+	cpuDyn := 0.0
+	for c := 0; c < nc; c++ {
+		cpuDyn += coreDynamic(freqRatio[c], coreBusy[c])
+	}
+	cpuDyn /= float64(nc)
+	raw := m.rawDynamic(components{cpu: cpuDyn, mem: memFrac, disk: diskBusy, net: mathx.Clamp(netFrac, 0, 1)})
+	dynFrac := mathx.Clamp((raw-m.rawIdle)/(m.rawMax-m.rawIdle), 0, 1.05)
+	pdc := m.pdcIdle + (m.pdcMax-m.pdcIdle)*dynFrac
+	// Unmodeled slow wander (fans, regulators, temperature).
+	m.wander = 0.9*m.wander + 0.1*m.rng.NormFloat64()
+	pdc *= 1 + m.wanderSD*m.wander
+	wall := pdc / psuEfficiency(pdc/m.pdcMax)
+	meter := quantize(wall*(1+m.meterRNG.NormFloat64()*m.meterSD), 0.1)
+
+	sig := m.signals(d, coreBusy, freqRatio, cpuUtil, diskBusy,
+		servedRead, servedWrite, servedReadOps, servedWriteOps,
+		servedSend, servedRecv, servedTouch)
+
+	served := Served{
+		CPU:            servedCPU,
+		DiskReadBytes:  servedRead,
+		DiskWriteBytes: servedWrite,
+		DiskReadOps:    servedReadOps,
+		DiskWriteOps:   servedWriteOps,
+		NetSendBytes:   servedSend,
+		NetRecvBytes:   servedRecv,
+		MemTouchBytes:  servedTouch,
+	}
+	return served, sig, PowerSample{TrueWatts: wall, MeterWatts: meter}
+}
+
+func quantize(v, step float64) float64 { return math.Round(v/step) * step }

@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/counters"
+)
+
+func newTestMachine(t *testing.T, platform string, seed int64) *Machine {
+	t.Helper()
+	spec, err := Platform(platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(spec, "m0", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPlatformsValid(t *testing.T) {
+	for name, spec := range Platforms() {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("platform %s: %v", name, err)
+		}
+	}
+	if len(PlatformNames()) != 6 {
+		t.Errorf("expected 6 platforms, got %d", len(PlatformNames()))
+	}
+	for _, name := range PlatformNames() {
+		if _, err := Platform(name); err != nil {
+			t.Errorf("Platform(%q): %v", name, err)
+		}
+	}
+	if _, err := Platform("PDP11"); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+}
+
+func TestSpecValidateRejectsBadSpecs(t *testing.T) {
+	base := *Platforms()["Core2"]
+	bad := base
+	bad.Cores = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero cores")
+	}
+	bad = base
+	bad.FreqStatesMHz = []float64{2000, 1000}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for descending P-states")
+	}
+	bad = base
+	bad.IdlePowerW = 50
+	bad.MaxPowerW = 40
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for inverted power range")
+	}
+	bad = base
+	bad.CPUWeight = 0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for weights not summing to 1")
+	}
+}
+
+func idleDemand() Demand { return Demand{} }
+
+func fullDemand(m *Machine) Demand {
+	s := m.Spec
+	return Demand{
+		CPU:            float64(s.Cores) * 1.2,
+		DiskReadBytes:  m.totalDiskBytes,
+		DiskWriteBytes: m.totalDiskBytes,
+		DiskReadOps:    m.totalDiskOps,
+		DiskWriteOps:   m.totalDiskOps,
+		NetSendBytes:   m.netBytesPerSec,
+		NetRecvBytes:   m.netBytesPerSec,
+		MemTouchBytes:  m.memBandwidth * 2,
+		WorkingSet:     4e9,
+		RunningTasks:   s.Cores,
+	}
+}
+
+// TestPowerRangeCalibration: idle power should sit near the platform's
+// Table I idle figure, and sustained full load should approach the max.
+func TestPowerRangeCalibration(t *testing.T) {
+	for _, name := range PlatformNames() {
+		m := newTestMachine(t, name, 42)
+		spec := m.Spec
+		// Settle at idle.
+		var idleSum float64
+		for i := 0; i < 60; i++ {
+			_, _, p := m.Step(idleDemand())
+			if i >= 30 {
+				idleSum += p.TrueWatts
+			}
+		}
+		idleAvg := idleSum / 30
+		if math.Abs(idleAvg-spec.IdlePowerW)/spec.IdlePowerW > 0.12 {
+			t.Errorf("%s: idle power %.1f W, spec %.1f W", name, idleAvg, spec.IdlePowerW)
+		}
+		// Sustained full load (give the governor time to ramp).
+		var maxSeen float64
+		for i := 0; i < 60; i++ {
+			_, _, p := m.Step(fullDemand(m))
+			if p.TrueWatts > maxSeen {
+				maxSeen = p.TrueWatts
+			}
+		}
+		if maxSeen < spec.MaxPowerW*0.85 {
+			t.Errorf("%s: max power %.1f W, spec %.1f W", name, maxSeen, spec.MaxPowerW)
+		}
+		if maxSeen > spec.MaxPowerW*1.15 {
+			t.Errorf("%s: max power %.1f W exceeds spec %.1f W", name, maxSeen, spec.MaxPowerW)
+		}
+	}
+}
+
+func TestMeterErrorBounded(t *testing.T) {
+	m := newTestMachine(t, "Opteron", 7)
+	var n, within int
+	for i := 0; i < 500; i++ {
+		_, _, p := m.Step(fullDemand(m))
+		n++
+		if math.Abs(p.MeterWatts-p.TrueWatts)/p.TrueWatts <= 0.015 {
+			within++
+		}
+		// Quantization to 0.1 W.
+		r := math.Mod(math.Abs(p.MeterWatts)+1e-9, 0.1)
+		if r > 1e-6 && r < 0.1-1e-6 {
+			t.Fatalf("meter reading %v not quantized to 0.1 W", p.MeterWatts)
+		}
+	}
+	if frac := float64(within) / float64(n); frac < 0.90 {
+		t.Errorf("only %.0f%% of meter readings within 1.5%%", frac*100)
+	}
+}
+
+func TestDVFSGovernorRampsUpAndDown(t *testing.T) {
+	m := newTestMachine(t, "Core2", 11)
+	top := len(m.Spec.FreqStatesMHz) - 1
+	for i := 0; i < 30; i++ {
+		m.Step(fullDemand(m))
+	}
+	if m.freqIdx[0] != top {
+		t.Errorf("after sustained load, P-state = %d, want %d", m.freqIdx[0], top)
+	}
+	for i := 0; i < 60; i++ {
+		m.Step(idleDemand())
+	}
+	if m.freqIdx[0] != 0 {
+		t.Errorf("after sustained idle, P-state = %d, want 0", m.freqIdx[0])
+	}
+}
+
+func TestAtomHasNoDVFS(t *testing.T) {
+	m := newTestMachine(t, "Atom", 12)
+	for i := 0; i < 20; i++ {
+		_, sig, _ := m.Step(fullDemand(m))
+		if f := sig["core_freq_0"]; math.Abs(f-1600) > 25 {
+			t.Fatalf("Atom frequency = %v, want ~1600 (no DVFS)", f)
+		}
+	}
+}
+
+func TestServerEntersC1WhenIdle(t *testing.T) {
+	m := newTestMachine(t, "XeonSATA", 13)
+	for i := 0; i < 20; i++ {
+		m.Step(idleDemand())
+	}
+	if !m.inC1 {
+		t.Error("idle Xeon should be in C1")
+	}
+	_, sig, _ := m.Step(idleDemand())
+	if sig["core_freq_0"] != 0 {
+		t.Errorf("C1 frequency = %v, want 0", sig["core_freq_0"])
+	}
+	// Wake on demand.
+	m.Step(fullDemand(m))
+	if m.inC1 {
+		t.Error("machine should exit C1 under load")
+	}
+}
+
+func TestMobileNeverEntersC1(t *testing.T) {
+	m := newTestMachine(t, "Core2", 14)
+	for i := 0; i < 20; i++ {
+		m.Step(idleDemand())
+	}
+	if m.inC1 {
+		t.Error("Core2 must not enter C1")
+	}
+	_, sig, _ := m.Step(idleDemand())
+	if sig["core_freq_0"] <= 0 {
+		t.Errorf("Core2 idle frequency = %v, want lowest P-state > 0", sig["core_freq_0"])
+	}
+}
+
+// TestSignalsCoverRegistry: every base signal the standard counter
+// registry references must be produced by the machine.
+func TestSignalsCoverRegistry(t *testing.T) {
+	reg := counters.StandardRegistry()
+	for _, name := range PlatformNames() {
+		m := newTestMachine(t, name, 15)
+		_, sig, _ := m.Step(fullDemand(m))
+		for _, d := range reg.Defs {
+			if d.Kind != counters.KindSignal {
+				continue
+			}
+			if _, ok := sig[d.Signal]; !ok {
+				t.Fatalf("%s: machine does not produce signal %q (counter %q)", name, d.Signal, d.Name)
+			}
+		}
+	}
+}
+
+func TestServedNeverExceedsDemandOrCapacity(t *testing.T) {
+	m := newTestMachine(t, "Athlon", 16)
+	d := fullDemand(m)
+	for i := 0; i < 40; i++ {
+		served, _, _ := m.Step(d)
+		if served.CPU > d.CPU+1e-9 {
+			t.Fatalf("served CPU %v exceeds demand %v", served.CPU, d.CPU)
+		}
+		if served.CPU > float64(m.Spec.Cores)+1e-9 {
+			t.Fatalf("served CPU %v exceeds physical capacity", served.CPU)
+		}
+		if served.DiskReadBytes+served.DiskWriteBytes > m.totalDiskBytes*1.001 {
+			t.Fatal("served disk bytes exceed capacity")
+		}
+		if served.NetSendBytes+served.NetRecvBytes > m.netBytesPerSec*1.001 {
+			t.Fatal("served network bytes exceed capacity")
+		}
+		if served.MemTouchBytes > m.memBandwidth*1.001 {
+			t.Fatal("served memory touch exceeds bandwidth")
+		}
+	}
+}
+
+func TestMachineDeterminism(t *testing.T) {
+	run := func() []float64 {
+		m := newTestMachine(t, "Opteron", 99)
+		var out []float64
+		for i := 0; i < 50; i++ {
+			var d Demand
+			if i%10 < 5 {
+				d = fullDemand(m)
+			}
+			_, _, p := m.Step(d)
+			out = append(out, p.MeterWatts)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic power at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMachineVariability(t *testing.T) {
+	spec, _ := Platform("Core2")
+	var idles []float64
+	for i := 0; i < 12; i++ {
+		m, err := NewMachine(spec, string(rune('a'+i)), int64(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idles = append(idles, m.IdleWatts())
+	}
+	min, max := idles[0], idles[0]
+	for _, v := range idles {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if (max-min)/min < 0.01 {
+		t.Errorf("machine idle power variation %.2f%% looks too uniform", (max-min)/min*100)
+	}
+	if (max-min)/min > 0.25 {
+		t.Errorf("machine idle power variation %.2f%% looks too wild", (max-min)/min*100)
+	}
+}
+
+func TestCoreDynamicMonotonicity(t *testing.T) {
+	// More frequency or more utilization must never reduce CPU power.
+	prev := 0.0
+	for _, fr := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		v := coreDynamic(fr, 0.5)
+		if v < prev {
+			t.Errorf("coreDynamic not monotone in frequency at %v", fr)
+		}
+		prev = v
+	}
+	prev = 0
+	for _, u := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		v := coreDynamic(1, u)
+		if v < prev {
+			t.Errorf("coreDynamic not monotone in utilization at %v", u)
+		}
+		prev = v
+	}
+	if coreDynamic(0, 1) != 0 {
+		t.Error("C1 core should contribute zero power")
+	}
+}
+
+func TestPsuEfficiencyShape(t *testing.T) {
+	if psuEfficiency(0.45) <= psuEfficiency(0) || psuEfficiency(0.45) <= psuEfficiency(1) {
+		t.Error("PSU efficiency should peak mid-load")
+	}
+	for _, l := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		e := psuEfficiency(l)
+		if e <= 0.5 || e >= 1 {
+			t.Errorf("efficiency(%v) = %v out of sane range", l, e)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMachineInvariantsUnderRandomDemand drives machines with arbitrary
+// demand sequences and checks physical invariants: power stays inside a
+// sane envelope, meter readings stay quantized and positive, and key
+// signals remain non-negative and bounded.
+func TestMachineInvariantsUnderRandomDemand(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(77))}
+	platforms := PlatformNames()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec, _ := Platform(platforms[int(uint64(seed)%uint64(len(platforms)))])
+		m, err := NewMachine(spec, "prop", seed)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 120; step++ {
+			d := Demand{
+				CPU:            r.Float64() * float64(spec.Cores) * 3,
+				DiskReadBytes:  r.Float64() * 1e9,
+				DiskWriteBytes: r.Float64() * 1e9,
+				DiskReadOps:    r.Float64() * 1e4,
+				DiskWriteOps:   r.Float64() * 1e4,
+				NetSendBytes:   r.Float64() * 3e8,
+				NetRecvBytes:   r.Float64() * 3e8,
+				MemTouchBytes:  r.Float64() * 2e10,
+				WorkingSet:     r.Float64() * 8e9,
+				RunningTasks:   r.Intn(20),
+			}
+			if r.Float64() < 0.3 {
+				d = Demand{} // idle bursts
+			}
+			served, sig, p := m.Step(d)
+			// Power envelope: between well under idle and a bit over max.
+			if p.TrueWatts < spec.IdlePowerW*0.7 || p.TrueWatts > spec.MaxPowerW*1.25 {
+				t.Logf("power %v outside envelope [%v, %v]", p.TrueWatts, spec.IdlePowerW, spec.MaxPowerW)
+				return false
+			}
+			if p.MeterWatts <= 0 || math.IsNaN(p.MeterWatts) {
+				return false
+			}
+			// Served never exceeds demand (with background slack) or capacity.
+			if served.CPU > d.CPU+0.2 || served.CPU > float64(spec.Cores)+1e-9 {
+				return false
+			}
+			if served.NetSendBytes > d.NetSendBytes+1 {
+				return false
+			}
+			// Key signals bounded and non-negative.
+			if sig["cpu_util"] < 0 || sig["cpu_util"] > 100.0001 {
+				return false
+			}
+			if sig["disk_busy"] < 0 || sig["disk_busy"] > 100.0001 {
+				return false
+			}
+			for _, k := range []string{"page_faults", "net_send_bytes", "fs_pin_reads", "mem_committed"} {
+				if sig[k] < 0 || math.IsNaN(sig[k]) {
+					return false
+				}
+			}
+			if sig["fs_pin_read_hit_pct"] < 0 || sig["fs_pin_read_hit_pct"] > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIdlePowerStableOverLongIdle: a machine left idle for a long time
+// stays near its calibrated idle power (no drift explosions from the
+// wander process).
+func TestIdlePowerStableOverLongIdle(t *testing.T) {
+	for _, name := range PlatformNames() {
+		m := newTestMachine(t, name, 5)
+		var min, max float64 = math.Inf(1), 0
+		for i := 0; i < 1200; i++ {
+			_, _, p := m.Step(Demand{})
+			if i < 60 {
+				continue // settle the governor
+			}
+			if p.TrueWatts < min {
+				min = p.TrueWatts
+			}
+			if p.TrueWatts > max {
+				max = p.TrueWatts
+			}
+		}
+		if (max-min)/m.IdleWatts() > 0.12 {
+			t.Errorf("%s: idle power wandered [%v, %v] around idle %v", name, min, max, m.IdleWatts())
+		}
+	}
+}
+
+// TestPowerMonotoneInCPULoad: sustained higher CPU demand must not lower
+// steady-state power.
+func TestPowerMonotoneInCPULoad(t *testing.T) {
+	for _, name := range PlatformNames() {
+		spec, _ := Platform(name)
+		var prev float64
+		for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+			m := newTestMachine(t, name, 9)
+			var sum float64
+			for i := 0; i < 80; i++ {
+				_, _, p := m.Step(Demand{CPU: frac * float64(spec.Cores), RunningTasks: 1})
+				if i >= 40 {
+					sum += p.TrueWatts
+				}
+			}
+			avg := sum / 40
+			if avg < prev-1.5 {
+				t.Errorf("%s: power dropped from %v to %v as CPU load rose to %v", name, prev, avg, frac)
+			}
+			prev = avg
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package sim is the hardware substrate: it simulates the six platform
+// classes of the paper's Table I — machines with cores, DVFS P-states, a
+// C1 idle state, disks, a NIC, and memory — together with a *hidden*
+// nonlinear ground-truth power model and a WattsUp-style wall-power meter.
+//
+// The modeling layers never see the ground truth; they observe only the
+// OS counter vector (via internal/counters) and the metered power, exactly
+// the black-box position the paper's framework is in.
+package sim
+
+import "fmt"
+
+// DVFSKind describes a platform's frequency-scaling capability.
+type DVFSKind int
+
+const (
+	// DVFSNone: single fixed frequency (the Atom platform).
+	DVFSNone DVFSKind = iota
+	// DVFSShared: all cores share one P-state (mobile/desktop parts; the
+	// paper observed both cores at the same frequency 99.8% of the time).
+	DVFSShared
+	// DVFSPerCore: each core picks its own P-state, and the package can
+	// enter C1 (frequency 0) when every core is idle (the server parts).
+	DVFSPerCore
+)
+
+// DiskType identifies the storage technology, which drives both the power
+// contribution and the throughput caps.
+type DiskType int
+
+const (
+	DiskSSD DiskType = iota
+	DiskSATA7K
+	DiskSATA10K
+	DiskSAS15K
+)
+
+// diskParams holds per-technology characteristics.
+type diskParams struct {
+	idleW       float64 // spindle/static power per disk
+	activeW     float64 // additional power at 100% busy
+	maxBytesSec float64 // sustained throughput per disk
+	maxOpsSec   float64 // IOPS ceiling per disk
+}
+
+var diskTable = map[DiskType]diskParams{
+	DiskSSD:     {idleW: 0.6, activeW: 2.2, maxBytesSec: 230e6, maxOpsSec: 30000},
+	DiskSATA7K:  {idleW: 6.0, activeW: 5.5, maxBytesSec: 90e6, maxOpsSec: 120},
+	DiskSATA10K: {idleW: 7.5, activeW: 6.5, maxBytesSec: 120e6, maxOpsSec: 180},
+	DiskSAS15K:  {idleW: 9.5, activeW: 8.0, maxBytesSec: 160e6, maxOpsSec: 250},
+}
+
+// DiskSpec is a homogeneous group of disks in a machine.
+type DiskSpec struct {
+	Type  DiskType
+	Count int
+}
+
+// PlatformSpec describes one platform class from Table I.
+type PlatformSpec struct {
+	Name     string // short key: Atom, Core2, Athlon, Opteron, XeonSATA, XeonSAS
+	Class    string // Embedded / Mobile / Desktop / Server
+	CPUModel string
+	Cores    int // total cores across sockets
+	Sockets  int
+	TDPWatts float64
+
+	// FreqStatesMHz lists the P-state frequencies ascending; the last is
+	// nominal. DVFSNone platforms have a single entry.
+	FreqStatesMHz []float64
+	DVFS          DVFSKind
+	HasC1         bool
+
+	MemGB   int
+	Disks   []DiskSpec
+	NetMbps float64
+
+	// IdlePowerW and MaxPowerW are the wall-power range from Table I the
+	// ground-truth model is calibrated to.
+	IdlePowerW float64
+	MaxPowerW  float64
+
+	// Dynamic power split across components (fractions of the dynamic
+	// range attributable to each subsystem at full activity; they should
+	// sum to ~1).
+	CPUWeight, MemWeight, DiskWeight, NetWeight float64
+}
+
+// MaxFreqMHz returns the nominal (highest) frequency.
+func (p *PlatformSpec) MaxFreqMHz() float64 {
+	return p.FreqStatesMHz[len(p.FreqStatesMHz)-1]
+}
+
+// TotalDisks returns the number of physical disks.
+func (p *PlatformSpec) TotalDisks() int {
+	n := 0
+	for _, d := range p.Disks {
+		n += d.Count
+	}
+	return n
+}
+
+// Validate checks internal consistency of the spec.
+func (p *PlatformSpec) Validate() error {
+	if p.Cores <= 0 {
+		return fmt.Errorf("sim: platform %q has %d cores", p.Name, p.Cores)
+	}
+	if len(p.FreqStatesMHz) == 0 {
+		return fmt.Errorf("sim: platform %q has no P-states", p.Name)
+	}
+	for i := 1; i < len(p.FreqStatesMHz); i++ {
+		if p.FreqStatesMHz[i] <= p.FreqStatesMHz[i-1] {
+			return fmt.Errorf("sim: platform %q P-states not ascending", p.Name)
+		}
+	}
+	if p.DVFS == DVFSNone && len(p.FreqStatesMHz) != 1 {
+		return fmt.Errorf("sim: platform %q has DVFSNone but %d P-states", p.Name, len(p.FreqStatesMHz))
+	}
+	if p.IdlePowerW <= 0 || p.MaxPowerW <= p.IdlePowerW {
+		return fmt.Errorf("sim: platform %q power range [%g, %g] invalid", p.Name, p.IdlePowerW, p.MaxPowerW)
+	}
+	if p.TotalDisks() == 0 {
+		return fmt.Errorf("sim: platform %q has no disks", p.Name)
+	}
+	w := p.CPUWeight + p.MemWeight + p.DiskWeight + p.NetWeight
+	if w < 0.95 || w > 1.05 {
+		return fmt.Errorf("sim: platform %q component weights sum to %g, want ~1", p.Name, w)
+	}
+	return nil
+}
+
+// Platforms returns the six platform classes of Table I, keyed by short
+// name, calibrated to the paper's power ranges.
+func Platforms() map[string]*PlatformSpec {
+	ps := []*PlatformSpec{
+		{
+			Name: "Atom", Class: "Embedded", CPUModel: "Intel Atom N330 2-core 1.6 GHz",
+			Cores: 2, Sockets: 1, TDPWatts: 8,
+			FreqStatesMHz: []float64{1600}, DVFS: DVFSNone, HasC1: false,
+			MemGB: 4, Disks: []DiskSpec{{Type: DiskSSD, Count: 1}}, NetMbps: 1000,
+			IdlePowerW: 22, MaxPowerW: 26,
+			CPUWeight: 0.62, MemWeight: 0.20, DiskWeight: 0.08, NetWeight: 0.10,
+		},
+		{
+			Name: "Core2", Class: "Mobile", CPUModel: "Intel Core 2 Duo 2-core 2.26 GHz",
+			Cores: 2, Sockets: 1, TDPWatts: 25,
+			FreqStatesMHz: []float64{800, 1600, 2260}, DVFS: DVFSShared, HasC1: false,
+			MemGB: 4, Disks: []DiskSpec{{Type: DiskSSD, Count: 1}}, NetMbps: 1000,
+			IdlePowerW: 25, MaxPowerW: 46,
+			CPUWeight: 0.60, MemWeight: 0.20, DiskWeight: 0.08, NetWeight: 0.12,
+		},
+		{
+			Name: "Athlon", Class: "Desktop", CPUModel: "AMD Athlon 2-core 2.8 GHz",
+			Cores: 2, Sockets: 1, TDPWatts: 65,
+			FreqStatesMHz: []float64{800, 1800, 2800}, DVFS: DVFSShared, HasC1: false,
+			MemGB: 8, Disks: []DiskSpec{{Type: DiskSSD, Count: 1}}, NetMbps: 1000,
+			IdlePowerW: 54, MaxPowerW: 104,
+			CPUWeight: 0.60, MemWeight: 0.20, DiskWeight: 0.07, NetWeight: 0.13,
+		},
+		{
+			Name: "Opteron", Class: "Server", CPUModel: "AMD Opteron 4-core dual-socket 2.0 GHz",
+			Cores: 8, Sockets: 2, TDPWatts: 50,
+			FreqStatesMHz: []float64{1000, 1500, 2000}, DVFS: DVFSPerCore, HasC1: true,
+			MemGB: 32, Disks: []DiskSpec{{Type: DiskSATA10K, Count: 2}}, NetMbps: 1000,
+			IdlePowerW: 135, MaxPowerW: 190,
+			CPUWeight: 0.52, MemWeight: 0.22, DiskWeight: 0.12, NetWeight: 0.14,
+		},
+		{
+			Name: "XeonSATA", Class: "Server", CPUModel: "Intel Xeon 4-core dual-socket 2.33 GHz",
+			Cores: 8, Sockets: 2, TDPWatts: 80,
+			FreqStatesMHz: []float64{1333, 1867, 2330}, DVFS: DVFSPerCore, HasC1: true,
+			MemGB: 16, Disks: []DiskSpec{{Type: DiskSATA7K, Count: 4}}, NetMbps: 1000,
+			IdlePowerW: 250, MaxPowerW: 375,
+			CPUWeight: 0.46, MemWeight: 0.18, DiskWeight: 0.26, NetWeight: 0.10,
+		},
+		{
+			Name: "XeonSAS", Class: "Server", CPUModel: "Intel Xeon 4-core dual-socket 2.67 GHz",
+			Cores: 8, Sockets: 2, TDPWatts: 80,
+			FreqStatesMHz: []float64{1600, 2133, 2670}, DVFS: DVFSPerCore, HasC1: true,
+			MemGB: 16, Disks: []DiskSpec{{Type: DiskSAS15K, Count: 6}}, NetMbps: 1000,
+			IdlePowerW: 260, MaxPowerW: 380,
+			CPUWeight: 0.42, MemWeight: 0.17, DiskWeight: 0.31, NetWeight: 0.10,
+		},
+	}
+	out := make(map[string]*PlatformSpec, len(ps))
+	for _, p := range ps {
+		out[p.Name] = p
+	}
+	return out
+}
+
+// PlatformNames returns the canonical platform ordering used in the
+// paper's tables.
+func PlatformNames() []string {
+	return []string{"Atom", "Core2", "Athlon", "Opteron", "XeonSATA", "XeonSAS"}
+}
+
+// Platform returns the named platform spec or an error.
+func Platform(name string) (*PlatformSpec, error) {
+	p, ok := Platforms()[name]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown platform %q (want one of %v)", name, PlatformNames())
+	}
+	return p, nil
+}

@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/dryad"
+	"repro/internal/mathx"
+)
+
+// smallJob is a fast two-stage job for runner tests.
+func smallJob() *dryad.Job {
+	st0 := dryad.Stage{Name: "burn"}
+	for i := 0; i < 8; i++ {
+		st0.Tasks = append(st0.Tasks, dryad.TaskSpec{
+			Name: "b", CPUWork: 6, MemTouchBytes: 200e6, MinSeconds: 2,
+		})
+	}
+	st1 := dryad.Stage{Name: "spill", DependsOn: []int{0}}
+	for i := 0; i < 4; i++ {
+		st1.Tasks = append(st1.Tasks, dryad.TaskSpec{
+			Name: "s", DiskWriteBytes: 300e6, NetSendBytes: 100e6, MinSeconds: 2,
+		})
+	}
+	return &dryad.Job{Name: "small", Stages: []dryad.Stage{st0, st1}}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewHeterogeneous(nil, 1); err == nil {
+		t.Error("expected error for empty cluster")
+	}
+	if _, err := New("VAX", 3, 1); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+}
+
+func TestClusterRunJobProducesAlignedTraces(t *testing.T) {
+	c, err := New("Core2", 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := c.RunJob(smallJob(), 0, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("got %d traces, want 3", len(traces))
+	}
+	n := traces[0].Len()
+	for _, tr := range traces {
+		if tr.Len() != n {
+			t.Errorf("trace lengths differ: %d vs %d", tr.Len(), n)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("trace invalid: %v", err)
+		}
+		if tr.Platform != "Core2" || tr.Workload != "small" {
+			t.Errorf("metadata wrong: %s %s", tr.Platform, tr.Workload)
+		}
+		if tr.X.Cols != c.Registry.Len() {
+			t.Errorf("counter columns %d, want %d", tr.X.Cols, c.Registry.Len())
+		}
+		if tr.IdleWatts <= 0 {
+			t.Error("idle watts missing")
+		}
+	}
+	if n < 10 {
+		t.Errorf("trace too short: %d samples", n)
+	}
+}
+
+func TestRunJobTimeout(t *testing.T) {
+	c, err := New("Atom", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunJob(smallJob(), 0, 3); err == nil {
+		t.Error("expected timeout error for tiny budget")
+	}
+}
+
+func TestPowerVariesWithLoad(t *testing.T) {
+	c, err := New("Athlon", 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := c.RunJob(smallJob(), 0, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := traces[0]
+	min, max := mathx.MinMax(tr.Power)
+	if max-min < 5 {
+		t.Errorf("power range [%v, %v] too flat; workload should move power", min, max)
+	}
+	// Idle padding should anchor the low end near idle power.
+	if math.Abs(tr.Power[0]-tr.IdleWatts) > tr.IdleWatts*0.2 {
+		t.Errorf("first sample %v far from idle %v", tr.Power[0], tr.IdleWatts)
+	}
+}
+
+func TestRunWorkloadMultipleRunsDiffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation in -short mode")
+	}
+	c, err := New("Core2", 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := c.RunWorkload("Prime", 2, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 4 {
+		t.Fatalf("got %d traces, want 2 runs x 2 machines", len(traces))
+	}
+	runs := map[int]int{}
+	for _, tr := range traces {
+		runs[tr.Run]++
+	}
+	if runs[0] != 2 || runs[1] != 2 {
+		t.Errorf("runs mis-tagged: %v", runs)
+	}
+	if _, err := c.RunWorkload("Prime", 0, 10); err == nil {
+		t.Error("expected error for zero runs")
+	}
+	if _, err := c.RunWorkload("Nope", 1, 10); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}
+
+func TestRunSequenceConcatenates(t *testing.T) {
+	c, err := New("Core2", 2, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := c.RunSequence([]string{"Prime", "WordCount"}, 10, 2500, 0)
+	if err != nil {
+		t.Fatalf("RunSequence: %v", err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	n := traces[0].Len()
+	if traces[1].Len() != n {
+		t.Error("sequence traces misaligned")
+	}
+	// The sequence must be longer than either job alone plus the gap.
+	single, err := c.RunWorkload("Prime", 1, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= single[0].Len()+10 {
+		t.Errorf("sequence length %d not longer than a single job %d", n, single[0].Len())
+	}
+	if traces[0].Workload != "sequence" {
+		t.Errorf("workload label = %q", traces[0].Workload)
+	}
+	if _, err := c.RunSequence(nil, 1, 10, 0); err == nil {
+		t.Error("expected error for empty sequence")
+	}
+	if _, err := c.RunSequence([]string{"Nope"}, 1, 10, 0); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}
+
+func TestHeterogeneousCluster(t *testing.T) {
+	c, err := NewHeterogeneous([]string{"Core2", "Opteron"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := c.RunJob(smallJob(), 0, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traces[0].Platform != "Core2" || traces[1].Platform != "Opteron" {
+		t.Errorf("platforms: %s, %s", traces[0].Platform, traces[1].Platform)
+	}
+	// The Opteron baseline power is far above the Core2's.
+	if mathx.Mean(traces[1].Power) < mathx.Mean(traces[0].Power)*2 {
+		t.Errorf("Opteron power %.0f W should dwarf Core2 %.0f W",
+			mathx.Mean(traces[1].Power), mathx.Mean(traces[0].Power))
+	}
+}
+
+func TestCollectorOverheadUnderOnePercent(t *testing.T) {
+	reg := counters.StandardRegistry()
+	col := NewCollector(reg, 3)
+	sig := counters.Signals{}
+	for _, d := range reg.Defs {
+		if d.Kind == counters.KindSignal {
+			sig[d.Signal] = 42
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := col.Sample(sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f := col.OverheadFraction(time.Second); f >= 0.01 {
+		t.Errorf("collector overhead %.4f of a 1s interval, paper requires < 1%%", f)
+	}
+	if col.Samples() != 200 {
+		t.Errorf("Samples = %d", col.Samples())
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	run := func() []float64 {
+		c, err := New("Atom", 2, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces, err := c.RunJob(smallJob(), 1, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traces[0].Power
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic cluster run at t=%d", i)
+		}
+	}
+}
+
+func TestIdleWattsSumsMachines(t *testing.T) {
+	c, err := New("Core2", 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, m := range c.Machines {
+		sum += m.IdleWatts()
+	}
+	if math.Abs(c.IdleWatts()-sum) > 1e-9 {
+		t.Errorf("IdleWatts = %v, want %v", c.IdleWatts(), sum)
+	}
+}

@@ -1,0 +1,12 @@
+package telemetry
+
+import (
+	"repro/internal/dryad"
+	"repro/internal/workloads"
+)
+
+// workloadJob builds a named workload job sized for the cluster. It is a
+// seam tests can use to substitute tiny jobs.
+func workloadJob(name string, nMachines int) (*dryad.Job, error) {
+	return workloads.Build(name, nMachines)
+}

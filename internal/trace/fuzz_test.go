@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the trace parser against malformed input: it must
+// return an error or a valid trace, never panic, and any trace it accepts
+// must survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	// Seed corpus: a valid trace, then progressively broken variants.
+	var buf bytes.Buffer
+	b := NewBuilder("Core2", "Sort", "m0", 1, []string{"a", "b"}, 25)
+	_ = b.Add([]float64{1, 2}, 30, 31)
+	_ = b.Add([]float64{3, 4}, 32, 33)
+	tr, _ := b.Build()
+	_ = WriteCSV(&buf, tr)
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("# platform=p\n")
+	f.Add("# platform=p workload=w machine=m run=zzz idle_watts=1\npower_w,true_power_w,c\n1,2,3\n")
+	f.Add("# run=1 idle_watts=nope\npower_w,true_power_w,c\n1,2,3\n")
+	f.Add("# platform=p\npower_w,true_power_w\n1,2\n")
+	f.Add("# platform=p\npower_w,true_power_w,c\nx,2,3\n")
+	f.Add("# platform=p\npower_w,true_power_w,c\n1,2\n")
+	f.Add(strings.Repeat("#", 100))
+
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, got); err != nil {
+			t.Fatalf("accepted trace cannot be re-serialized: %v", err)
+		}
+		back, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != got.Len() || back.X.Cols != got.X.Cols {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				back.Len(), back.X.Cols, got.Len(), got.X.Cols)
+		}
+	})
+}

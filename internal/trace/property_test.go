@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCSVRoundTripProperty: arbitrary traces survive serialization exactly
+// (modulo float formatting, which strconv 'g' keeps bit-exact).
+func TestCSVRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(55))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nCols := 1 + r.Intn(6)
+		nRows := r.Intn(40)
+		names := make([]string, nCols)
+		for j := range names {
+			names[j] = fmt.Sprintf("Counter %d\\With, Comma And\\Backslash", j)
+		}
+		b := NewBuilder("P", "W", fmt.Sprintf("m%d", r.Intn(9)), r.Intn(5), names, r.Float64()*100)
+		for i := 0; i < nRows; i++ {
+			row := make([]float64, nCols)
+			for j := range row {
+				switch r.Intn(4) {
+				case 0:
+					row[j] = r.NormFloat64() * math.Pow(10, float64(r.Intn(20)-10))
+				case 1:
+					row[j] = 0
+				case 2:
+					row[j] = -r.Float64()
+				default:
+					row[j] = float64(r.Int63())
+				}
+			}
+			if err := b.Add(row, r.Float64()*500, r.Float64()*500); err != nil {
+				return false
+			}
+		}
+		tr, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Platform != tr.Platform || got.Run != tr.Run || got.MachineID != tr.MachineID {
+			return false
+		}
+		if got.Len() != tr.Len() || got.X.Cols != tr.X.Cols {
+			return false
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if got.Power[i] != tr.Power[i] || got.TruePower[i] != tr.TruePower[i] {
+				return false
+			}
+			for j := 0; j < tr.X.Cols; j++ {
+				if got.X.At(i, j) != tr.X.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPoolPreservesRowOrder: pooling concatenates rows in trace order.
+func TestPoolPreservesRowOrder(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(56))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nTraces := 1 + r.Intn(4)
+		var traces []*Trace
+		var wantPower []float64
+		for k := 0; k < nTraces; k++ {
+			b := NewBuilder("P", "W", fmt.Sprintf("m%d", k), 0, []string{"c"}, 1)
+			n := 1 + r.Intn(10)
+			for i := 0; i < n; i++ {
+				p := r.Float64() * 100
+				wantPower = append(wantPower, p)
+				if err := b.Add([]float64{p * 2}, p, p); err != nil {
+					return false
+				}
+			}
+			tr, err := b.Build()
+			if err != nil {
+				return false
+			}
+			traces = append(traces, tr)
+		}
+		x, y, err := Pool(traces)
+		if err != nil {
+			return false
+		}
+		if len(y) != len(wantPower) {
+			return false
+		}
+		for i := range y {
+			if y[i] != wantPower[i] || x.At(i, 0) != wantPower[i]*2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubsampleProperty: subsampling keeps every step-th sample and
+// preserves values.
+func TestSubsampleProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(57))}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		step := 1 + r.Intn(7)
+		b := NewBuilder("P", "W", "m", 0, []string{"c"}, 1)
+		for i := 0; i < n; i++ {
+			if err := b.Add([]float64{float64(i)}, float64(i), float64(i)); err != nil {
+				return false
+			}
+		}
+		tr, err := b.Build()
+		if err != nil {
+			return false
+		}
+		sub := Subsample(tr, step)
+		want := (n + step - 1) / step
+		if step <= 1 {
+			want = n
+		}
+		if sub.Len() != want {
+			return false
+		}
+		for i := 0; i < sub.Len(); i++ {
+			if sub.Power[i] != float64(i*step) && step > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/dryad"
+)
+
+// Calibration builds a staircase characterization suite: successive stages
+// exercise CPU, disk, network, and memory at several intensity levels,
+// covering the operating space the way the calibration suites of prior
+// full-system-power work do (e.g. Rivoire et al.'s comparison study the
+// paper cites). The paper notes that model building "can be incorporated
+// into the normal system evaluation and characterization phase"; this is
+// that phase as a runnable workload.
+//
+// Stages are sequential so the cluster visits one regime at a time:
+// idle-ish, then CPU at ~25/50/75/100%, then disk, network, memory sweeps,
+// and finally a combined phase.
+func Calibration(nMachines int) *dryad.Job {
+	job := &dryad.Job{Name: "Calibration"}
+	addStage := func(name string, perMachineTasks int, spec dryad.TaskSpec) {
+		st := dryad.Stage{Name: name}
+		if len(job.Stages) > 0 {
+			st.DependsOn = []int{len(job.Stages) - 1}
+		}
+		for i := 0; i < perMachineTasks*nMachines; i++ {
+			t := spec
+			t.Name = fmt.Sprintf("%s-%d", name, i)
+			st.Tasks = append(st.Tasks, t)
+		}
+		job.Stages = append(job.Stages, st)
+	}
+
+	// CPU staircase: fractional core demand per machine rises per stage.
+	for _, level := range []struct {
+		name string
+		rate float64
+	}{
+		{"cpu-25", 0.25}, {"cpu-50", 0.5}, {"cpu-75", 0.75}, {"cpu-100", 1.0},
+	} {
+		addStage(level.name, 2, dryad.TaskSpec{
+			CPUWork:    30 * level.rate,
+			CPURate:    level.rate,
+			WorkingSet: 200 * MB,
+			MinSeconds: 20,
+		})
+	}
+	// Disk staircase: read then write sweeps.
+	addStage("disk-read", 2, dryad.TaskSpec{
+		DiskReadBytes: 900 * MB, DiskReadRate: 30 * MB,
+		CPUWork: 3, CPURate: 0.1, WorkingSet: 300 * MB, MinSeconds: 15,
+	})
+	addStage("disk-write", 2, dryad.TaskSpec{
+		DiskWriteBytes: 900 * MB, DiskWriteRate: 30 * MB,
+		CPUWork: 3, CPURate: 0.1, WorkingSet: 300 * MB, MinSeconds: 15,
+	})
+	// Network sweep.
+	addStage("net", 2, dryad.TaskSpec{
+		NetSendBytes: 1.2 * GB, NetRecvBytes: 1.2 * GB,
+		NetSendRate: 40 * MB, NetRecvRate: 40 * MB,
+		CPUWork: 3, CPURate: 0.1, WorkingSet: 250 * MB, MinSeconds: 15,
+	})
+	// Memory sweep.
+	addStage("mem", 2, dryad.TaskSpec{
+		MemTouchBytes: 30 * GB, MemTouchRate: 900 * MB,
+		CPUWork: 8, CPURate: 0.3, WorkingSet: 1.5 * GB, MinSeconds: 15,
+	})
+	// Combined phase: everything at once, near the top of the range.
+	addStage("combined", 2, dryad.TaskSpec{
+		CPUWork: 35, CPURate: 1.0,
+		DiskReadBytes: 600 * MB, DiskReadRate: 25 * MB,
+		DiskWriteBytes: 300 * MB, DiskWriteRate: 12 * MB,
+		NetSendBytes: 500 * MB, NetSendRate: 20 * MB,
+		NetRecvBytes: 500 * MB, NetRecvRate: 20 * MB,
+		MemTouchBytes: 12 * GB, MemTouchRate: 500 * MB,
+		WorkingSet: 1.2 * GB, MinSeconds: 20,
+	})
+	return job
+}

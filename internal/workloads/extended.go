@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/dryad"
+)
+
+// The paper's §V-C cautions that its general models are not claimed to
+// hold "for any and all workloads". These two extra workloads — the
+// search-index-update and analytics batch jobs the paper's introduction
+// names as canonical data-center applications — are deliberately *outside*
+// the four evaluation workloads, so the repository can quantify how a
+// model trained on the paper's mix degrades on unseen applications
+// (experiments.Generality).
+
+// IndexUpdate rebuilds a search index: a scan stage that reads crawled
+// documents and tokenizes them (CPU+read heavy), then a write-heavy merge
+// stage that streams posting lists back to disk with bursts of network
+// shuffling.
+func IndexUpdate(nMachines int) *dryad.Job {
+	scan := dryad.Stage{Name: "tokenize"}
+	scanTasks := nMachines * 10
+	for i := 0; i < scanTasks; i++ {
+		scan.Tasks = append(scan.Tasks, dryad.TaskSpec{
+			Name:          fmt.Sprintf("tok-%d", i),
+			DiskReadBytes: 700 * MB,
+			CPUWork:       30,
+			MemTouchBytes: 1.0 * GB,
+			NetSendBytes:  120 * MB,
+			CPURate:       0.85,
+			DiskReadRate:  24 * MB,
+			NetSendRate:   6 * MB,
+			MemTouchRate:  160 * MB,
+			WorkingSet:    800 * MB,
+			MinSeconds:    5,
+		})
+	}
+	merge := dryad.Stage{Name: "merge-postings", DependsOn: []int{0}}
+	mergeTasks := nMachines * 6
+	for i := 0; i < mergeTasks; i++ {
+		merge.Tasks = append(merge.Tasks, dryad.TaskSpec{
+			Name:           fmt.Sprintf("merge-%d", i),
+			NetRecvBytes:   200 * MB,
+			DiskWriteBytes: 900 * MB,
+			CPUWork:        12,
+			MemTouchBytes:  800 * MB,
+			CPURate:        0.4,
+			DiskWriteRate:  30 * MB,
+			NetRecvRate:    10 * MB,
+			MemTouchRate:   120 * MB,
+			WorkingSet:     1.0 * GB,
+			MinSeconds:     5,
+		})
+	}
+	return &dryad.Job{Name: "IndexUpdate", Stages: []dryad.Stage{scan, merge}}
+}
+
+// Analytics is a join-and-aggregate batch query: two scan stages feed a
+// memory-hungry hash join with bursty network repartitioning, followed by
+// a small aggregation. The memory-bandwidth-to-CPU ratio is far higher
+// than any of the paper's four workloads.
+func Analytics(nMachines int) *dryad.Job {
+	scanA := dryad.Stage{Name: "scan-facts"}
+	for i := 0; i < nMachines*6; i++ {
+		scanA.Tasks = append(scanA.Tasks, dryad.TaskSpec{
+			Name:          fmt.Sprintf("facts-%d", i),
+			DiskReadBytes: 900 * MB,
+			CPUWork:       8,
+			MemTouchBytes: 2.2 * GB,
+			NetSendBytes:  350 * MB,
+			CPURate:       0.35,
+			DiskReadRate:  40 * MB,
+			NetSendRate:   16 * MB,
+			MemTouchRate:  450 * MB,
+			WorkingSet:    1.6 * GB,
+			MinSeconds:    4,
+		})
+	}
+	scanB := dryad.Stage{Name: "scan-dims"}
+	for i := 0; i < nMachines*2; i++ {
+		scanB.Tasks = append(scanB.Tasks, dryad.TaskSpec{
+			Name:          fmt.Sprintf("dims-%d", i),
+			DiskReadBytes: 200 * MB,
+			CPUWork:       3,
+			MemTouchBytes: 400 * MB,
+			CPURate:       0.3,
+			DiskReadRate:  30 * MB,
+			MemTouchRate:  200 * MB,
+			WorkingSet:    600 * MB,
+			MinSeconds:    3,
+		})
+	}
+	join := dryad.Stage{Name: "hash-join", DependsOn: []int{0, 1}}
+	for i := 0; i < nMachines*8; i++ {
+		join.Tasks = append(join.Tasks, dryad.TaskSpec{
+			Name:          fmt.Sprintf("join-%d", i),
+			NetRecvBytes:  260 * MB,
+			NetSendBytes:  90 * MB,
+			CPUWork:       10,
+			MemTouchBytes: 3.5 * GB,
+			CPURate:       0.5,
+			NetRecvRate:   14 * MB,
+			NetSendRate:   6 * MB,
+			MemTouchRate:  650 * MB,
+			WorkingSet:    2.4 * GB,
+			MinSeconds:    4,
+		})
+	}
+	agg := dryad.Stage{Name: "aggregate", DependsOn: []int{2}}
+	for i := 0; i < nMachines; i++ {
+		agg.Tasks = append(agg.Tasks, dryad.TaskSpec{
+			Name:         fmt.Sprintf("agg-%d", i),
+			NetRecvBytes: 60 * MB,
+			CPUWork:      6,
+			CPURate:      0.8,
+			NetRecvRate:  20 * MB,
+			WorkingSet:   400 * MB,
+			MinSeconds:   3,
+		})
+	}
+	return &dryad.Job{Name: "Analytics", Stages: []dryad.Stage{scanA, scanB, join, agg}}
+}

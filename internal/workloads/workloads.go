@@ -1,0 +1,187 @@
+// Package workloads builds the four Dryad MapReduce-style jobs the paper
+// evaluates (Section III-A): Sort (disk+network heavy), PageRank (network
+// heavy, 800+ tasks, longest runtime and most power variation), Prime
+// (CPU bound), and WordCount (light I/O). Work amounts are sized so runs
+// last several hundred simulated seconds on the Table I clusters, with the
+// same qualitative resource signatures as the paper's Figure 1.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/dryad"
+)
+
+// GB and MB are byte sizes used when sizing workload data.
+const (
+	MB = 1e6
+	GB = 1e9
+)
+
+// Names lists the canonical workload ordering used in the paper's tables.
+func Names() []string { return []string{"Sort", "PageRank", "Prime", "WordCount"} }
+
+// Build returns the named workload's job for a cluster of nMachines.
+func Build(name string, nMachines int) (*dryad.Job, error) {
+	switch name {
+	case "Sort":
+		return Sort(nMachines), nil
+	case "PageRank":
+		return PageRank(nMachines), nil
+	case "Prime":
+		return Prime(nMachines), nil
+	case "WordCount":
+		return WordCount(nMachines), nil
+	case "Calibration":
+		return Calibration(nMachines), nil
+	case "IndexUpdate":
+		return IndexUpdate(nMachines), nil
+	case "Analytics":
+		return Analytics(nMachines), nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown workload %q (want one of %v)", name, Names())
+	}
+}
+
+// Sort sorts 4 GB per machine of 100-byte records: a read/partition stage
+// that streams data off disk and shuffles it over the network, then a
+// merge stage that receives and writes runs back. High disk and network
+// utilization, moderate CPU.
+func Sort(nMachines int) *dryad.Job {
+	perMachine := 4 * GB
+	mapTasks := nMachines * 8
+	mapData := perMachine * float64(nMachines) / float64(mapTasks)
+	reduceTasks := nMachines * 8
+	redData := perMachine * float64(nMachines) / float64(reduceTasks)
+
+	mapStage := dryad.Stage{Name: "read-partition"}
+	for i := 0; i < mapTasks; i++ {
+		mapStage.Tasks = append(mapStage.Tasks, dryad.TaskSpec{
+			Name:          fmt.Sprintf("map-%d", i),
+			DiskReadBytes: mapData,
+			NetSendBytes:  mapData * 0.8,
+			CPUWork:       20,
+			MemTouchBytes: mapData * 1.5,
+			CPURate:       0.55,
+			DiskReadRate:  28 * MB,
+			NetSendRate:   24 * MB,
+			MemTouchRate:  350 * MB,
+			WorkingSet:    900 * MB,
+			MinSeconds:    4,
+		})
+	}
+	mergeStage := dryad.Stage{Name: "merge-write", DependsOn: []int{0}}
+	for i := 0; i < reduceTasks; i++ {
+		mergeStage.Tasks = append(mergeStage.Tasks, dryad.TaskSpec{
+			Name:           fmt.Sprintf("merge-%d", i),
+			NetRecvBytes:   redData * 0.8,
+			DiskWriteBytes: redData,
+			CPUWork:        16,
+			MemTouchBytes:  redData * 1.2,
+			CPURate:        0.45,
+			DiskWriteRate:  26 * MB,
+			NetRecvRate:    24 * MB,
+			MemTouchRate:   300 * MB,
+			WorkingSet:     1.1 * GB,
+			MinSeconds:     4,
+		})
+	}
+	return &dryad.Job{Name: "Sort", Stages: []dryad.Stage{mapStage, mergeStage}}
+}
+
+// PageRank runs iterative page ranking over a web graph: 16 supersteps of
+// ~52 tasks each (over 800 tasks, like the paper's run over ClueWeb09).
+// Each superstep alternates compute with a network-heavy exchange, which
+// produces the strong power oscillation and long runtime the paper calls
+// out; CPU utilization alone does not track the exchange phases.
+func PageRank(nMachines int) *dryad.Job {
+	const supersteps = 16
+	tasksPer := 52 * nMachines / 5 // scale the paper's 5-machine shape
+	if tasksPer < 8 {
+		tasksPer = 8
+	}
+	job := &dryad.Job{Name: "PageRank"}
+	for s := 0; s < supersteps; s++ {
+		st := dryad.Stage{Name: fmt.Sprintf("superstep-%d", s)}
+		if s > 0 {
+			st.DependsOn = []int{s - 1}
+		}
+		for i := 0; i < tasksPer; i++ {
+			t := dryad.TaskSpec{
+				Name:          fmt.Sprintf("rank-%d-%d", s, i),
+				CPUWork:       7,
+				NetSendBytes:  130 * MB,
+				NetRecvBytes:  130 * MB,
+				MemTouchBytes: 1.6 * GB,
+				CPURate:       0.45,
+				NetSendRate:   60 * MB,
+				NetRecvRate:   60 * MB,
+				MemTouchRate:  700 * MB,
+				WorkingSet:    1.4 * GB,
+				MinSeconds:    3,
+			}
+			if s == 0 {
+				// First superstep loads graph partitions from disk.
+				t.DiskReadBytes = 420 * MB
+				t.DiskReadRate = 70 * MB
+			}
+			st.Tasks = append(st.Tasks, t)
+		}
+		job.Stages = append(job.Stages, st)
+	}
+	return job
+}
+
+// Prime checks ~1,000,000 numbers for primality on each of 5 partitions:
+// pure CPU with almost no I/O. Tasks oversubscribe the cluster's cores so
+// machines saturate during the bulk of the run, while heterogeneous task
+// sizes and demand rates (number ranges of different density, like the
+// paper's non-uniform partitions) stagger completions, sweeping the
+// machines through the whole utilization-and-frequency range as the job
+// drains — the operating region where power is most nonlinear in CPU
+// utilization.
+func Prime(nMachines int) *dryad.Job {
+	tasks := nMachines * 24
+	st := dryad.Stage{Name: "check"}
+	for i := 0; i < tasks; i++ {
+		work := 22 + float64(i%7)*9      // 22..76 nominal core-seconds
+		rate := 0.35 + 0.13*float64(i%6) // 0.35..1.0 cores while running
+		st.Tasks = append(st.Tasks, dryad.TaskSpec{
+			Name:          fmt.Sprintf("prime-%d", i),
+			CPUWork:       work,
+			MemTouchBytes: 40 * MB,
+			NetSendBytes:  2 * MB,
+			CPURate:       rate,
+			MemTouchRate:  15 * MB,
+			NetSendRate:   1 * MB,
+			WorkingSet:    180 * MB,
+			MinSeconds:    4,
+		})
+	}
+	return &dryad.Job{Name: "Prime", Stages: []dryad.Stage{st}}
+}
+
+// WordCount tallies word occurrences in 500 MB text per partition: a scan
+// with modest CPU and disk, little network or write traffic.
+func WordCount(nMachines int) *dryad.Job {
+	tasks := nMachines * 16
+	data := 500 * MB * float64(nMachines) / float64(tasks) * 12
+	st := dryad.Stage{Name: "count"}
+	for i := 0; i < tasks; i++ {
+		st.Tasks = append(st.Tasks, dryad.TaskSpec{
+			Name:           fmt.Sprintf("count-%d", i),
+			DiskReadBytes:  data,
+			CPUWork:        32,
+			MemTouchBytes:  data * 1.1,
+			NetSendBytes:   4 * MB,
+			DiskWriteBytes: 6 * MB,
+			CPURate:        0.7,
+			DiskReadRate:   15 * MB,
+			MemTouchRate:   120 * MB,
+			NetSendRate:    2 * MB,
+			WorkingSet:     500 * MB,
+			MinSeconds:     4,
+		})
+	}
+	return &dryad.Job{Name: "WordCount", Stages: []dryad.Stage{st}}
+}

@@ -1,0 +1,196 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestBuildKnownWorkloads(t *testing.T) {
+	for _, name := range Names() {
+		job, err := Build(name, 5)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if err := job.Validate(); err != nil {
+			t.Errorf("%s job invalid: %v", name, err)
+		}
+		if job.Name != name {
+			t.Errorf("job name %q, want %q", job.Name, name)
+		}
+	}
+	if _, err := Build("Mandelbrot", 5); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}
+
+func TestPageRankShape(t *testing.T) {
+	job := PageRank(5)
+	if got := job.TotalTasks(); got < 800 {
+		t.Errorf("PageRank has %d tasks, paper says over 800", got)
+	}
+	if len(job.Stages) < 10 {
+		t.Errorf("PageRank has %d supersteps, expected an iterative job", len(job.Stages))
+	}
+	// Supersteps are sequential.
+	for i := 1; i < len(job.Stages); i++ {
+		if len(job.Stages[i].DependsOn) != 1 || job.Stages[i].DependsOn[0] != i-1 {
+			t.Fatalf("superstep %d does not depend on %d", i, i-1)
+		}
+	}
+	// Network dominates.
+	var net, disk float64
+	for _, st := range job.Stages {
+		for _, task := range st.Tasks {
+			net += task.NetSendBytes + task.NetRecvBytes
+			disk += task.DiskReadBytes + task.DiskWriteBytes
+		}
+	}
+	if net <= disk {
+		t.Errorf("PageRank should be network-heavy: net=%g disk=%g", net, disk)
+	}
+}
+
+func TestSortShape(t *testing.T) {
+	job := Sort(5)
+	var read, write, net, cpu float64
+	for _, st := range job.Stages {
+		for _, task := range st.Tasks {
+			read += task.DiskReadBytes
+			write += task.DiskWriteBytes
+			net += task.NetSendBytes + task.NetRecvBytes
+			cpu += task.CPUWork
+		}
+	}
+	// 4 GB per machine in and out.
+	if read < 19*GB || read > 21*GB {
+		t.Errorf("Sort reads %g bytes, want ~20 GB for 5 machines", read)
+	}
+	if write < 19*GB || write > 21*GB {
+		t.Errorf("Sort writes %g bytes, want ~20 GB", write)
+	}
+	if net < 10*GB {
+		t.Errorf("Sort shuffles %g bytes, want heavy network", net)
+	}
+}
+
+func TestPrimeShape(t *testing.T) {
+	job := Prime(5)
+	var cpu, io float64
+	for _, st := range job.Stages {
+		for _, task := range st.Tasks {
+			cpu += task.CPUWork
+			io += task.DiskReadBytes + task.DiskWriteBytes + task.NetSendBytes + task.NetRecvBytes
+		}
+	}
+	if cpu < 1000 {
+		t.Errorf("Prime CPU work %g core-seconds looks too small", cpu)
+	}
+	// CPU-bound: byte traffic per core-second should be tiny.
+	if io/cpu > 10*MB {
+		t.Errorf("Prime is supposed to be CPU-bound: %g bytes per core-second", io/cpu)
+	}
+}
+
+func TestWordCountShape(t *testing.T) {
+	job := WordCount(5)
+	var read, write, net float64
+	for _, st := range job.Stages {
+		for _, task := range st.Tasks {
+			read += task.DiskReadBytes
+			write += task.DiskWriteBytes
+			net += task.NetSendBytes + task.NetRecvBytes
+		}
+	}
+	if read < 2*GB {
+		t.Errorf("WordCount reads %g bytes, want 500 MB x 5 partitions scaled", read)
+	}
+	if net > read/5 || write > read/5 {
+		t.Errorf("WordCount should produce little network (%g) or write (%g) traffic vs reads (%g)", net, write, read)
+	}
+}
+
+func TestExtendedWorkloads(t *testing.T) {
+	for _, name := range []string{"IndexUpdate", "Analytics"} {
+		job, err := Build(name, 4)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if err := job.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+	// Analytics is memory-heavy relative to its CPU work — the property
+	// that puts it outside the paper's workload mix.
+	job := Analytics(4)
+	var mem, cpu float64
+	for _, st := range job.Stages {
+		for _, task := range st.Tasks {
+			mem += task.MemTouchBytes
+			cpu += task.CPUWork
+		}
+	}
+	if mem/cpu < 100*MB {
+		t.Errorf("Analytics memory/CPU ratio %g too low to be distinct", mem/cpu)
+	}
+	// IndexUpdate writes far more than any paper workload except Sort.
+	iu := IndexUpdate(4)
+	var writes float64
+	for _, st := range iu.Stages {
+		for _, task := range st.Tasks {
+			writes += task.DiskWriteBytes
+		}
+	}
+	if writes < 10*GB {
+		t.Errorf("IndexUpdate writes %g bytes, expected a write-heavy job", writes)
+	}
+}
+
+func TestCalibrationShape(t *testing.T) {
+	job := Calibration(3)
+	if err := job.Validate(); err != nil {
+		t.Fatalf("Calibration invalid: %v", err)
+	}
+	if len(job.Stages) < 8 {
+		t.Errorf("Calibration has %d stages, want a multi-regime staircase", len(job.Stages))
+	}
+	// Stages are strictly sequential.
+	for i := 1; i < len(job.Stages); i++ {
+		if len(job.Stages[i].DependsOn) != 1 || job.Stages[i].DependsOn[0] != i-1 {
+			t.Fatalf("stage %d not sequential", i)
+		}
+	}
+	// The CPU staircase rises.
+	var prev float64
+	for _, st := range job.Stages[:4] {
+		rate := st.Tasks[0].CPURate
+		if rate <= prev {
+			t.Errorf("CPU staircase not rising at stage %s", st.Name)
+		}
+		prev = rate
+	}
+	// Build path covers it too.
+	if _, err := Build("Calibration", 3); err != nil {
+		t.Errorf("Build(Calibration): %v", err)
+	}
+}
+
+func TestScalingWithClusterSize(t *testing.T) {
+	// Heterogeneous experiment scales the cluster to 10 machines with
+	// constant work per machine.
+	small := Sort(5)
+	big := Sort(10)
+	var sr, br float64
+	for _, st := range small.Stages {
+		for _, task := range st.Tasks {
+			sr += task.DiskReadBytes
+		}
+	}
+	for _, st := range big.Stages {
+		for _, task := range st.Tasks {
+			br += task.DiskReadBytes
+		}
+	}
+	ratio := br / sr
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("doubling machines should double Sort data: ratio %v", ratio)
+	}
+}
