@@ -4,9 +4,14 @@
 // summaries, drift alarms when the workload mix leaves the trained
 // regime, and retrain events that restore accuracy.
 //
+// With -listen the process also serves /metrics (Prometheus text format),
+// /healthz, and /debug/pprof while streaming; with -json every event is
+// emitted as one machine-readable JSON line instead of free-form text.
+//
 // Usage:
 //
 //	chaos-live -platform Core2 -machines 3 -train Prime -stream Prime,Sort,PageRank
+//	chaos-live -listen :9090 -json
 package main
 
 import (
@@ -20,10 +25,27 @@ import (
 	"repro/internal/core"
 	"repro/internal/featsel"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// config collects the run parameters of one chaos-live invocation.
+type config struct {
+	Platform string
+	Machines int
+	Train    string
+	Stream   []string
+	Seed     int64
+	Listen   string // "" disables the metrics endpoint
+	JSON     bool   // emit JSON event lines instead of human text
+
+	// holdOpen, when set, is called after the stream completes but before
+	// the metrics server shuts down, so tests can probe the endpoints
+	// without racing the end of the run.
+	holdOpen func()
+}
 
 func main() {
 	var (
@@ -32,17 +54,56 @@ func main() {
 		train    = flag.String("train", "Prime", "workload to train on")
 		stream   = flag.String("stream", "Prime,Sort", "comma-separated workload sequence to stream")
 		seed     = flag.Int64("seed", 7, "simulation seed")
+		listen   = flag.String("listen", "", "serve /metrics, /healthz, and pprof on this address (e.g. :9090)")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON event lines instead of text")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *platform, *machines, *train, strings.Split(*stream, ","), *seed); err != nil {
+	cfg := config{
+		Platform: *platform, Machines: *machines, Train: *train,
+		Stream: strings.Split(*stream, ","), Seed: *seed,
+		Listen: *listen, JSON: *jsonOut,
+	}
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos-live:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, platform string, machines int, trainWL string, streamWLs []string, seed int64) error {
+// emitter routes run output either to the human text log or, in -json
+// mode, through an obs.EventSink as one JSON line per event.
+type emitter struct {
+	w    io.Writer
+	sink *obs.EventSink // nil in text mode
+}
+
+func (e *emitter) event(name, text string, fields map[string]any) error {
+	if e.sink != nil {
+		return e.sink.Emit(name, fields)
+	}
+	_, err := fmt.Fprintln(e.w, text)
+	return err
+}
+
+func run(w io.Writer, cfg config) error {
+	em := &emitter{w: w}
+	if cfg.JSON {
+		em.sink = obs.NewEventSink(w)
+	}
+	if cfg.Listen != "" {
+		srv, err := obs.Serve(cfg.Listen, obs.Default())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		if err := em.event("listening",
+			fmt.Sprintf("metrics listening on http://%s/metrics", srv.Addr()),
+			map[string]any{"addr": srv.Addr()}); err != nil {
+			return err
+		}
+	}
+
 	// Train.
-	ds, err := core.Collect(platform, machines, []string{trainWL}, 2, seed)
+	ds, err := core.Collect(cfg.Platform, cfg.Machines, []string{cfg.Train}, 2, cfg.Seed)
 	if err != nil {
 		return err
 	}
@@ -51,7 +112,7 @@ func run(w io.Writer, platform string, machines int, trainWL string, streamWLs [
 		return err
 	}
 	spec := core.ClusterSpec(sel.Features)
-	byRun := trace.ByRun(ds.ByWorkload[trainWL])
+	byRun := trace.ByRun(ds.ByWorkload[cfg.Train])
 	var trainTraces []*trace.Trace
 	for _, t := range byRun[0] {
 		trainTraces = append(trainTraces, trace.Subsample(t, 2))
@@ -70,17 +131,24 @@ func run(w io.Writer, platform string, machines int, trainWL string, streamWLs [
 		return err
 	}
 	baseline := rmse(pred, actual)
-	fmt.Fprintf(w, "trained quadratic model on %s (%d features); held-out rMSE %.2f W\n",
-		trainWL, len(sel.Features), baseline)
+	if err := em.event("train",
+		fmt.Sprintf("trained quadratic model on %s (%d features); held-out rMSE %.2f W",
+			cfg.Train, len(sel.Features), baseline),
+		map[string]any{
+			"workload": cfg.Train, "features": len(sel.Features),
+			"baseline_rmse_w": round2(baseline), "technique": "quadratic",
+		}); err != nil {
+		return err
+	}
 
 	// Stream the sequence on the same cluster instances the model was
 	// trained for (same seed -> same machines; a deployed model monitors
 	// the machines it was fitted on).
-	cluster, err := telemetry.New(platform, machines, seed)
+	cluster, err := telemetry.New(cfg.Platform, cfg.Machines, cfg.Seed)
 	if err != nil {
 		return err
 	}
-	seq, err := cluster.RunSequence(streamWLs, 20, 3000, 0)
+	seq, err := cluster.RunSequence(cfg.Stream, 20, 3000, 0)
 	if err != nil {
 		return err
 	}
@@ -98,8 +166,13 @@ func run(w io.Writer, platform string, machines int, trainWL string, streamWLs [
 	}
 
 	n := seq[0].Len()
-	fmt.Fprintf(w, "streaming %s (%d s total)\n", strings.Join(streamWLs, " -> "), n)
+	if err := em.event("stream_start",
+		fmt.Sprintf("streaming %s (%d s total)", strings.Join(cfg.Stream, " -> "), n),
+		map[string]any{"sequence": cfg.Stream, "seconds": n}); err != nil {
+		return err
+	}
 	var drifted bool
+	var driftCount, retrainCount int
 	var minuteErr, minuteActual float64
 	for i := 0; i < n; i++ {
 		var samples []online.Sample
@@ -121,14 +194,27 @@ func run(w io.Writer, platform string, machines int, trainWL string, streamWLs [
 		minuteErr += math.Abs(est.ClusterWatts - clusterActual)
 		minuteActual += clusterActual
 		if i%60 == 59 {
-			fmt.Fprintf(w, "t=%4ds  cluster %6.1f W  mean abs err %5.2f W  residual %.1fx baseline\n",
-				i+1, minuteActual/60, minuteErr/60, monitor.EWMA())
+			if err := em.event("estimate",
+				fmt.Sprintf("t=%4ds  cluster %6.1f W  mean abs err %5.2f W  residual %.1fx baseline",
+					i+1, minuteActual/60, minuteErr/60, monitor.EWMA()),
+				map[string]any{
+					"t_s": i + 1, "cluster_w": round2(minuteActual / 60),
+					"mean_abs_err_w": round2(minuteErr / 60),
+					"residual_x":     round2(monitor.EWMA()),
+				}); err != nil {
+				return err
+			}
 			minuteErr, minuteActual = 0, 0
 		}
 		if monitor.Observe(est.ClusterWatts, clusterActual) && !drifted {
 			drifted = true
-			fmt.Fprintf(w, "t=%4ds  *** DRIFT: residual %.1fx baseline — scheduling retrain\n",
-				i, monitor.EWMA())
+			driftCount++
+			if err := em.event("drift",
+				fmt.Sprintf("t=%4ds  *** DRIFT: residual %.1fx baseline — scheduling retrain",
+					i, monitor.EWMA()),
+				map[string]any{"t_s": i, "residual_x": round2(monitor.EWMA())}); err != nil {
+				return err
+			}
 		}
 		// Retrain once enough post-drift samples are buffered.
 		if drifted && i%120 == 119 {
@@ -143,11 +229,22 @@ func run(w io.Writer, platform string, machines int, trainWL string, streamWLs [
 			predictor = p2
 			monitor.Reset()
 			drifted = false
-			fmt.Fprintf(w, "t=%4ds  *** retrained on %d buffered seconds; monitor reset\n",
-				i, retrainer.Buffered(seq[0].MachineID))
+			retrainCount++
+			if err := em.event("retrain",
+				fmt.Sprintf("t=%4ds  *** retrained on %d buffered seconds; monitor reset",
+					i, retrainer.Buffered(seq[0].MachineID)),
+				map[string]any{"t_s": i, "buffered_s": retrainer.Buffered(seq[0].MachineID)}); err != nil {
+				return err
+			}
 		}
 	}
-	fmt.Fprintln(w, "stream complete")
+	if err := em.event("complete", "stream complete",
+		map[string]any{"seconds": n, "drift_alarms": driftCount, "retrains": retrainCount}); err != nil {
+		return err
+	}
+	if cfg.holdOpen != nil {
+		cfg.holdOpen()
+	}
 	return nil
 }
 
@@ -159,3 +256,6 @@ func rmse(pred, actual []float64) float64 {
 	}
 	return math.Sqrt(s / float64(len(pred)))
 }
+
+// round2 keeps event payloads readable (two decimals is plenty for watts).
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

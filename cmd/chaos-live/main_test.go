@@ -1,8 +1,15 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestLiveLoopDetectsAndRecovers(t *testing.T) {
@@ -10,7 +17,9 @@ func TestLiveLoopDetectsAndRecovers(t *testing.T) {
 		t.Skip("live loop in -short mode")
 	}
 	var sb strings.Builder
-	if err := run(&sb, "Core2", 2, "Prime", []string{"Prime", "Sort"}, 7); err != nil {
+	cfg := config{Platform: "Core2", Machines: 2, Train: "Prime",
+		Stream: []string{"Prime", "Sort"}, Seed: 7}
+	if err := run(&sb, cfg); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := sb.String()
@@ -27,10 +36,195 @@ func TestLiveLoopDetectsAndRecovers(t *testing.T) {
 
 func TestLiveLoopValidation(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "PDP11", 2, "Prime", []string{"Prime"}, 1); err == nil {
+	if err := run(&sb, config{Platform: "PDP11", Machines: 2, Train: "Prime",
+		Stream: []string{"Prime"}, Seed: 1}); err == nil {
 		t.Error("expected error for unknown platform")
 	}
-	if err := run(&sb, "Core2", 2, "FizzBuzz", []string{"Prime"}, 1); err == nil {
+	if err := run(&sb, config{Platform: "Core2", Machines: 2, Train: "FizzBuzz",
+		Stream: []string{"Prime"}, Seed: 1}); err == nil {
 		t.Error("expected error for unknown training workload")
+	}
+	if err := run(&sb, config{Platform: "Core2", Machines: 2, Train: "Prime",
+		Stream: []string{"Prime"}, Seed: 1, Listen: "256.0.0.1:bad"}); err == nil {
+		t.Error("expected error for bad listen address")
+	}
+}
+
+// TestLiveLoopJSONEvents runs the loop in -json mode and checks every
+// output line is a well-formed event with the documented schema.
+func TestLiveLoopJSONEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loop in -short mode")
+	}
+	var sb strings.Builder
+	cfg := config{Platform: "Core2", Machines: 2, Train: "Prime",
+		Stream: []string{"Prime", "Sort"}, Seed: 7, JSON: true}
+	if err := run(&sb, cfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	seen := map[string]int{}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	lastSeq := float64(0)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("non-JSON line in -json mode: %q: %v", sc.Text(), err)
+		}
+		name, _ := ev["event"].(string)
+		seen[name]++
+		seq, _ := ev["seq"].(float64)
+		if seq <= lastSeq {
+			t.Errorf("seq not monotone: %v after %v", seq, lastSeq)
+		}
+		lastSeq = seq
+		if _, ok := ev["ts"].(string); !ok {
+			t.Errorf("event %q missing ts", name)
+		}
+	}
+	for _, want := range []string{"train", "stream_start", "estimate", "drift", "retrain", "complete"} {
+		if seen[want] == 0 {
+			t.Errorf("no %q event emitted; saw %v", want, seen)
+		}
+	}
+}
+
+// syncWriter lets the test read run()'s output while the loop is still
+// streaming in another goroutine.
+type syncWriter struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.String()
+}
+
+// TestLiveLoopServesMetrics is the acceptance check for the observability
+// layer: with -listen, /healthz answers 200 and /metrics exposes at least
+// 10 distinct series while the stream is running.
+func TestLiveLoopServesMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loop in -short mode")
+	}
+	w := &syncWriter{}
+	// holdOpen keeps the metrics server up after the stream completes until
+	// the test releases it, so the probes below can never race the server
+	// shutdown regardless of how fast the run finishes.
+	loopDone := make(chan struct{})
+	release := make(chan struct{})
+	cfg := config{Platform: "Core2", Machines: 2, Train: "Prime",
+		Stream: []string{"Prime", "Sort"}, Seed: 7, Listen: "127.0.0.1:0",
+		holdOpen: func() { close(loopDone); <-release }}
+	done := make(chan error, 1)
+	go func() { done <- run(w, cfg) }()
+
+	// Wait for the listening line to learn the bound port.
+	addrRe := regexp.MustCompile(`http://([^/]+)/metrics`)
+	var addr string
+	// Generous: training takes a few seconds normally but tens of seconds
+	// under the race detector.
+	deadline := time.Now().Add(2 * time.Minute)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server address never printed")
+		}
+		if m := addrRe.FindStringSubmatch(w.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	// Wait for training to finish (the "trained" line) so the spans and
+	// collector gauges of the training phase are all published, then probe
+	// while the run is still in flight (the stream phase is still ahead).
+	for !strings.Contains(w.String(), "trained") {
+		if time.Now().After(deadline) {
+			t.Fatal("training never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz during stream: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", resp.StatusCode)
+	}
+	midResp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics during stream: %v", err)
+	}
+	midScrape, _ := io.ReadAll(midResp.Body)
+	midResp.Body.Close()
+	if midResp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics = %d, want 200", midResp.StatusCode)
+	}
+	if !strings.Contains(string(midScrape), "chaos_") {
+		t.Error("mid-stream scrape has no chaos_ series")
+	}
+
+	// Wait for the loop to finish (the server is still held open), then
+	// take the final scrape: the full series set — drift and retrain
+	// counters included — must have accumulated by stream end.
+	select {
+	case <-loopDone:
+	case err := <-done:
+		t.Fatalf("run exited before completing the stream: %v", err)
+	}
+	finalResp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics after stream: %v", err)
+	}
+	body, _ := io.ReadAll(finalResp.Body)
+	finalResp.Body.Close()
+	checkSeries(t, string(body))
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// checkSeries asserts the scrape carries >= 10 distinct series including
+// the families named in the acceptance criteria.
+func checkSeries(t *testing.T, scrape string) {
+	t.Helper()
+	series := map[string]bool{}
+	for _, line := range strings.Split(scrape, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.IndexByte(line, ' '); i > 0 {
+			series[line[:i]] = true
+		}
+	}
+	if len(series) < 10 {
+		t.Errorf("scrape has %d distinct series, want >= 10", len(series))
+	}
+	for _, want := range []string{
+		"chaos_span_seconds_count", "chaos_residual_watts_count",
+		"chaos_drift_alarms_total", "chaos_collector_overhead_worst_fraction",
+		"chaos_estimates_total", "chaos_retrains_total",
+	} {
+		found := false
+		for s := range series {
+			if strings.HasPrefix(s, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("scrape missing family %s", want)
+		}
 	}
 }

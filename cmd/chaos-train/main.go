@@ -20,6 +20,7 @@ import (
 	"repro/internal/counters"
 	"repro/internal/featsel"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -29,9 +30,10 @@ func main() {
 		tech     = flag.String("tech", "quadratic", "technique: linear, piecewise, quadratic, switching")
 		features = flag.String("features", "auto", `"auto" (Algorithm 1), "cpu-only", or a comma-separated counter list`)
 		out      = flag.String("out", "model.json", "output model file")
+		listen   = flag.String("listen", "", "serve /metrics, /healthz, and pprof on this address while training")
 	)
 	flag.Parse()
-	if err := run(*in, *tech, *features, *out); err != nil {
+	if err := run(*in, *tech, *features, *out, *listen); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos-train:", err)
 		os.Exit(1)
 	}
@@ -61,7 +63,17 @@ func loadTraces(dir string) ([]*trace.Trace, error) {
 	return out, nil
 }
 
-func run(in, techName, features, out string) error {
+func run(in, techName, features, out, listen string) error {
+	if listen != "" {
+		srv, err := obs.Serve(listen, obs.Default())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics listening on http://%s/metrics\n", srv.Addr())
+	}
+	span := obs.StartSpan("train.run", obs.String("tech", techName))
+	defer span.End()
 	traces, err := loadTraces(in)
 	if err != nil {
 		return err

@@ -2,12 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 
 	"repro/internal/counters"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -42,7 +45,7 @@ func TestTrainAutoFeatures(t *testing.T) {
 	dir := t.TempDir()
 	writeTraces(t, dir, 2)
 	out := filepath.Join(dir, "model.json")
-	if err := run(dir, "quadratic", "auto", out); err != nil {
+	if err := run(dir, "quadratic", "auto", out, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -66,21 +69,21 @@ func TestTrainExplicitFeatures(t *testing.T) {
 	writeTraces(t, dir, 2)
 	out := filepath.Join(dir, "model.json")
 	feats := counters.CPUTotal + "," + counters.CPUFreqCore0
-	if err := run(dir, "switching", feats, out); err != nil {
+	if err := run(dir, "switching", feats, out, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run(dir, "linear", "cpu-only", out); err != nil {
+	if err := run(dir, "linear", "cpu-only", out, ""); err != nil {
 		t.Fatalf("run cpu-only: %v", err)
 	}
 }
 
 func TestTrainErrors(t *testing.T) {
-	if err := run(t.TempDir(), "quadratic", "auto", "x.json"); err == nil {
+	if err := run(t.TempDir(), "quadratic", "auto", "x.json", ""); err == nil {
 		t.Error("expected error for empty trace dir")
 	}
 	dir := t.TempDir()
 	writeTraces(t, dir, 2)
-	if err := run(dir, "cubist", "cpu-only", filepath.Join(dir, "m.json")); err == nil {
+	if err := run(dir, "cubist", "cpu-only", filepath.Join(dir, "m.json"), ""); err == nil {
 		t.Error("expected error for unknown technique")
 	}
 }
@@ -92,5 +95,37 @@ func TestLoadTracesRejectsGarbage(t *testing.T) {
 	}
 	if _, err := loadTraces(dir); err == nil {
 		t.Error("expected error for malformed CSV")
+	}
+}
+
+func TestTrainListenServesMetrics(t *testing.T) {
+	dir := t.TempDir()
+	writeTraces(t, dir, 2)
+	out := filepath.Join(dir, "model.json")
+	// Capture stdout to learn the bound port.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(dir, "linear", "cpu-only", out, "127.0.0.1:0")
+	w.Close()
+	os.Stdout = old
+	buf, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	m := regexp.MustCompile(`http://([^/]+)/metrics`).FindSubmatch(buf)
+	if m == nil {
+		t.Fatalf("no listening line in output:\n%s", buf)
+	}
+	// run already returned so the server is closed; the address line and
+	// the span metrics in the default registry prove the wiring.
+	if got := obs.Default().Histogram("chaos_span_seconds", obs.Labels{"span": "train.run"}, nil).Count(); got == 0 {
+		t.Error("train.run span not recorded")
+	}
+	if err := run(dir, "linear", "cpu-only", out, "256.0.0.1:bad"); err == nil {
+		t.Error("expected error for bad listen address")
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/counters"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/regress"
 	"repro/internal/trace"
 )
@@ -92,6 +93,8 @@ func SelectCluster(traces []*trace.Trace, reg *counters.Registry, opts Options) 
 	if len(names) != reg.Len() {
 		return nil, fmt.Errorf("featsel: traces carry %d counters but registry has %d", len(names), reg.Len())
 	}
+	span := obs.StartSpan("featsel.select_cluster", obs.Int("traces", len(traces)))
+	defer span.End()
 	funnel := Funnel{Candidates: reg.Len()}
 
 	pooledX, pooledY, err := trace.Pool(traces)
@@ -105,6 +108,7 @@ func SelectCluster(traces []*trace.Trace, reg *counters.Registry, opts Options) 
 	funnel.AfterConstant = len(kept)
 
 	// Step 1: correlation pruning on pooled data across all workloads.
+	s1 := span.Child("featsel.step1_corr_prune")
 	sub := pooledX.SelectCols(kept)
 	k1, _, err := regress.CorrelationPrune(sub, opts.CorrThreshold)
 	if err != nil {
@@ -112,8 +116,11 @@ func SelectCluster(traces []*trace.Trace, reg *counters.Registry, opts Options) 
 	}
 	kept = indexThrough(kept, k1)
 	funnel.AfterCorr = len(kept)
+	s1.SetAttr(obs.Int("kept", len(kept)))
+	s1.End()
 
 	// Step 2: co-dependent counters from definitions.
+	s2 := span.Child("featsel.step2_codep_prune")
 	keptSet := map[int]bool{}
 	for _, j := range kept {
 		keptSet[j] = true
@@ -130,12 +137,15 @@ func SelectCluster(traces []*trace.Trace, reg *counters.Registry, opts Options) 
 		}
 	}
 	funnel.AfterCoDep = len(kept)
+	s2.SetAttr(obs.Int("kept", len(kept)))
+	s2.End()
 	if len(kept) == 0 {
 		return nil, fmt.Errorf("featsel: all counters eliminated before regression steps")
 	}
 
 	// Steps 3-4 per machine and workload; step 5 accumulates the
 	// weighted histogram over the union of selections.
+	s34 := span.Child("featsel.step3_4_per_machine")
 	hist := make(map[int]float64)
 	groups := groupByMachineWorkload(traces)
 	var perMachineSizes []float64
@@ -175,6 +185,8 @@ func SelectCluster(traces []*trace.Trace, reg *counters.Registry, opts Options) 
 			}
 		}
 	}
+	s34.SetAttr(obs.Int("groups", len(groups)), obs.Int("survivors", len(hist)))
+	s34.End()
 	if len(hist) == 0 {
 		return nil, fmt.Errorf("featsel: no features survived per-machine selection")
 	}
@@ -183,6 +195,7 @@ func SelectCluster(traces []*trace.Trace, reg *counters.Registry, opts Options) 
 	// Steps 5-6: threshold the histogram, then run stepwise on the full
 	// cluster data; if stepwise rejects features, raise the threshold
 	// and repeat until the selected set is stepwise-stable.
+	s56 := span.Child("featsel.step5_6_threshold")
 	threshold := opts.InitialThreshold
 	if threshold == 0 {
 		// The paper starts at a weighted occurrence count of 5 out of 20
@@ -230,6 +243,10 @@ func SelectCluster(traces []*trace.Trace, reg *counters.Registry, opts Options) 
 	}
 	sort.Ints(final)
 	funnel.Final = len(final)
+	s56.SetAttr(obs.Int("final", len(final)), obs.Float("threshold", threshold))
+	s56.End()
+	span.SetAttr(obs.Int("features", len(final)))
+	obs.Default().Gauge("chaos_featsel_selected_features", nil).Set(float64(len(final)))
 
 	res := &Result{
 		Histogram: map[string]float64{},
@@ -324,11 +341,4 @@ func topK(hist map[int]float64, k int) []int {
 		out[i] = all[i].j
 	}
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

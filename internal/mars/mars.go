@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 )
 
 // Hinge is one factor of a basis term: max(0, x−Knot) when Sign > 0, or
@@ -157,11 +158,14 @@ func Fit(x *mathx.Matrix, y []float64, opts Options) (*Model, error) {
 		return nil, fmt.Errorf("mars: no input variables")
 	}
 
+	span := obs.StartSpan("mars.fit", obs.Int("n", n), obs.Int("p", p), obs.Int("degree", opts.MaxDegree))
 	f := &fitter{x: x, y: y, opts: opts, n: n, p: p}
 	f.prepareKnots()
 	f.forward()
 	model := f.backward()
 	model.NumInputs = p
+	span.SetAttr(obs.Int("terms", len(model.Terms)))
+	span.End()
 	return model, nil
 }
 

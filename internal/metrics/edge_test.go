@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// These cover the degenerate evaluation sets that guard the DRE division
+// (Eq. 6): empty series, zero dynamic range, and single-sample series.
+
+func TestEvaluateEmptySeries(t *testing.T) {
+	if _, err := Evaluate(nil, nil, 10); err == nil {
+		t.Error("expected error for empty series")
+	}
+	if _, err := Evaluate([]float64{}, []float64{}, 10); err == nil {
+		t.Error("expected error for zero-length series")
+	}
+	if _, err := MSE(nil, nil); err == nil {
+		t.Error("expected MSE error for empty series")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("expected RMSE error for empty series")
+	}
+}
+
+func TestEvaluateMismatchedLengths(t *testing.T) {
+	if _, err := Evaluate([]float64{1, 2}, []float64{1}, 0); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+}
+
+func TestEvaluateZeroDynamicRange(t *testing.T) {
+	// All actuals at idle: pmax == pidle, so the DRE denominator is zero.
+	pred := []float64{10, 10, 10}
+	actual := []float64{10, 10, 10}
+	if _, err := Evaluate(pred, actual, 10); err == nil {
+		t.Error("expected error when dynamic range is empty")
+	}
+	// Idle above the observed maximum: negative range must also error.
+	if _, err := Evaluate(pred, actual, 50); err == nil {
+		t.Error("expected error when idle exceeds max actual")
+	}
+	if _, err := DRE(1, 10, 10); err == nil {
+		t.Error("expected DRE error for pmax == pidle")
+	}
+	if _, err := DRE(1, 5, 10); err == nil {
+		t.Error("expected DRE error for pmax < pidle")
+	}
+}
+
+func TestEvaluateSingleSample(t *testing.T) {
+	s, err := Evaluate([]float64{95}, []float64{100}, 60)
+	if err != nil {
+		t.Fatalf("single-sample evaluate: %v", err)
+	}
+	if s.N != 1 {
+		t.Errorf("N = %d, want 1", s.N)
+	}
+	if math.Abs(s.RMSE-5) > 1e-12 {
+		t.Errorf("RMSE = %g, want 5", s.RMSE)
+	}
+	if math.Abs(s.DRE-5.0/40) > 1e-12 {
+		t.Errorf("DRE = %g, want 0.125", s.DRE)
+	}
+	if math.Abs(s.MedAbsE-5) > 1e-12 || math.Abs(s.MedRelE-0.05) > 1e-12 {
+		t.Errorf("medians = %g, %g", s.MedAbsE, s.MedRelE)
+	}
+	if s.MaxErr != 5 {
+		t.Errorf("MaxErr = %g, want 5", s.MaxErr)
+	}
+}
+
+func TestEvaluateZeroActuals(t *testing.T) {
+	// actual == 0 samples must not divide by zero in relative error or
+	// percent error; the dynamic range still guards DRE.
+	s, err := Evaluate([]float64{1, 2}, []float64{0, 4}, -1)
+	if err != nil {
+		t.Fatalf("evaluate with zero actual: %v", err)
+	}
+	if math.IsNaN(s.PctErr) || math.IsInf(s.PctErr, 0) {
+		t.Errorf("PctErr = %g", s.PctErr)
+	}
+	if math.IsNaN(s.MedRelE) || math.IsInf(s.MedRelE, 0) {
+		t.Errorf("MedRelE = %g", s.MedRelE)
+	}
+}
+
+func TestAverageEmptyAndSingle(t *testing.T) {
+	if got := Average(nil); got.N != 0 || got.RMSE != 0 {
+		t.Errorf("Average(nil) = %+v", got)
+	}
+	one := Summary{N: 3, RMSE: 2, DRE: 0.1, MaxErr: 7}
+	got := Average([]Summary{one})
+	if got != one {
+		t.Errorf("Average of one = %+v, want %+v", got, one)
+	}
+}
+
+func TestEnergyWhEmpty(t *testing.T) {
+	if got := EnergyWh(nil); got != 0 {
+		t.Errorf("EnergyWh(nil) = %g", got)
+	}
+}

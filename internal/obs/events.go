@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventSink writes machine-readable JSON events, one object per line.
+// Every event carries a monotone sequence number, an RFC 3339 timestamp,
+// and the event name; arbitrary flat fields ride along. Emits are
+// serialized, so a sink is safe to share across goroutines.
+//
+// Example line:
+//
+//	{"event":"drift","residual_x":4.2,"seq":12,"t_s":840,"ts":"2026-08-05T10:00:00Z"}
+type EventSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq uint64
+	now func() time.Time
+	reg *Registry
+}
+
+// NewEventSink builds a sink writing to w and counting events in the
+// default registry (chaos_events_total{event=...}).
+func NewEventSink(w io.Writer) *EventSink {
+	return &EventSink{w: w, now: time.Now, reg: defaultRegistry}
+}
+
+// NewEventSinkAt is NewEventSink with an explicit clock and registry, for
+// deterministic tests. Either may be nil to take the default.
+func NewEventSinkAt(w io.Writer, now func() time.Time, reg *Registry) *EventSink {
+	s := NewEventSink(w)
+	if now != nil {
+		s.now = now
+	}
+	if reg != nil {
+		s.reg = reg
+	}
+	return s
+}
+
+// reserved keys always present on an event; colliding field names get an
+// underscore prefix rather than clobbering them.
+var reservedKeys = map[string]bool{"seq": true, "ts": true, "event": true}
+
+// Emit writes one event line. fields may be nil. Values must be
+// JSON-marshalable; keys are emitted in sorted order (encoding/json sorts
+// map keys), so output is stable for tests and log diffing.
+func (s *EventSink) Emit(event string, fields map[string]any) error {
+	if event == "" {
+		return fmt.Errorf("obs: empty event name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	m := make(map[string]any, len(fields)+3)
+	for k, v := range fields {
+		if reservedKeys[k] {
+			k = "_" + k
+		}
+		m[k] = v
+	}
+	m["seq"] = s.seq
+	m["ts"] = s.now().UTC().Format(time.RFC3339Nano)
+	m["event"] = event
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("obs: marshal event %q: %w", event, err)
+	}
+	data = append(data, '\n')
+	if _, err := s.w.Write(data); err != nil {
+		return fmt.Errorf("obs: write event %q: %w", event, err)
+	}
+	s.reg.Counter("chaos_events_total", Labels{"event": event}).Inc()
+	return nil
+}
+
+// Seq returns the number of events emitted so far.
+func (s *EventSink) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC)
+}
+
+func TestEventSinkEmitsJSONLines(t *testing.T) {
+	var sb strings.Builder
+	reg := NewRegistry()
+	s := NewEventSinkAt(&sb, fixedClock, reg)
+	if err := s.Emit("drift", map[string]any{"residual_x": 4.2, "t_s": 840}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Emit("retrain", nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev["event"] != "drift" || ev["seq"] != float64(1) || ev["residual_x"] != 4.2 {
+		t.Errorf("event = %v", ev)
+	}
+	if ev["ts"] != "2026-08-05T10:00:00Z" {
+		t.Errorf("ts = %v", ev["ts"])
+	}
+	if reg.Counter("chaos_events_total", Labels{"event": "drift"}).Value() != 1 {
+		t.Error("event counter not incremented")
+	}
+	if s.Seq() != 2 {
+		t.Errorf("Seq = %d, want 2", s.Seq())
+	}
+}
+
+func TestEventSinkReservedKeysAndErrors(t *testing.T) {
+	var sb strings.Builder
+	s := NewEventSinkAt(&sb, fixedClock, NewRegistry())
+	if err := s.Emit("", nil); err == nil {
+		t.Error("expected error for empty event name")
+	}
+	// A field named "event" must not clobber the event name.
+	if err := s.Emit("estimate", map[string]any{"event": "spoof", "watts": 100.0}); err != nil {
+		t.Fatal(err)
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["event"] != "estimate" || ev["_event"] != "spoof" {
+		t.Errorf("reserved-key collision mishandled: %v", ev)
+	}
+	if err := s.Emit("bad", map[string]any{"ch": make(chan int)}); err == nil {
+		t.Error("expected marshal error for unmarshalable field")
+	}
+}
+
+// TestEventSinkConcurrent checks emits interleave without torn lines; run
+// with -race.
+func TestEventSinkConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var sb strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	})
+	s := NewEventSinkAt(w, fixedClock, NewRegistry())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := s.Emit("tick", map[string]any{"g": g, "i": i}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	n := 0
+	seen := map[float64]bool{}
+	for sc.Scan() {
+		n++
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", n, err)
+		}
+		seq := ev["seq"].(float64)
+		if seen[seq] {
+			t.Errorf("duplicate seq %v", seq)
+		}
+		seen[seq] = true
+	}
+	if n != 800 {
+		t.Errorf("got %d lines, want 800", n)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,367 @@
+// Package obs is the observability layer for the CHAOS pipeline: a
+// lock-cheap metrics registry (counters, gauges, fixed-bucket histograms)
+// exported in Prometheus text format, a span tracer that times pipeline
+// stages, a JSON event sink for machine-readable run logs, and an HTTP
+// exporter serving /metrics, /healthz, and pprof.
+//
+// The package is stdlib-only, like the rest of the module. All hot-path
+// operations (Counter.Add, Gauge.Set, Histogram.Observe, Span.End) are a
+// handful of atomic operations — cheap enough to sit inside the 1 Hz
+// collector whose own overhead the paper bounds below 1% CPU (§III-B).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attach dimensions to an instrument (e.g. machine ID, span name).
+// A nil Labels is valid and means "no labels".
+type Labels map[string]string
+
+// atomicFloat is a float64 updated with atomic bit operations.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomicFloat }
+
+// Add increments the counter. Negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(v float64) {
+	if v > 0 {
+		c.v.Add(v)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add shifts the gauge value.
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets (upper bounds,
+// ascending). Observations above the last bound land in the implicit +Inf
+// bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomicFloat
+	total  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// ExpBuckets returns n exponential bucket bounds starting at start and
+// multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		return []float64{1}
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n linear bucket bounds starting at start with the
+// given width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n < 1 {
+		return []float64{1}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// instrument is one registered metric series.
+type instrument struct {
+	name   string
+	labels Labels
+	kind   string // "counter", "gauge", "histogram"
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named instruments and renders them in Prometheus text
+// format. Get-or-create calls take a short lock; the returned instruments
+// are lock-free to update.
+type Registry struct {
+	mu   sync.RWMutex
+	inst map[string]*instrument // key: name + sorted labels
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{inst: map[string]*instrument{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the pipeline stages report
+// into. Binaries mount it at /metrics; tests can read it directly.
+func Default() *Registry { return defaultRegistry }
+
+// seriesKey builds the map key for an instrument: name plus sorted labels.
+func seriesKey(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// get returns the instrument for key, or creates it with mk. It panics if
+// the key exists with a different kind — that is a programming error.
+func (r *Registry) get(name string, labels Labels, kind string, mk func() *instrument) *instrument {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	in, ok := r.inst[key]
+	r.mu.RUnlock()
+	if ok {
+		if in.kind != kind {
+			panic(fmt.Sprintf("obs: %s already registered as %s, requested %s", key, in.kind, kind))
+		}
+		return in
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.inst[key]; ok {
+		if in.kind != kind {
+			panic(fmt.Sprintf("obs: %s already registered as %s, requested %s", key, in.kind, kind))
+		}
+		return in
+	}
+	in = mk()
+	r.inst[key] = in
+	return in
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	in := r.get(name, labels, "counter", func() *instrument {
+		return &instrument{name: name, labels: cloneLabels(labels), kind: "counter", c: &Counter{}}
+	})
+	return in.c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	in := r.get(name, labels, "gauge", func() *instrument {
+		return &instrument{name: name, labels: cloneLabels(labels), kind: "gauge", g: &Gauge{}}
+	})
+	return in.g
+}
+
+// Histogram returns (creating if needed) the named histogram. bounds is
+// only used on first creation; later calls with the same name+labels
+// return the existing histogram regardless of bounds.
+func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Histogram {
+	in := r.get(name, labels, "histogram", func() *instrument {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h := &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		return &instrument{name: name, labels: cloneLabels(labels), kind: "histogram", h: h}
+	})
+	return in.h
+}
+
+func cloneLabels(l Labels) Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot returns the current scalar value of every series: counters and
+// gauges by their series key, histograms as key_count and key_sum. Useful
+// in tests.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.inst))
+	for key, in := range r.inst {
+		switch in.kind {
+		case "counter":
+			out[key] = in.c.Value()
+		case "gauge":
+			out[key] = in.g.Value()
+		case "histogram":
+			out[key+"_count"] = float64(in.h.Count())
+			out[key+"_sum"] = in.h.Sum()
+		}
+	}
+	return out
+}
+
+// NumSeries returns the number of registered series (histograms count as
+// one).
+func (r *Registry) NumSeries() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.inst)
+}
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatLabels renders {k="v",...} with sorted keys; extra appends one
+// more pair (used for histogram le bounds). Returns "" for no labels.
+func formatLabels(labels Labels, extraKey, extraVal string) string {
+	n := len(labels)
+	if extraKey != "" {
+		n++
+	}
+	if n == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, k, escapeLabel(labels[k]))
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, extraKey, escapeLabel(extraVal))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (one # TYPE line per metric name, series sorted by
+// key).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	keys := make([]string, 0, len(r.inst))
+	byKey := make(map[string]*instrument, len(r.inst))
+	for k, in := range r.inst {
+		keys = append(keys, k)
+		byKey[k] = in
+	}
+	r.mu.RUnlock()
+	sort.Strings(keys)
+	typed := map[string]bool{}
+	for _, k := range keys {
+		in := byKey[k]
+		if !typed[in.name] {
+			typed[in.name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", in.name, in.kind); err != nil {
+				return err
+			}
+		}
+		switch in.kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", in.name, formatLabels(in.labels, "", ""), in.c.Value()); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", in.name, formatLabels(in.labels, "", ""), in.g.Value()); err != nil {
+				return err
+			}
+		case "histogram":
+			h := in.h
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", in.name, formatLabels(in.labels, "le", fmt.Sprintf("%g", b)), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", in.name, formatLabels(in.labels, "le", "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", in.name, formatLabels(in.labels, "", ""), h.Sum()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", in.name, formatLabels(in.labels, "", ""), h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

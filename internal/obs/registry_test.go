@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", nil)
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %g, want 3.5", got)
+	}
+	g := r.Gauge("watts", Labels{"machine": "m0"})
+	g.Set(41)
+	g.Add(1)
+	if got := g.Value(); got != 42 {
+		t.Errorf("gauge = %g, want 42", got)
+	}
+	// Same name+labels returns the same instrument.
+	if r.Counter("reqs_total", nil) != c {
+		t.Error("counter get-or-create returned a new instance")
+	}
+	if r.NumSeries() != 2 {
+		t.Errorf("NumSeries = %d, want 2", r.NumSeries())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil, []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("sum = %g, want 556.5", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{le="1"} 2`, // 0.5 and 1 (le is inclusive)
+		`lat_bucket{le="10"} 3`,
+		`lat_bucket{le="100"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		"lat_sum 556.5",
+		"lat_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusFormatLabelsAndTypes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ev_total", Labels{"event": "drift"}).Inc()
+	r.Counter("ev_total", Labels{"event": `x"y`}).Inc()
+	r.Gauge("frac", nil).Set(0.01)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "# TYPE ev_total counter") != 1 {
+		t.Errorf("want exactly one TYPE line for ev_total:\n%s", out)
+	}
+	for _, want := range []string{
+		`ev_total{event="drift"} 1`,
+		`ev_total{event="x\"y"} 1`, // escaped quote
+		"frac 0.01",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x", nil)
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", nil).Add(2)
+	r.Gauge("g", Labels{"a": "b"}).Set(7)
+	r.Histogram("h", nil, []float64{1}).Observe(3)
+	snap := r.Snapshot()
+	if snap["c"] != 2 || snap["g{a=b}"] != 7 || snap["h_count"] != 1 || snap["h_sum"] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+// TestRegistryConcurrency exercises get-or-create and updates from many
+// goroutines; run with -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("hits_total", nil).Inc()
+				r.Gauge("level", nil).Set(float64(i))
+				r.Histogram("obs", nil, []float64{1, 2, 4}).Observe(float64(i % 5))
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", nil).Value(); got != 4000 {
+		t.Errorf("concurrent counter = %g, want 4000", got)
+	}
+	if got := r.Histogram("obs", nil, nil).Count(); got != 4000 {
+		t.Errorf("concurrent histogram count = %d, want 4000", got)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Errorf("ExpBuckets[%d] = %g, want %g", i, exp[i], want[i])
+		}
+	}
+	lin := LinearBuckets(0, 0.5, 3)
+	wantLin := []float64{0, 0.5, 1}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Errorf("LinearBuckets[%d] = %g, want %g", i, lin[i], wantLin[i])
+		}
+	}
+	// Degenerate parameters fall back to a single bucket, never panic.
+	if got := ExpBuckets(-1, 0.5, 0); len(got) != 1 {
+		t.Errorf("degenerate ExpBuckets = %v", got)
+	}
+	if got := LinearBuckets(0, 1, -2); len(got) != 1 {
+		t.Errorf("degenerate LinearBuckets = %v", got)
+	}
+}
+
+func TestAtomicFloatAccumulates(t *testing.T) {
+	var f atomicFloat
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.Load(); math.Abs(got-2000) > 1e-9 {
+		t.Errorf("atomicFloat = %g, want 2000", got)
+	}
+}

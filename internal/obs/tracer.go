@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: v} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// SpanData is the record a finished span hands to a tracer sink.
+type SpanData struct {
+	Name     string
+	Parent   string // parent span name, "" for roots
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// spanBuckets covers 10 µs to ~40 s — the span durations the pipeline
+// produces, from single OLS fits to full Algorithm 1 runs.
+var spanBuckets = ExpBuckets(1e-5, 4, 12)
+
+// Tracer creates spans and records their wall time into a registry
+// histogram (chaos_span_seconds{span=name}). An optional sink receives the
+// full SpanData of every finished span.
+type Tracer struct {
+	reg  *Registry
+	now  func() time.Time
+	mu   sync.RWMutex
+	sink func(SpanData)
+	// hist caches the per-name duration histogram so End avoids a registry
+	// lookup (lock + key build) on every span in tight fit loops.
+	hist sync.Map // span name -> *Histogram
+}
+
+// NewTracer builds a tracer recording into reg.
+func NewTracer(reg *Registry) *Tracer {
+	return &Tracer{reg: reg, now: time.Now}
+}
+
+// SetSink installs a callback invoked (synchronously) with every finished
+// span. Pass nil to remove.
+func (t *Tracer) SetSink(fn func(SpanData)) {
+	t.mu.Lock()
+	t.sink = fn
+	t.mu.Unlock()
+}
+
+var defaultTracer = NewTracer(defaultRegistry)
+
+// DefaultTracer returns the process-wide tracer the pipeline stages use.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// StartSpan starts a root span on the default tracer.
+func StartSpan(name string, attrs ...Attr) *Span {
+	return defaultTracer.Start(name, attrs...)
+}
+
+// Span is one timed region of work. Spans are not safe for concurrent
+// mutation; give each goroutine its own (child) span.
+type Span struct {
+	t      *Tracer
+	name   string
+	parent string
+	start  time.Time
+	attrs  []Attr
+	ended  bool
+}
+
+// Start begins a root span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	return &Span{t: t, name: name, start: t.now(), attrs: attrs}
+}
+
+// Child begins a nested span. The child records its own histogram series
+// under its own name and carries the parent name in its SpanData.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	return &Span{t: s.t, name: name, parent: s.name, start: s.t.now(), attrs: attrs}
+}
+
+// SetAttr appends an annotation to the span (visible to the sink).
+func (s *Span) SetAttr(attrs ...Attr) {
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// Name returns the span name.
+func (s *Span) Name() string { return s.name }
+
+// End finishes the span, records its wall time, and returns the duration.
+// A second End is a no-op returning zero.
+func (s *Span) End() time.Duration {
+	if s == nil || s.ended {
+		return 0
+	}
+	s.ended = true
+	d := s.t.now().Sub(s.start)
+	h, ok := s.t.hist.Load(s.name)
+	if !ok {
+		h, _ = s.t.hist.LoadOrStore(s.name,
+			s.t.reg.Histogram("chaos_span_seconds", Labels{"span": s.name}, spanBuckets))
+	}
+	h.(*Histogram).Observe(d.Seconds())
+	s.t.mu.RLock()
+	sink := s.t.sink
+	s.t.mu.RUnlock()
+	if sink != nil {
+		sink(SpanData{Name: s.name, Parent: s.parent, Start: s.start, Duration: d, Attrs: s.attrs})
+	}
+	return d
+}
+
+// AttrString renders attrs as "k=v k=v" for log lines.
+func AttrString(attrs []Attr) string {
+	out := ""
+	for i, a := range attrs {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%v", a.Key, a.Value)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step on every call, making span durations
+// deterministic.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestSpanRecordsHistogramAndSink(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg)
+	clock := &fakeClock{t: time.Unix(1754000000, 0), step: 10 * time.Millisecond}
+	tr.now = clock.now
+
+	var got []SpanData
+	tr.SetSink(func(d SpanData) { got = append(got, d) })
+
+	root := tr.Start("pipeline", String("job", "Prime"))
+	child := root.Child("fit", Int("features", 12))
+	child.SetAttr(Float("rmse", 1.5))
+	if d := child.End(); d != 10*time.Millisecond {
+		t.Errorf("child duration = %v, want 10ms", d)
+	}
+	root.End()
+
+	if len(got) != 2 {
+		t.Fatalf("sink received %d spans, want 2", len(got))
+	}
+	if got[0].Name != "fit" || got[0].Parent != "pipeline" {
+		t.Errorf("child SpanData = %+v", got[0])
+	}
+	if got[1].Name != "pipeline" || got[1].Parent != "" {
+		t.Errorf("root SpanData = %+v", got[1])
+	}
+	if len(got[0].Attrs) != 2 {
+		t.Errorf("child attrs = %v", got[0].Attrs)
+	}
+	snap := reg.Snapshot()
+	if snap["chaos_span_seconds{span=fit}_count"] != 1 {
+		t.Errorf("span histogram not recorded: %v", snap)
+	}
+	if snap["chaos_span_seconds{span=pipeline}_count"] != 1 {
+		t.Errorf("root span histogram not recorded: %v", snap)
+	}
+}
+
+func TestSpanDoubleEndAndNil(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg)
+	s := tr.Start("x")
+	s.End()
+	if d := s.End(); d != 0 {
+		t.Errorf("second End = %v, want 0", d)
+	}
+	var nilSpan *Span
+	if d := nilSpan.End(); d != 0 {
+		t.Errorf("nil End = %v, want 0", d)
+	}
+	if got := reg.Histogram("chaos_span_seconds", Labels{"span": "x"}, nil).Count(); got != 1 {
+		t.Errorf("span recorded %d times, want 1", got)
+	}
+}
+
+func TestDefaultTracerWritesDefaultRegistry(t *testing.T) {
+	before := Default().Histogram("chaos_span_seconds", Labels{"span": "obs.test"}, nil).Count()
+	StartSpan("obs.test").End()
+	after := Default().Histogram("chaos_span_seconds", Labels{"span": "obs.test"}, nil).Count()
+	if after != before+1 {
+		t.Errorf("default span count %d -> %d, want +1", before, after)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := tr.Start("worker")
+				s.Child("inner").End()
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Histogram("chaos_span_seconds", Labels{"span": "worker"}, nil).Count(); got != 1600 {
+		t.Errorf("worker spans = %d, want 1600", got)
+	}
+}
+
+func TestAttrString(t *testing.T) {
+	s := AttrString([]Attr{String("a", "b"), Int("n", 3)})
+	if !strings.Contains(s, "a=b") || !strings.Contains(s, "n=3") {
+		t.Errorf("AttrString = %q", s)
+	}
+}

@@ -11,9 +11,23 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/trace"
+)
+
+// Streaming-path instruments, resolved once at import so the per-second
+// loop pays only atomic updates.
+var (
+	predictLatency = obs.Default().Histogram("chaos_predict_seconds", nil, obs.ExpBuckets(1e-7, 4, 14))
+	estimateGauge  = obs.Default().Gauge("chaos_cluster_watts_estimate", nil)
+	estimatesTotal = obs.Default().Counter("chaos_estimates_total", nil)
+	residualHist   = obs.Default().Histogram("chaos_residual_watts", nil, obs.LinearBuckets(0, 2, 25))
+	residualEWMA   = obs.Default().Gauge("chaos_residual_ewma_baseline_units", nil)
+	driftAlarms    = obs.Default().Counter("chaos_drift_alarms_total", nil)
+	retrainsTotal  = obs.Default().Counter("chaos_retrains_total", nil)
 )
 
 // Sample is one machine's counter vector for one second, in the counter
@@ -80,6 +94,8 @@ func (p *Predictor) Step(samples []Sample) (*Estimate, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("online: no samples")
 	}
+	start := time.Now()
+	defer func() { predictLatency.Observe(time.Since(start).Seconds()) }()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	est := &Estimate{PerMachine: make(map[string]float64, len(samples))}
@@ -99,6 +115,8 @@ func (p *Predictor) Step(samples []Sample) (*Estimate, error) {
 		est.PerMachine[s.MachineID] = w
 		est.ClusterWatts += w
 	}
+	estimateGauge.Set(est.ClusterWatts)
+	estimatesTotal.Inc()
 	return est, nil
 }
 
@@ -176,17 +194,20 @@ func NewMonitor(baselineRMSE, threshold float64) (*Monitor, error) {
 func (m *Monitor) Observe(pred, actual float64) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	residualHist.Observe(math.Abs(pred - actual))
 	r := math.Abs(pred-actual) / m.baseline
 	m.n++
 	m.ewma = (1-m.alpha)*m.ewma + m.alpha*r
+	residualEWMA.Set(m.ewma)
 	// One-sided CUSUM on the standardized residual magnitude: grows when
 	// errors systematically exceed (1 + slack) baselines.
 	m.cusum += r - 1 - m.slack
 	if m.cusum < 0 {
 		m.cusum = 0
 	}
-	if m.cusum > m.threshold {
+	if m.cusum > m.threshold && !m.drifted {
 		m.drifted = true
+		driftAlarms.Inc()
 	}
 	return m.drifted
 }
@@ -312,6 +333,8 @@ func (rt *Retrainer) Buffered(machineID string) int {
 // the buffered samples, pooling machines per platform like the offline
 // pipeline does.
 func (rt *Retrainer) Retrain(tech models.Technique, spec models.FeatureSpec) (*models.ClusterModel, error) {
+	span := obs.StartSpan("online.retrain", obs.String("tech", string(tech)))
+	defer span.End()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	byPlatform := map[string][]*trace.Trace{}
@@ -345,5 +368,9 @@ func (rt *Retrainer) Retrain(tech models.Technique, spec models.FeatureSpec) (*m
 		}
 		mms = append(mms, mm)
 	}
-	return models.NewClusterModel(mms...)
+	cm, err := models.NewClusterModel(mms...)
+	if err == nil {
+		retrainsTotal.Inc()
+	}
+	return cm, err
 }

@@ -2,11 +2,13 @@ package online
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -461,4 +463,70 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestConcurrentPredictorInstrumentation hammers the predictor, monitor,
+// and retrainer from independent collection goroutines — the deployment
+// topology — and checks the obs registry instruments stay consistent.
+// This is the -race acceptance test for the observability layer.
+func TestConcurrentPredictorInstrumentation(t *testing.T) {
+	fx := buildFixture(t, defaultSpec(), []string{"Prime"})
+	p, err := NewPredictor(fx.model, fx.names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(math.Max(fx.rmse, 0.1), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRetrainer(fx.names, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := obs.Default().Counter("chaos_estimates_total", nil).Value()
+
+	n := fx.streams[0].Len()
+	if n > 200 {
+		n = 200
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				samples := samplesAt(fx.streams, i)
+				est, err := p.Step(samples)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var actual float64
+				for _, tr := range fx.streams {
+					actual += tr.Power[i]
+				}
+				mon.Observe(est.ClusterWatts, actual)
+				for k := range samples {
+					if err := rt.Add(samples[k], fx.streams[k].Power[i]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := before + float64(workers*n)
+	if got := obs.Default().Counter("chaos_estimates_total", nil).Value(); got != want {
+		t.Errorf("estimates counter = %g, want %g", got, want)
+	}
+	if mon.Observations() != workers*n {
+		t.Errorf("monitor observations = %d, want %d", mon.Observations(), workers*n)
+	}
+	// A concurrent retrain must also be safe.
+	if _, err := rt.Retrain(models.TechQuadratic, fx.spec); err != nil {
+		t.Fatalf("retrain after concurrent adds: %v", err)
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 )
 
 // LassoResult holds an L1-regularized linear fit in the original (not
@@ -185,6 +186,8 @@ func LassoPath(x *mathx.Matrix, y []float64, nLambda int, ratio float64) ([]*Las
 // the first (most regularized) fit that keeps at least targetK features; if
 // none does, it returns the least-regularized fit's selection.
 func LassoSelect(x *mathx.Matrix, y []float64, targetK int) ([]int, error) {
+	span := obs.StartSpan("regress.lasso_select", obs.Int("cols", x.Cols), obs.Int("target_k", targetK))
+	defer span.End()
 	path, err := LassoPath(x, y, 30, 1e-3)
 	if err != nil {
 		return nil, err

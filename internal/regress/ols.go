@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 )
 
 // OLSResult holds a fitted ordinary-least-squares model: an intercept plus
@@ -52,6 +53,8 @@ func OLS(x *mathx.Matrix, y []float64) (*OLSResult, error) {
 	if n <= p+1 {
 		return nil, fmt.Errorf("%w: n=%d, p=%d", ErrTooFewRows, n, p)
 	}
+	span := obs.StartSpan("regress.ols", obs.Int("n", n), obs.Int("p", p))
+	defer span.End()
 	// Standardize predictors so columns on wildly different scales
 	// (bytes vs percentages) stay numerically well-conditioned, then
 	// build the design matrix with a leading intercept column.
@@ -71,6 +74,9 @@ func OLS(x *mathx.Matrix, y []float64) (*OLSResult, error) {
 	beta, ridged, err := mathx.SolveLeastSquares(design, y)
 	if err != nil {
 		return nil, err
+	}
+	if ridged {
+		obs.Default().Counter("chaos_ols_ridge_fallbacks_total", nil).Inc()
 	}
 	pred, err := design.MulVec(beta)
 	if err != nil {
@@ -152,6 +158,8 @@ func Stepwise(x *mathx.Matrix, y []float64, alpha float64, minKeep int) (*Stepwi
 	if minKeep < 1 {
 		minKeep = 1
 	}
+	span := obs.StartSpan("regress.stepwise", obs.Int("cols", x.Cols))
+	defer span.End()
 	kept := make([]int, x.Cols)
 	for j := range kept {
 		kept[j] = j

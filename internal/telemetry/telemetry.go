@@ -14,9 +14,14 @@ import (
 	"repro/internal/counters"
 	"repro/internal/dryad"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// samplesTotal counts every counter-vector sample taken by any collector;
+// resolved once so the 1 Hz hot path pays only an atomic add.
+var samplesTotal = obs.Default().Counter("chaos_collector_samples_total", nil)
 
 // Collector samples one machine's counter vector at 1 Hz, accounting for
 // its own CPU cost.
@@ -38,6 +43,7 @@ func (c *Collector) Sample(sig counters.Signals) ([]float64, error) {
 	row, err := c.exp.Sample(sig)
 	c.overheadNS += time.Since(start).Nanoseconds()
 	c.samples++
+	samplesTotal.Inc()
 	return row, err
 }
 
@@ -135,6 +141,22 @@ func (c *Cluster) CollectorOverhead() float64 {
 	return worst
 }
 
+// publishOverhead exports every collector's measured overhead fraction —
+// the quantity the paper bounds below 1% — as per-machine gauges, plus the
+// cluster-worst value the dashboards alert on.
+func (c *Cluster) publishOverhead() {
+	reg := obs.Default()
+	worst := 0.0
+	for i, col := range c.collectors {
+		f := col.OverheadFraction(time.Second)
+		reg.Gauge("chaos_collector_overhead_fraction", obs.Labels{"machine": c.Machines[i].ID}).Set(f)
+		if f > worst {
+			worst = f
+		}
+	}
+	reg.Gauge("chaos_collector_overhead_worst_fraction", nil).Set(worst)
+}
+
 // idlePadding is the number of near-idle seconds logged before and after
 // each job, anchoring traces at the bottom of the power range the way the
 // paper's run logs do.
@@ -147,6 +169,10 @@ func (c *Cluster) RunJob(job *dryad.Job, run int, maxSeconds int) ([]*trace.Trac
 	if maxSeconds <= 0 {
 		maxSeconds = 3000
 	}
+	span := obs.StartSpan("telemetry.run_job",
+		obs.String("job", job.Name), obs.Int("run", run), obs.Int("machines", len(c.Machines)))
+	defer span.End()
+	defer c.publishOverhead()
 	slots := make([]int, len(c.Machines))
 	for i, m := range c.Machines {
 		slots[i] = m.Spec.Cores + 2
@@ -226,6 +252,10 @@ func (c *Cluster) RunSequence(workloadNames []string, gapSeconds, maxSecondsPerJ
 	if gapSeconds < 0 {
 		gapSeconds = 0
 	}
+	span := obs.StartSpan("telemetry.run_sequence",
+		obs.Int("jobs", len(workloadNames)), obs.Int("machines", len(c.Machines)))
+	defer span.End()
+	defer c.publishOverhead()
 	builders := make([]*trace.Builder, len(c.Machines))
 	for i, m := range c.Machines {
 		builders[i] = trace.NewBuilder(m.Spec.Name, "sequence", m.ID, run, c.Registry.Names(), m.IdleWatts())

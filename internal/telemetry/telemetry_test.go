@@ -8,6 +8,7 @@ import (
 	"repro/internal/counters"
 	"repro/internal/dryad"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 )
 
 // smallJob is a fast two-stage job for runner tests.
@@ -241,5 +242,36 @@ func TestIdleWattsSumsMachines(t *testing.T) {
 	}
 	if math.Abs(c.IdleWatts()-sum) > 1e-9 {
 		t.Errorf("IdleWatts = %v, want %v", c.IdleWatts(), sum)
+	}
+}
+
+// TestOverheadGaugePublishedAndBounded runs a full simulated 1 Hz job and
+// checks (a) every machine's collector overhead fraction is exported as an
+// obs gauge, and (b) the measured overhead stays below the paper's 1%
+// bound (§III-B) — the claim the observability layer exists to watch.
+func TestOverheadGaugePublishedAndBounded(t *testing.T) {
+	c, err := New("Core2", 2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunJob(smallJob(), 0, 600); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.Default()
+	for _, m := range c.Machines {
+		g := reg.Gauge("chaos_collector_overhead_fraction", obs.Labels{"machine": m.ID})
+		f := g.Value()
+		if f <= 0 {
+			t.Errorf("machine %s: overhead gauge not published (%.6f)", m.ID, f)
+		}
+		if f >= 0.01 {
+			t.Errorf("machine %s: collector overhead %.4f of the 1 s interval, paper requires < 1%%", m.ID, f)
+		}
+	}
+	if worst := reg.Gauge("chaos_collector_overhead_worst_fraction", nil).Value(); worst >= 0.01 {
+		t.Errorf("worst overhead gauge %.4f, paper requires < 1%%", worst)
+	}
+	if samples := reg.Counter("chaos_collector_samples_total", nil).Value(); samples <= 0 {
+		t.Error("sample counter not incremented")
 	}
 }
