@@ -4,12 +4,15 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/faults"
 )
 
 func TestLiveLoopDetectsAndRecovers(t *testing.T) {
@@ -192,6 +195,158 @@ func TestLiveLoopServesMetrics(t *testing.T) {
 	close(release)
 	if err := <-done; err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+// runJSON runs the loop in -json mode and parses every event line.
+func runJSON(t *testing.T, cfg config) []map[string]any {
+	t.Helper()
+	var sb strings.Builder
+	cfg.JSON = true
+	if err := run(&sb, cfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var evs []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("non-JSON line in -json mode: %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// degradedEstimateAt returns the degraded_estimate event for the minute
+// ending at tS.
+func degradedEstimateAt(t *testing.T, evs []map[string]any, tS float64) (float64, float64, map[string]any) {
+	t.Helper()
+	for _, ev := range evs {
+		if ev["event"] == "degraded_estimate" && ev["t_s"] == tS {
+			est, _ := ev["est_w"].(float64)
+			cov, _ := ev["coverage"].(float64)
+			machines, _ := ev["machines"].(map[string]any)
+			return est, cov, machines
+		}
+	}
+	t.Fatalf("no degraded_estimate event at t_s=%v", tS)
+	return 0, 0, nil
+}
+
+// TestFaultCrashDegradedEndToEnd is the acceptance scenario for the
+// fault-injection harness: crash 1 of 5 machines mid-stream with
+// -degraded on. The loop must keep emitting estimates every second,
+// coverage must drop to 0.8 for the fully-down minute, health must walk
+// live -> stale -> down -> recovered, no estimate may be NaN, and the
+// surviving machines' estimates must stay within tolerance of a
+// fault-free run of the same stream.
+func TestFaultCrashDegradedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full live loops in -short mode")
+	}
+	const crashed = "Core2-0"
+	// Crash-only scenario: the down window [120, 270) fully covers the
+	// minute [180, 240), so that minute's coverage is exactly 4/5.
+	scen := &faults.Scenario{
+		Name:    "crash-one",
+		Crashes: []faults.Crash{{Machine: crashed, AtS: 120, DowntimeS: 150}},
+	}
+	cfg := config{Platform: "Core2", Machines: 5, Train: "Prime",
+		Stream: []string{"Prime"}, Seed: 7, Degraded: true}
+	baseEvs := runJSON(t, cfg)
+	faultCfg := cfg
+	faultCfg.scenario = scen
+	faultEvs := runJSON(t, faultCfg)
+
+	// Health transitions for the crashed machine, in stream order.
+	var transitions []string
+	var staleAt, downAt, recoveredAt float64
+	for _, ev := range faultEvs {
+		name, _ := ev["event"].(string)
+		if name != "machine_stale" && name != "machine_down" && name != "machine_recovered" {
+			continue
+		}
+		if ev["machine"] != crashed {
+			t.Errorf("health transition %s for unexpected machine %v", name, ev["machine"])
+			continue
+		}
+		transitions = append(transitions, name)
+		tS, _ := ev["t_s"].(float64)
+		switch name {
+		case "machine_stale":
+			staleAt = tS
+		case "machine_down":
+			downAt = tS
+		case "machine_recovered":
+			recoveredAt = tS
+		}
+	}
+	if got, want := strings.Join(transitions, ","), "machine_stale,machine_down,machine_recovered"; got != want {
+		t.Fatalf("health transitions = %q, want %q", got, want)
+	}
+	if staleAt != 120 {
+		t.Errorf("stale at t=%v, want 120 (first silent second)", staleAt)
+	}
+	if downAt <= staleAt || downAt > 140 {
+		t.Errorf("down at t=%v, want shortly after stale (TTL expiry)", downAt)
+	}
+	// The breaker quarantines the machine between half-open probes, so
+	// recovery lands within one cooldown of the crash window's end (270).
+	if recoveredAt < 270 || recoveredAt > 270+float64(faults.DefaultBreaker().CooldownSeconds) {
+		t.Errorf("recovered at t=%v, want within one breaker cooldown of 270", recoveredAt)
+	}
+
+	// The fully-down minute: coverage 0.8, crashed machine contributes 0,
+	// and every estimate in both runs is finite (a NaN anywhere would
+	// already have failed JSON marshalling and aborted the run).
+	faultEst, faultCov, faultMachines := degradedEstimateAt(t, faultEvs, 240)
+	baseEst, baseCov, baseMachines := degradedEstimateAt(t, baseEvs, 240)
+	if faultCov != 0.8 {
+		t.Errorf("coverage during crash = %v, want 0.8", faultCov)
+	}
+	if baseCov != 1 {
+		t.Errorf("fault-free coverage = %v, want 1", baseCov)
+	}
+	if w, _ := faultMachines[crashed].(float64); w != 0 {
+		t.Errorf("down machine mean estimate = %v W, want 0", w)
+	}
+	if math.IsNaN(faultEst) || math.IsInf(faultEst, 0) {
+		t.Fatalf("non-finite degraded estimate %v", faultEst)
+	}
+
+	// Surviving machines see identical counter streams in both runs, so
+	// their estimates must agree closely; the cluster estimate must equal
+	// the fault-free one minus the crashed machine's share.
+	const tol = 0.5
+	crashedShare, _ := baseMachines[crashed].(float64)
+	for id, v := range baseMachines {
+		if id == crashed {
+			continue
+		}
+		bw, _ := v.(float64)
+		fw, _ := faultMachines[id].(float64)
+		if math.Abs(bw-fw) > tol {
+			t.Errorf("surviving machine %s drifted: %v W faulted vs %v W clean", id, fw, bw)
+		}
+	}
+	if math.Abs(faultEst-(baseEst-crashedShare)) > tol {
+		t.Errorf("degraded cluster estimate %v W, want %v (fault-free %v minus crashed share %v)",
+			faultEst, baseEst-crashedShare, baseEst, crashedShare)
+	}
+
+	// After recovery the cluster is whole again.
+	_, finalCov, _ := degradedEstimateAt(t, faultEvs, 720)
+	if finalCov != 1 {
+		t.Errorf("post-recovery coverage = %v, want 1", finalCov)
+	}
+	// The loop never skipped a second: degraded mode always estimates.
+	for _, ev := range faultEvs {
+		if ev["event"] == "complete" {
+			if skipped, _ := ev["skipped_s"].(float64); skipped != 0 {
+				t.Errorf("degraded run skipped %v seconds", skipped)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,199 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/counters"
+	"repro/internal/telemetry"
+)
+
+// Clock is the simulation-time source the streaming loop, the injector,
+// and the resilient collectors share, so every injected failure is
+// addressed by the same second index everywhere.
+type Clock struct{ t int }
+
+// NewClock starts a clock at second 0.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current second without advancing.
+func (c *Clock) Now() int { return c.t }
+
+// Tick returns the current second and advances to the next.
+func (c *Clock) Tick() int {
+	t := c.t
+	c.t++
+	return t
+}
+
+// RetryPolicy bounds the per-second collection pipeline: how many
+// attempts, how fast backoff grows between them, and the total latency
+// budget — a sample that cannot be fetched inside TimeoutMS is lost, the
+// way a 1 Hz poll that overruns its tick is lost.
+type RetryPolicy struct {
+	MaxAttempts   int     // attempts per second (>= 1)
+	BackoffMS     float64 // backoff before retry k is BackoffMS * 2^(k-1)
+	TimeoutMS     float64 // per-sample latency budget inside the 1 Hz tick
+	AttemptCostMS float64 // nominal cost of one clean attempt
+}
+
+// DefaultRetry is the policy chaos-live uses: three attempts with 10 ms
+// doubling backoff inside a 250 ms budget.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BackoffMS: 10, TimeoutMS: 250, AttemptCostMS: 2}
+}
+
+// BreakerConfig is the circuit breaker guarding one machine's collector:
+// after FailThreshold consecutive failed seconds the machine is
+// quarantined (no attempts at all) for CooldownSeconds, then a single
+// half-open probe decides between closing and another cooldown.
+type BreakerConfig struct {
+	FailThreshold   int
+	CooldownSeconds int
+}
+
+// DefaultBreaker quarantines after 3 consecutive failed seconds for 15 s.
+func DefaultBreaker() BreakerConfig {
+	return BreakerConfig{FailThreshold: 3, CooldownSeconds: 15}
+}
+
+// Result describes one second of fault-aware collection for one machine.
+type Result struct {
+	Row         []float64 // the collected (possibly transformed) row; nil unless OK
+	OK          bool
+	Down        bool // machine inside a crash window
+	Quarantined bool // breaker open: no attempt was made
+	TimedOut    bool // latency budget exhausted
+	Attempts    int
+	LatencyMS   float64 // simulated latency spent this second
+	Stuck       bool    // row frozen at last values
+	Corrupted   int     // counters replaced with NaN/±Inf
+}
+
+// Collector wraps one machine's sampling path with fault injection,
+// bounded retry-with-backoff, a per-sample timeout, and a circuit
+// breaker. It is safe for concurrent use, though a machine's seconds must
+// be collected in order for stuck-counter faults to replay exactly.
+type Collector struct {
+	machine string
+	inj     *Injector
+	retry   RetryPolicy
+	brk     BreakerConfig
+
+	mu          sync.Mutex
+	consecFails int
+	open        bool
+	probeAt     int // when open: first second allowed a half-open probe
+}
+
+// NewCollector builds a resilient collector for one machine. Zero-valued
+// policy fields take the defaults.
+func NewCollector(machine string, inj *Injector, retry RetryPolicy, brk BreakerConfig) (*Collector, error) {
+	if machine == "" {
+		return nil, fmt.Errorf("faults: collector needs a machine ID")
+	}
+	if inj == nil {
+		return nil, fmt.Errorf("faults: collector needs an injector")
+	}
+	if retry.MaxAttempts <= 0 {
+		retry.MaxAttempts = DefaultRetry().MaxAttempts
+	}
+	if retry.TimeoutMS <= 0 {
+		retry.TimeoutMS = DefaultRetry().TimeoutMS
+	}
+	if retry.BackoffMS < 0 || retry.AttemptCostMS < 0 {
+		return nil, fmt.Errorf("faults: negative retry costs %+v", retry)
+	}
+	if brk.FailThreshold <= 0 {
+		brk.FailThreshold = DefaultBreaker().FailThreshold
+	}
+	if brk.CooldownSeconds <= 0 {
+		brk.CooldownSeconds = DefaultBreaker().CooldownSeconds
+	}
+	return &Collector{machine: machine, inj: inj, retry: retry, brk: brk}, nil
+}
+
+// State reports the breaker state at second t: "closed", "open", or
+// "half-open".
+func (c *Collector) State(t int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case !c.open:
+		return "closed"
+	case t >= c.probeAt:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Collect runs one second of fault-aware collection: fetch pulls the real
+// row (e.g. telemetry.Collector.Sample) and is only called when the
+// injector lets an attempt through. A fetch error is a real error and
+// aborts; injected failures come back as a !OK Result instead.
+func (c *Collector) Collect(t int, fetch func() ([]float64, error)) (Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var res Result
+	maxAttempts := c.retry.MaxAttempts
+	if c.open {
+		if t < c.probeAt {
+			res.Quarantined = true
+			samplesDropped.Inc()
+			return res, nil
+		}
+		maxAttempts = 1 // half-open: one probe decides
+	}
+	if c.inj.Down(c.machine, t) {
+		res.Down = true
+		injected("crash")
+		c.fail(t)
+		samplesDropped.Inc()
+		return res, nil
+	}
+	for k := 0; k < maxAttempts; k++ {
+		if k > 0 {
+			res.LatencyMS += c.retry.BackoffMS * math.Pow(2, float64(k-1))
+		}
+		res.Attempts++
+		ao := c.inj.Attempt(c.machine, t, k)
+		res.LatencyMS += c.retry.AttemptCostMS + ao.LatencyMS
+		if res.LatencyMS > c.retry.TimeoutMS {
+			res.TimedOut = true
+			break
+		}
+		if ao.Dropped {
+			continue
+		}
+		row, err := fetch()
+		if err != nil {
+			return res, err
+		}
+		tr := c.inj.Transform(c.machine, t, row)
+		res.Row, res.OK = row, true
+		res.Stuck, res.Corrupted = tr.Stuck, tr.Corrupted
+		c.consecFails = 0
+		c.open = false
+		return res, nil
+	}
+	c.fail(t)
+	samplesDropped.Inc()
+	return res, nil
+}
+
+// fail records one failed second and opens (or re-arms) the breaker.
+func (c *Collector) fail(t int) {
+	c.consecFails++
+	if c.open || c.consecFails >= c.brk.FailThreshold {
+		c.open = true
+		c.probeAt = t + c.brk.CooldownSeconds
+	}
+}
+
+// TelemetryFetch adapts a live telemetry.Collector into the fetch
+// callback Collect expects, sampling the given base signals.
+func TelemetryFetch(c *telemetry.Collector, sig counters.Signals) func() ([]float64, error) {
+	return func() ([]float64, error) { return c.Sample(sig) }
+}

@@ -1,0 +1,198 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/mathx"
+	"repro/internal/obs"
+)
+
+// samplesDropped counts every per-second collection that produced no
+// usable row (drops that exhausted retries, timeouts, crash windows,
+// quarantined seconds).
+var samplesDropped = obs.Default().Counter("chaos_samples_dropped_total", nil)
+
+// injected counts one injected fault of the given kind
+// (chaos_faults_injected_total{kind=...}).
+func injected(kind string) {
+	obs.Default().Counter("chaos_faults_injected_total", obs.Labels{"kind": kind}).Inc()
+}
+
+// Injector replays a Scenario deterministically. Every random decision is
+// drawn from a generator derived from (seed, machine, second[, attempt]),
+// so outcomes are a pure function of the scenario, the seed, and sim time
+// — independent of machine interleaving and of how many queries other
+// machines made. The only state is the stuck-counter latch, which is
+// deterministic as long as each machine's seconds are visited in order
+// (the streaming loop's natural behavior).
+type Injector struct {
+	sc   *Scenario
+	seed int64
+	down map[string][]Window // machine -> crash windows
+
+	mu         sync.Mutex
+	stuckUntil map[string]int
+	stuckRow   map[string][]float64
+}
+
+// NewInjector validates the scenario and builds an injector over it.
+func NewInjector(sc *Scenario, seed int64) (*Injector, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("faults: nil scenario")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		sc:         sc,
+		seed:       seed,
+		down:       map[string][]Window{},
+		stuckUntil: map[string]int{},
+		stuckRow:   map[string][]float64{},
+	}
+	for _, c := range sc.Crashes {
+		in.down[c.Machine] = append(in.down[c.Machine], c.window())
+	}
+	return in, nil
+}
+
+// Scenario returns the plan the injector replays.
+func (in *Injector) Scenario() *Scenario { return in.sc }
+
+// faultsFor resolves the fault rates for one machine: an explicit entry
+// wins, otherwise the scenario defaults.
+func (in *Injector) faultsFor(machine string) MachineFaults {
+	if mf, ok := in.sc.Machines[machine]; ok {
+		return mf
+	}
+	return in.sc.Defaults
+}
+
+// splitmix is a tiny splitmix64 PRNG. math/rand's source produces
+// correlated early outputs across derived seeds, which would couple the
+// fault decisions of adjacent attempts; splitmix64 scrambles each derived
+// seed into an independent-looking stream.
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *splitmix) Float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// Intn returns a uniform draw in [0, n).
+func (r *splitmix) Intn(n int) int { return int(r.next() % uint64(n)) }
+
+// rng derives the deterministic generator for one decision point.
+func (in *Injector) rng(key string) *splitmix {
+	return &splitmix{s: uint64(mathx.DeriveSeed(in.seed, key))}
+}
+
+// Down reports whether the machine is inside a crash window at second t.
+func (in *Injector) Down(machine string, t int) bool {
+	for _, w := range in.down[machine] {
+		if w.contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// MeterAvailable reports whether the power meter is attached at second t;
+// callers should skip residual monitoring and label accumulation when it
+// is not. Each query inside a dropout window counts one injected fault.
+func (in *Injector) MeterAvailable(t int) bool {
+	for _, w := range in.sc.MeterDropouts {
+		if w.contains(t) {
+			injected("meter_dropout")
+			return false
+		}
+	}
+	return true
+}
+
+// AttemptOutcome is the injector's decision for one collection attempt.
+type AttemptOutcome struct {
+	// Dropped means the attempt returned nothing and must be retried.
+	Dropped bool
+	// LatencyMS is an injected latency spike charged against the
+	// collector's per-sample timeout budget.
+	LatencyMS float64
+}
+
+// Attempt draws the transport-level faults for attempt k of machine's
+// sample at second t.
+func (in *Injector) Attempt(machine string, t, attempt int) AttemptOutcome {
+	mf := in.faultsFor(machine)
+	r := in.rng(fmt.Sprintf("attempt:%s:%d:%d", machine, t, attempt))
+	var out AttemptOutcome
+	// Fixed draw order keeps the stream identical across runs even when
+	// individual probabilities are zero.
+	if r.Float64() < mf.LatencyProb {
+		out.LatencyMS = mf.LatencyMS
+		injected("latency")
+	}
+	if r.Float64() < mf.DropProb {
+		out.Dropped = true
+		injected("drop")
+	}
+	return out
+}
+
+// TransformOutcome reports the value-level faults applied to one row.
+type TransformOutcome struct {
+	// Stuck means the row was replaced with the frozen values of a wedged
+	// counter source.
+	Stuck bool
+	// Corrupted is the number of counters replaced with NaN/±Inf.
+	Corrupted int
+}
+
+// Transform applies value-level faults (stuck-at-last-value, NaN/Inf
+// corruption) to a successfully collected row. The row is mutated in
+// place, so callers must pass a private copy, never live trace storage.
+func (in *Injector) Transform(machine string, t int, row []float64) TransformOutcome {
+	mf := in.faultsFor(machine)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out TransformOutcome
+	if until, ok := in.stuckUntil[machine]; ok && t < until {
+		if frozen := in.stuckRow[machine]; len(frozen) == len(row) {
+			copy(row, frozen)
+			out.Stuck = true
+			return out
+		}
+	}
+	r := in.rng(fmt.Sprintf("transform:%s:%d", machine, t))
+	if r.Float64() < mf.StuckProb {
+		// The source wedges at this second's values; the freeze shows up
+		// from the next sample on.
+		in.stuckUntil[machine] = t + mf.StuckSeconds
+		in.stuckRow[machine] = append([]float64(nil), row...)
+		injected("stuck")
+	}
+	if r.Float64() < mf.CorruptProb && len(row) > 0 {
+		k := 1 + r.Intn(min(3, len(row)))
+		for j := 0; j < k; j++ {
+			idx := r.Intn(len(row))
+			switch r.Intn(3) {
+			case 0:
+				row[idx] = math.NaN()
+			case 1:
+				row[idx] = math.Inf(1)
+			default:
+				row[idx] = math.Inf(-1)
+			}
+		}
+		out.Corrupted = k
+		injected("corrupt")
+	}
+	return out
+}

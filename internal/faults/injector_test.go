@@ -1,0 +1,180 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// chattyScenario exercises every fault type with high enough rates that a
+// short run shows all of them.
+func chattyScenario() *Scenario {
+	return &Scenario{
+		Name: "chatty",
+		Defaults: MachineFaults{
+			DropProb: 0.3, CorruptProb: 0.2,
+			StuckProb: 0.1, StuckSeconds: 4,
+			LatencyProb: 0.3, LatencyMS: 50,
+		},
+		Machines:      map[string]MachineFaults{"m1": {DropProb: 0.8}},
+		MeterDropouts: []Window{{StartS: 10, EndS: 20}},
+		Crashes:       []Crash{{Machine: "m0", AtS: 30, DowntimeS: 10}},
+	}
+}
+
+// faultTranscript replays a fixed schedule of injector queries and
+// serializes every outcome, so two replays can be compared exactly.
+func faultTranscript(t *testing.T, seed int64) string {
+	t.Helper()
+	inj, err := NewInjector(chattyScenario(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ""
+	for sec := 0; sec < 60; sec++ {
+		for _, m := range []string{"m0", "m1"} {
+			for k := 0; k < 2; k++ {
+				ao := inj.Attempt(m, sec, k)
+				out += fmt.Sprintf("a:%s:%d:%d:%v:%g\n", m, sec, k, ao.Dropped, ao.LatencyMS)
+			}
+			row := []float64{float64(sec), 2, 3}
+			tr := inj.Transform(m, sec, row)
+			out += fmt.Sprintf("t:%s:%d:%v:%d:%v\n", m, sec, tr.Stuck, tr.Corrupted, row)
+			out += fmt.Sprintf("d:%s:%d:%v\n", m, sec, inj.Down(m, sec))
+		}
+		out += fmt.Sprintf("meter:%d:%v\n", sec, inj.MeterAvailable(sec))
+	}
+	return out
+}
+
+// TestFaultInjectorDeterminism: same seed -> bit-identical fault
+// sequence; a different seed diverges (so the transcript is not a
+// constant).
+func TestFaultInjectorDeterminism(t *testing.T) {
+	a := faultTranscript(t, 42)
+	b := faultTranscript(t, 42)
+	if a != b {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if c := faultTranscript(t, 43); c == a {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// TestFaultInjectorCrashWindows checks the machine-down schedule is
+// exactly the configured half-open window and only for the named machine.
+func TestFaultInjectorCrashWindows(t *testing.T) {
+	inj, err := NewInjector(&Scenario{
+		Crashes: []Crash{{Machine: "m0", AtS: 5, DowntimeS: 3}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sec := 0; sec < 12; sec++ {
+		want := sec >= 5 && sec < 8
+		if got := inj.Down("m0", sec); got != want {
+			t.Errorf("Down(m0, %d) = %v, want %v", sec, got, want)
+		}
+		if inj.Down("m1", sec) {
+			t.Errorf("Down(m1, %d) = true for machine with no crash", sec)
+		}
+	}
+}
+
+// TestFaultInjectorMeterDropout checks dropout windows are half-open.
+func TestFaultInjectorMeterDropout(t *testing.T) {
+	inj, err := NewInjector(&Scenario{
+		MeterDropouts: []Window{{StartS: 3, EndS: 6}},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sec := 0; sec < 9; sec++ {
+		want := !(sec >= 3 && sec < 6)
+		if got := inj.MeterAvailable(sec); got != want {
+			t.Errorf("MeterAvailable(%d) = %v, want %v", sec, got, want)
+		}
+	}
+}
+
+// TestFaultInjectorStuckFreezesRow: with StuckProb 1 the source wedges at
+// the first sample's values and repeats them for StuckSeconds.
+func TestFaultInjectorStuckFreezesRow(t *testing.T) {
+	inj, err := NewInjector(&Scenario{
+		Defaults: MachineFaults{StuckProb: 1, StuckSeconds: 3},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := []float64{10, 20, 30}
+	if tr := inj.Transform("m0", 0, append([]float64(nil), first...)); tr.Stuck {
+		t.Fatal("entry second should still report live values")
+	}
+	for sec := 1; sec < 3; sec++ {
+		row := []float64{float64(100 * sec), 0, 0}
+		tr := inj.Transform("m0", sec, row)
+		if !tr.Stuck {
+			t.Fatalf("second %d not stuck", sec)
+		}
+		if !reflect.DeepEqual(row, first) {
+			t.Fatalf("second %d row = %v, want frozen %v", sec, row, first)
+		}
+	}
+}
+
+// TestFaultInjectorCorruptionInjectsNonFinite: with CorruptProb 1 every
+// row gains at least one NaN/Inf entry and the outcome reports the count.
+func TestFaultInjectorCorruptionInjectsNonFinite(t *testing.T) {
+	inj, err := NewInjector(&Scenario{
+		Defaults: MachineFaults{CorruptProb: 1},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sec := 0; sec < 20; sec++ {
+		row := []float64{1, 2, 3, 4}
+		tr := inj.Transform("m0", sec, row)
+		if tr.Corrupted < 1 || tr.Corrupted > 3 {
+			t.Fatalf("corrupted %d counters, want 1..3", tr.Corrupted)
+		}
+		bad := 0
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				bad++
+			}
+		}
+		if bad == 0 {
+			t.Fatalf("second %d: corruption reported but row %v is finite", sec, row)
+		}
+	}
+}
+
+// TestFaultInjectorPerMachineOverride: the override replaces the
+// defaults wholesale, so m1 drops often while m0 never does.
+func TestFaultInjectorPerMachineOverride(t *testing.T) {
+	inj, err := NewInjector(&Scenario{
+		Machines: map[string]MachineFaults{"m1": {DropProb: 1}},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sec := 0; sec < 10; sec++ {
+		if inj.Attempt("m0", sec, 0).Dropped {
+			t.Fatalf("m0 dropped at %d with zero default drop prob", sec)
+		}
+		if !inj.Attempt("m1", sec, 0).Dropped {
+			t.Fatalf("m1 kept sample at %d with drop prob 1", sec)
+		}
+	}
+}
+
+// TestFaultInjectorRejectsInvalidScenario: NewInjector revalidates.
+func TestFaultInjectorRejectsInvalidScenario(t *testing.T) {
+	if _, err := NewInjector(nil, 1); err == nil {
+		t.Error("expected error for nil scenario")
+	}
+	if _, err := NewInjector(&Scenario{Defaults: MachineFaults{DropProb: 2}}, 1); err == nil {
+		t.Error("expected error for invalid probability")
+	}
+}

@@ -1,0 +1,200 @@
+// Package faults is a deterministic fault-injection harness for the
+// streaming path. The paper's own deployment setting — 1 Hz Perfmon
+// collectors, occasionally-available WattsUp meters, five-machine clusters
+// whose members reboot — is full of partial failures, and the cluster
+// model (Eq. 5) sums per-machine predictions, so a single flaky collector
+// must not take down the cluster-wide estimate. This package makes every
+// such failure mode reproducible: a Scenario describes what goes wrong
+// and when, an Injector replays it from a seed, and a Collector wraps the
+// per-machine sampling path with bounded retry, a per-sample timeout, and
+// a circuit breaker, so degraded-mode estimation can be tested second by
+// second.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// MachineFaults are the per-second stochastic fault rates applied to one
+// machine's sample collection. A machine listed in Scenario.Machines uses
+// its entry verbatim; it does not merge with Scenario.Defaults.
+type MachineFaults struct {
+	// DropProb is the probability that one collection attempt returns
+	// nothing (flaky collector RPC, lost Perfmon poll).
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// CorruptProb is the per-sample probability that one to three
+	// counters in a successfully collected row are replaced with NaN/±Inf.
+	CorruptProb float64 `json:"corrupt_prob,omitempty"`
+	// StuckProb is the per-sample probability that the counter source
+	// wedges: the row freezes at its current values for StuckSeconds.
+	StuckProb float64 `json:"stuck_prob,omitempty"`
+	// StuckSeconds is how long a wedged counter source stays frozen.
+	// Required (> 0) when StuckProb > 0.
+	StuckSeconds int `json:"stuck_seconds,omitempty"`
+	// LatencyProb is the per-attempt probability of a latency spike of
+	// LatencyMS milliseconds (slow WMI query, scheduler stall). Spikes
+	// count against the collector's per-sample timeout budget.
+	LatencyProb float64 `json:"latency_prob,omitempty"`
+	// LatencyMS is the size of one latency spike in milliseconds.
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+}
+
+// Window is a half-open interval of simulation seconds [StartS, EndS).
+type Window struct {
+	StartS int `json:"start_s"`
+	EndS   int `json:"end_s"`
+}
+
+// contains reports whether second t falls inside the window.
+func (w Window) contains(t int) bool { return t >= w.StartS && t < w.EndS }
+
+// Crash takes one machine offline: every collection attempt in
+// [AtS, AtS+DowntimeS) fails, modeling a reboot or network partition.
+type Crash struct {
+	Machine   string `json:"machine"`
+	AtS       int    `json:"at_s"`
+	DowntimeS int    `json:"downtime_s"`
+}
+
+// window returns the crash's downtime as a Window.
+func (c Crash) window() Window { return Window{StartS: c.AtS, EndS: c.AtS + c.DowntimeS} }
+
+// Scenario is a reproducible fault-injection plan for one streaming run.
+// Scenarios are plain JSON (see examples/faults-crashy.json); unknown
+// fields are rejected so schema typos fail loudly.
+type Scenario struct {
+	// Name identifies the scenario in logs and events.
+	Name string `json:"name,omitempty"`
+	// Defaults apply to every machine without an explicit Machines entry.
+	Defaults MachineFaults `json:"defaults,omitempty"`
+	// Machines overrides Defaults wholesale for the named machine IDs.
+	Machines map[string]MachineFaults `json:"machines,omitempty"`
+	// MeterDropouts are windows when the power meter is unavailable
+	// (the paper's WattsUp meters were only occasionally attached);
+	// residual monitoring and retraining must pause inside them.
+	MeterDropouts []Window `json:"meter_dropouts,omitempty"`
+	// Crashes are machine outages. Windows for the same machine must not
+	// overlap.
+	Crashes []Crash `json:"crashes,omitempty"`
+}
+
+// validateFaults checks one machine's fault rates.
+func validateFaults(who string, mf MachineFaults) error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop_prob", mf.DropProb},
+		{"corrupt_prob", mf.CorruptProb},
+		{"stuck_prob", mf.StuckProb},
+		{"latency_prob", mf.LatencyProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s: %s %g outside [0, 1]", who, p.name, p.v)
+		}
+	}
+	if mf.StuckSeconds < 0 {
+		return fmt.Errorf("faults: %s: negative stuck_seconds %d", who, mf.StuckSeconds)
+	}
+	if mf.StuckProb > 0 && mf.StuckSeconds == 0 {
+		return fmt.Errorf("faults: %s: stuck_prob %g needs stuck_seconds > 0", who, mf.StuckProb)
+	}
+	if mf.LatencyMS < 0 {
+		return fmt.Errorf("faults: %s: negative latency_ms %g", who, mf.LatencyMS)
+	}
+	if mf.LatencyProb > 0 && mf.LatencyMS == 0 {
+		return fmt.Errorf("faults: %s: latency_prob %g needs latency_ms > 0", who, mf.LatencyProb)
+	}
+	return nil
+}
+
+// checkWindows rejects malformed or overlapping windows (sorted copy, so
+// the scenario order does not matter).
+func checkWindows(what string, ws []Window) error {
+	sorted := append([]Window(nil), ws...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].StartS < sorted[j].StartS })
+	for i, w := range sorted {
+		if w.StartS < 0 {
+			return fmt.Errorf("faults: %s window starts at negative second %d", what, w.StartS)
+		}
+		if w.EndS <= w.StartS {
+			return fmt.Errorf("faults: %s window [%d, %d) is empty or inverted", what, w.StartS, w.EndS)
+		}
+		if i > 0 && sorted[i-1].EndS > w.StartS {
+			return fmt.Errorf("faults: %s windows [%d, %d) and [%d, %d) overlap",
+				what, sorted[i-1].StartS, sorted[i-1].EndS, w.StartS, w.EndS)
+		}
+	}
+	return nil
+}
+
+// Validate checks the scenario for impossible probabilities, malformed
+// windows, and overlapping outages.
+func (s *Scenario) Validate() error {
+	if err := validateFaults("defaults", s.Defaults); err != nil {
+		return err
+	}
+	for id, mf := range s.Machines {
+		if id == "" {
+			return fmt.Errorf("faults: machines entry with empty machine ID")
+		}
+		if err := validateFaults("machine "+id, mf); err != nil {
+			return err
+		}
+	}
+	if err := checkWindows("meter_dropouts", s.MeterDropouts); err != nil {
+		return err
+	}
+	byMachine := map[string][]Window{}
+	for _, c := range s.Crashes {
+		if c.Machine == "" {
+			return fmt.Errorf("faults: crash with empty machine ID")
+		}
+		if c.AtS < 0 {
+			return fmt.Errorf("faults: crash of %s at negative second %d", c.Machine, c.AtS)
+		}
+		if c.DowntimeS <= 0 {
+			return fmt.Errorf("faults: crash of %s has non-positive downtime %d", c.Machine, c.DowntimeS)
+		}
+		byMachine[c.Machine] = append(byMachine[c.Machine], c.window())
+	}
+	for id, ws := range byMachine {
+		if err := checkWindows("crashes("+id+")", ws); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseScenario decodes and validates a scenario from JSON. Unknown
+// fields are errors.
+func ParseScenario(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("faults: parse scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadScenario reads and validates a scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	defer f.Close()
+	s, err := ParseScenario(f)
+	if err != nil {
+		return nil, fmt.Errorf("faults: scenario %s: %w", path, err)
+	}
+	return s, nil
+}

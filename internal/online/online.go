@@ -28,7 +28,20 @@ var (
 	residualEWMA   = obs.Default().Gauge("chaos_residual_ewma_baseline_units", nil)
 	driftAlarms    = obs.Default().Counter("chaos_drift_alarms_total", nil)
 	retrainsTotal  = obs.Default().Counter("chaos_retrains_total", nil)
+	invalidSamples = obs.Default().Counter("chaos_invalid_samples_total", nil)
 )
+
+// finiteRow reports whether every value in the row is finite — the guard
+// that keeps NaN/Inf counter corruption out of Model.Predict and the
+// chaos_cluster_watts_estimate gauge.
+func finiteRow(row []float64) bool {
+	for _, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
 
 // Sample is one machine's counter vector for one second, in the counter
 // order the Predictor was configured with.
@@ -89,35 +102,57 @@ func NewPredictor(model *models.ClusterModel, names []string) (*Predictor, error
 const maxLagWindow = 16
 
 // Step consumes one second of samples (one per machine) and returns the
-// cluster estimate.
+// cluster estimate. Samples carrying NaN/Inf counters (a corrupt
+// collector read) are skipped and counted in chaos_invalid_samples_total
+// rather than poisoning the cluster sum; an error is returned only if no
+// valid sample remains. Structural problems — unknown platform, wrong
+// counter count — are still hard errors.
 func (p *Predictor) Step(samples []Sample) (*Estimate, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("online: no samples")
 	}
 	start := time.Now()
 	defer func() { predictLatency.Observe(time.Since(start).Seconds()) }()
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	est := &Estimate{PerMachine: make(map[string]float64, len(samples))}
+	rejected := 0
 	for _, s := range samples {
-		mm, ok := p.model.ByPlatform[s.Platform]
-		if !ok {
-			return nil, fmt.Errorf("online: no machine model for platform %q", s.Platform)
+		if !finiteRow(s.Counters) {
+			invalidSamples.Inc()
+			rejected++
+			continue
 		}
-		if len(s.Counters) != len(p.names) {
-			return nil, fmt.Errorf("online: sample from %s has %d counters, want %d", s.MachineID, len(s.Counters), len(p.names))
-		}
-		row, err := p.buildRow(mm.Spec, s)
+		w, err := p.predictOne(s)
 		if err != nil {
 			return nil, err
 		}
-		w := mm.Model.Predict(row)
 		est.PerMachine[s.MachineID] = w
 		est.ClusterWatts += w
+	}
+	if len(est.PerMachine) == 0 {
+		return nil, fmt.Errorf("online: all %d samples rejected (non-finite counters)", rejected)
 	}
 	estimateGauge.Set(est.ClusterWatts)
 	estimatesTotal.Inc()
 	return est, nil
+}
+
+// predictOne validates one sample and predicts its machine's power,
+// maintaining the machine's lag history.
+func (p *Predictor) predictOne(s Sample) (float64, error) {
+	mm, ok := p.model.ByPlatform[s.Platform]
+	if !ok {
+		return 0, fmt.Errorf("online: no machine model for platform %q", s.Platform)
+	}
+	if len(s.Counters) != len(p.names) {
+		return 0, fmt.Errorf("online: sample from %s has %d counters, want %d", s.MachineID, len(s.Counters), len(p.names))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	row, err := p.buildRow(mm.Spec, s)
+	if err != nil {
+		return 0, err
+	}
+	return mm.Model.Predict(row), nil
 }
 
 // buildRow assembles the model input for one sample, maintaining lag
@@ -299,10 +334,17 @@ func NewRetrainer(names []string, capacity int) (*Retrainer, error) {
 	}, nil
 }
 
-// Add records one labeled second from a machine.
+// Add records one labeled second from a machine. Samples with non-finite
+// counters or a non-finite meter reading are skipped (and counted in
+// chaos_invalid_samples_total) so a corrupt second cannot poison a later
+// retraining fit.
 func (rt *Retrainer) Add(s Sample, meteredWatts float64) error {
 	if len(s.Counters) != len(rt.names) {
 		return fmt.Errorf("online: sample has %d counters, want %d", len(s.Counters), len(rt.names))
+	}
+	if !finiteRow(s.Counters) || math.IsNaN(meteredWatts) || math.IsInf(meteredWatts, 0) {
+		invalidSamples.Inc()
+		return nil
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()

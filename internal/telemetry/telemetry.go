@@ -49,8 +49,10 @@ func (c *Collector) Sample(sig counters.Signals) ([]float64, error) {
 
 // OverheadFraction returns the collector's measured CPU cost as a fraction
 // of the sampling interval — the quantity the paper bounds below 1%.
+// A zero or negative interval yields 0 rather than a division blow-up, so
+// the overhead gauges can never publish Inf/NaN.
 func (c *Collector) OverheadFraction(interval time.Duration) float64 {
-	if c.samples == 0 {
+	if c.samples == 0 || interval <= 0 {
 		return 0
 	}
 	perSample := float64(c.overheadNS) / float64(c.samples)

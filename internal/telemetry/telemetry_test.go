@@ -208,6 +208,37 @@ func TestCollectorOverheadUnderOnePercent(t *testing.T) {
 	}
 }
 
+// TestCollectorOverheadZeroIntervalGuard: a zero or negative sampling
+// interval must yield 0, not Inf/NaN, so the overhead gauges stay sane.
+func TestCollectorOverheadZeroIntervalGuard(t *testing.T) {
+	reg := counters.StandardRegistry()
+	col := NewCollector(reg, 3)
+	sig := counters.Signals{}
+	for _, d := range reg.Defs {
+		if d.Kind == counters.KindSignal {
+			sig[d.Signal] = 1
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := col.Sample(sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, interval := range []time.Duration{0, -time.Second} {
+		f := col.OverheadFraction(interval)
+		if f != 0 {
+			t.Errorf("OverheadFraction(%v) = %v, want 0", interval, f)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Errorf("OverheadFraction(%v) = %v is non-finite", interval, f)
+		}
+	}
+	// A fresh collector (no samples) is also 0 for any interval.
+	if f := NewCollector(reg, 4).OverheadFraction(time.Second); f != 0 {
+		t.Errorf("fresh collector overhead = %v, want 0", f)
+	}
+}
+
 func TestClusterDeterminism(t *testing.T) {
 	run := func() []float64 {
 		c, err := New("Atom", 2, 99)
