@@ -12,8 +12,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/metrics"
 	"repro/internal/models"
@@ -21,27 +23,45 @@ import (
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stderr))
+}
+
+// realMain is main minus os.Exit, so tests can assert the exit code and
+// the shape of the error output. A bad -model must produce exactly one
+// clear stderr line and exit 1, never a panic or stack trace.
+func realMain(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chaos-predict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		modelPath = flag.String("model", "model.json", "model JSON from chaos-train")
-		in        = flag.String("in", "traces", "directory of trace CSVs")
-		run       = flag.Int("run", -1, "restrict to one run number (-1 = all)")
-		series    = flag.Bool("series", false, "print the per-second prediction series")
+		modelPath = fs.String("model", "model.json", "model JSON from chaos-train")
+		in        = fs.String("in", "traces", "directory of trace CSVs")
+		run       = fs.Int("run", -1, "restrict to one run number (-1 = all)")
+		series    = fs.Bool("series", false, "print the per-second prediction series")
 	)
-	flag.Parse()
-	if err := doPredict(*modelPath, *in, *run, *series); err != nil {
-		fmt.Fprintln(os.Stderr, "chaos-predict:", err)
-		os.Exit(1)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	if err := doPredict(*modelPath, *in, *run, *series); err != nil {
+		// One line, no stack: strip any embedded newlines a wrapped error
+		// might carry.
+		msg := strings.ReplaceAll(err.Error(), "\n", " ")
+		fmt.Fprintln(stderr, "chaos-predict:", msg)
+		return 1
+	}
+	return 0
 }
 
 func doPredict(modelPath, in string, runFilter int, printSeries bool) error {
 	data, err := os.ReadFile(modelPath)
 	if err != nil {
-		return err
+		return fmt.Errorf("loading model: %w", err)
 	}
 	var cm models.ClusterModel
 	if err := json.Unmarshal(data, &cm); err != nil {
-		return fmt.Errorf("parsing %s: %w", modelPath, err)
+		return fmt.Errorf("model file %s is not a valid cluster model: %w", modelPath, err)
+	}
+	if err := cm.Validate(); err != nil {
+		return fmt.Errorf("model file %s failed validation: %w", modelPath, err)
 	}
 	paths, err := filepath.Glob(filepath.Join(in, "*.csv"))
 	if err != nil {

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -92,4 +94,56 @@ func TestPredictErrors(t *testing.T) {
 	if err := doPredict(modelPath, dir, 99, false); err == nil {
 		t.Error("expected error for nonexistent run filter")
 	}
+}
+
+// TestPredictExitCodes locks the CLI contract: a missing or malformed
+// -model exits 1 with exactly one "chaos-predict:" line on stderr (no
+// panic, no stack trace), and bad flags exit 2.
+func TestPredictExitCodes(t *testing.T) {
+	dir, modelPath := fixtureDir(t)
+
+	var stderr bytes.Buffer
+	if code := realMain([]string{"-model", modelPath, "-in", dir}, &stderr); code != 0 {
+		t.Fatalf("good invocation: exit %d, stderr %q", code, stderr.String())
+	}
+
+	check := func(name string, args []string, wantCode int, wantSub string) {
+		t.Helper()
+		var stderr bytes.Buffer
+		code := realMain(args, &stderr)
+		if code != wantCode {
+			t.Errorf("%s: exit %d, want %d (stderr %q)", name, code, wantCode, stderr.String())
+		}
+		msg := strings.TrimSpace(stderr.String())
+		if wantCode == 1 {
+			if !strings.HasPrefix(msg, "chaos-predict:") {
+				t.Errorf("%s: stderr %q should start with chaos-predict:", name, msg)
+			}
+			if strings.Contains(msg, "\n") {
+				t.Errorf("%s: stderr should be one line, got %q", name, msg)
+			}
+			if strings.Contains(msg, "goroutine") || strings.Contains(msg, "panic") {
+				t.Errorf("%s: stderr looks like a stack trace: %q", name, msg)
+			}
+		}
+		if wantSub != "" && !strings.Contains(msg, wantSub) {
+			t.Errorf("%s: stderr %q does not mention %q", name, msg, wantSub)
+		}
+	}
+
+	check("missing model", []string{"-model", filepath.Join(dir, "nope.json"), "-in", dir}, 1, "loading model")
+
+	malformed := filepath.Join(dir, "malformed.json")
+	os.WriteFile(malformed, []byte(`{"p": {"platform":"p"}}`), 0o644)
+	check("malformed model", []string{"-model", malformed, "-in", dir}, 1, "not a valid cluster model")
+
+	truncated := filepath.Join(dir, "truncated.json")
+	data, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(truncated, data[:len(data)/3], 0o644)
+	check("truncated model", []string{"-model", truncated, "-in", dir}, 1, truncated)
+
+	check("bad flag", []string{"-no-such-flag"}, 2, "")
 }

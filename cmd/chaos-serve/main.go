@@ -1,0 +1,341 @@
+// chaos-serve is the power-prediction serving daemon: it loads (or
+// bootstraps) cluster power models into a versioned registry and serves
+// the /v1 estimation API — single-snapshot and batched endpoints, model
+// listing, and atomic hot-swap/rollback — on one listener together with
+// /metrics, /healthz, and pprof. Requests fan out over a worker pool
+// sharded by machine ID, batch inside a short window, and shed with 429
+// when the bounded queues fill.
+//
+// With -loadgen the process instead replays simulated cluster telemetry
+// against its own API at a configurable rate multiplier and prints
+// throughput, tail latency, shed counts, and accuracy — the in-repo way
+// to measure the serving path. -swap-every rotates model versions
+// mid-load; -faults routes the replay through the resilient client-side
+// collector.
+//
+// Usage:
+//
+//	chaos-serve -listen :8080 -model model.json
+//	chaos-serve -loadgen -machines 3 -workloads Prime,Sort -snapshots 2000 -batch 16
+//	chaos-serve -loadgen -swap-every 200 -faults examples/faults-crashy.json -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/faults"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// config collects one chaos-serve invocation.
+type config struct {
+	Listen string
+	Models []string // model JSON files; empty bootstraps from simulation
+	JSON   bool
+
+	// Engine tuning.
+	Shards      int
+	Queue       int
+	BatchWindow time.Duration
+	BatchMax    int
+	Deadline    time.Duration
+
+	// Bootstrap simulation (when no -model given) and loadgen substrate.
+	Platform  string
+	Machines  int
+	Workloads []string
+	Seed      int64
+	Tech      string
+
+	// Load generator.
+	Loadgen   bool
+	Rate      float64
+	Snapshots int
+	Clients   int
+	Batch     int
+	SwapEvery int
+	Faults    string
+
+	// holdOpen, when set, runs after the server is up (daemon mode) in
+	// place of waiting for a signal — tests probe the API through it.
+	holdOpen func(addr string)
+	// scenario overrides Faults (tests inject without a file).
+	scenario *faults.Scenario
+}
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chaos-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen      = fs.String("listen", "127.0.0.1:8080", "serve the /v1 API, /metrics, /healthz, and pprof on this address")
+		model       = fs.String("model", "", "comma-separated model JSON files (versions v1,v2,...); empty trains a bootstrap model from simulation")
+		jsonOut     = fs.Bool("json", false, "emit machine-readable JSON event lines")
+		shards      = fs.Int("shards", 4, "worker shards (machine-ID hash)")
+		queue       = fs.Int("queue", 256, "per-shard bounded queue depth (full = 429)")
+		batchWindow = fs.Duration("batch-window", 2*time.Millisecond, "how long a worker widens a batch after the first sample")
+		batchMax    = fs.Int("batch-max", 64, "max samples per predictor batch")
+		deadline    = fs.Duration("deadline", 250*time.Millisecond, "default per-request deadline")
+		platform    = fs.String("platform", "Core2", "bootstrap/loadgen platform class")
+		machines    = fs.Int("machines", 3, "bootstrap/loadgen cluster size")
+		workloads   = fs.String("workloads", "Prime,Sort", "bootstrap/loadgen workload sequence")
+		seed        = fs.Int64("seed", 7, "simulation seed")
+		tech        = fs.String("tech", "linear", "bootstrap model technique: linear, piecewise, quadratic, switching")
+		loadgen     = fs.Bool("loadgen", false, "replay simulated telemetry against the API and print throughput/latency stats")
+		rate        = fs.Float64("rate", 0, "loadgen snapshots/sec (0 = as fast as the API absorbs)")
+		snapshots   = fs.Int("snapshots", 2000, "loadgen snapshots to send")
+		clients     = fs.Int("clients", 4, "loadgen concurrent senders")
+		batch       = fs.Int("batch", 1, "loadgen snapshots per request (1 = /v1/estimate, >1 = /v1/estimate/batch)")
+		swapEvery   = fs.Int("swap-every", 0, "loadgen: hot-swap model versions every N snapshots (0 = off)")
+		faultsArg   = fs.String("faults", "", "loadgen: fault scenario JSON for the client-side feeder")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg := config{
+		Listen: *listen, JSON: *jsonOut,
+		Shards: *shards, Queue: *queue, BatchWindow: *batchWindow, BatchMax: *batchMax, Deadline: *deadline,
+		Platform: *platform, Machines: *machines, Workloads: strings.Split(*workloads, ","), Seed: *seed, Tech: *tech,
+		Loadgen: *loadgen, Rate: *rate, Snapshots: *snapshots, Clients: *clients, Batch: *batch,
+		SwapEvery: *swapEvery, Faults: *faultsArg,
+	}
+	if *model != "" {
+		cfg.Models = strings.Split(*model, ",")
+	}
+	if err := run(stdout, cfg); err != nil {
+		fmt.Fprintln(stderr, "chaos-serve:", err)
+		return 1
+	}
+	return 0
+}
+
+// emitter mirrors chaos-live: text lines or JSON events.
+type emitter struct {
+	w    io.Writer
+	sink *obs.EventSink
+}
+
+func (e *emitter) event(name, text string, fields map[string]any) error {
+	if e.sink != nil {
+		return e.sink.Emit(name, fields)
+	}
+	_, err := fmt.Fprintln(e.w, text)
+	return err
+}
+
+func run(w io.Writer, cfg config) error {
+	em := &emitter{w: w}
+	var sink *obs.EventSink
+	if cfg.JSON {
+		sink = obs.NewEventSink(w)
+		em.sink = sink
+	}
+
+	reg := registry.New()
+	var names []string
+	var traces []*trace.Trace
+	var baseline float64
+
+	if len(cfg.Models) > 0 {
+		// Daemon with pre-trained models: v1, v2, ... in flag order; the
+		// first admitted version serves.
+		for i, path := range cfg.Models {
+			version := fmt.Sprintf("v%d", i+1)
+			if err := reg.LoadFile(version, path); err != nil {
+				return err
+			}
+		}
+		// The counter stream order is the standard registry's.
+		names = counters.StandardRegistry().Names()
+		if cfg.Loadgen {
+			var err error
+			if traces, err = simTraces(cfg); err != nil {
+				return err
+			}
+			names = traces[0].Names
+		}
+	} else {
+		// Bootstrap: simulate the cluster, fit v1 with the chosen
+		// technique and v2 linear (the swap/rollback partner), admit both.
+		var err error
+		if traces, err = simTraces(cfg); err != nil {
+			return err
+		}
+		names = traces[0].Names
+		if baseline, err = bootstrapModels(reg, traces, models.Technique(cfg.Tech)); err != nil {
+			return err
+		}
+		if err := em.event("trained",
+			fmt.Sprintf("bootstrapped %s model v1 (+linear v2) on %s; baseline rMSE %.2f W",
+				cfg.Tech, strings.Join(cfg.Workloads, "+"), baseline),
+			map[string]any{"technique": cfg.Tech, "baseline_rmse_w": round2(baseline),
+				"versions": reg.Len()}); err != nil {
+			return err
+		}
+	}
+
+	srv, err := serve.New(reg, serve.Config{
+		Shards: cfg.Shards, QueueDepth: cfg.Queue,
+		BatchWindow: cfg.BatchWindow, BatchMax: cfg.BatchMax, Deadline: cfg.Deadline,
+		Names: names, BaselineRMSE: baseline, Events: sink,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	httpSrv, err := serve.Serve(cfg.Listen, srv)
+	if err != nil {
+		return err
+	}
+	defer httpSrv.Close()
+	if err := em.event("serving",
+		fmt.Sprintf("serving /v1 API and /metrics on http://%s (active model %s)",
+			httpSrv.Addr(), reg.ActiveVersion()),
+		map[string]any{"addr": httpSrv.Addr(), "active": reg.ActiveVersion(),
+			"shards": cfg.Shards, "queue": cfg.Queue}); err != nil {
+		return err
+	}
+
+	if cfg.Loadgen {
+		return runLoadgen(em, httpSrv.Addr(), reg, traces, cfg)
+	}
+	if cfg.holdOpen != nil {
+		cfg.holdOpen(httpSrv.Addr())
+		return nil
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	return em.event("shutdown", "shutting down", nil)
+}
+
+// simTraces runs the workload sequence on a simulated cluster, giving the
+// loadgen its replay substrate (and the bootstrap its training data).
+func simTraces(cfg config) ([]*trace.Trace, error) {
+	cluster, err := telemetry.New(cfg.Platform, cfg.Machines, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.RunSequence(cfg.Workloads, 10, 3000, 0)
+}
+
+// bootstrapModels fits v1 (requested technique) and v2 (linear) on the
+// simulated traces and admits both; v1 serves. Returns v1's training-set
+// rMSE as the drift-monitor baseline.
+func bootstrapModels(reg *registry.Registry, traces []*trace.Trace, tech models.Technique) (float64, error) {
+	spec := core.ClusterSpec([]string{counters.CPUTotal, counters.CPUFreqCore0})
+	var train []*trace.Trace
+	for _, t := range traces {
+		train = append(train, trace.Subsample(t, 2))
+	}
+	fit := func(tech models.Technique) (*models.ClusterModel, error) {
+		mm, err := models.FitMachineModel(tech, train, spec,
+			models.FitOptions{FreqCol: spec.FreqInputIndex(), MaxKnots: 8})
+		if err != nil {
+			return nil, err
+		}
+		return models.NewClusterModel(mm)
+	}
+	v1, err := fit(tech)
+	if err != nil {
+		return 0, err
+	}
+	if err := reg.Add("v1", v1, registry.Meta{Description: string(tech) + " bootstrap", Source: "sim"}); err != nil {
+		return 0, err
+	}
+	v2, err := fit(models.TechLinear)
+	if err != nil {
+		return 0, err
+	}
+	if err := reg.Add("v2", v2, registry.Meta{Description: "linear bootstrap", Source: "sim"}); err != nil {
+		return 0, err
+	}
+	pred, actual, err := v1.PredictCluster(traces)
+	if err != nil {
+		return 0, err
+	}
+	return rmse(pred, actual), nil
+}
+
+// runLoadgen replays the traces against the freshly started API and
+// reports the stats.
+func runLoadgen(em *emitter, addr string, reg *registry.Registry, traces []*trace.Trace, cfg config) error {
+	scen := cfg.scenario
+	if scen == nil && cfg.Faults != "" {
+		var err error
+		if scen, err = faults.LoadScenario(cfg.Faults); err != nil {
+			return err
+		}
+	}
+	lg := serve.LoadGenConfig{
+		TargetURL:    "http://" + addr,
+		Traces:       traces,
+		Snapshots:    cfg.Snapshots,
+		Rate:         cfg.Rate,
+		Clients:      cfg.Clients,
+		Batch:        cfg.Batch,
+		IncludeMeter: true,
+		SwapEvery:    cfg.SwapEvery,
+		Scenario:     scen,
+		Seed:         cfg.Seed,
+	}
+	if cfg.SwapEvery > 0 {
+		for _, info := range reg.List() {
+			lg.SwapVersions = append(lg.SwapVersions, info.Version)
+		}
+	}
+	stats, err := serve.RunLoadGen(lg)
+	if err != nil {
+		return err
+	}
+	return em.event("loadgen_complete",
+		fmt.Sprintf("loadgen: %d snapshots (%d samples) in %.2fs — %.0f snap/s, %.0f samples/s\n"+
+			"  latency p50 %s p99 %s\n"+
+			"  ok %d  shed %d  late %d  failed %d  skipped rows %d  swaps %d\n"+
+			"  mean abs cluster err %.2f W over %d metered snapshots",
+			stats.Snapshots, stats.Samples, stats.Duration.Seconds(),
+			stats.SnapshotsPerSec, stats.SamplesPerSec,
+			stats.LatencyP50, stats.LatencyP99,
+			stats.OK, stats.Shed, stats.Late, stats.Failed, stats.SkippedRows, stats.Swaps,
+			stats.MeanAbsErr(), stats.MeterOK),
+		map[string]any{
+			"snapshots": stats.Snapshots, "samples": stats.Samples,
+			"duration_s":    round2(stats.Duration.Seconds()),
+			"snapshots_per_s": round2(stats.SnapshotsPerSec),
+			"samples_per_s":   round2(stats.SamplesPerSec),
+			"latency_p50_ms":  round2(float64(stats.LatencyP50) / float64(time.Millisecond)),
+			"latency_p99_ms":  round2(float64(stats.LatencyP99) / float64(time.Millisecond)),
+			"ok": stats.OK, "shed": stats.Shed, "late": stats.Late, "failed": stats.Failed,
+			"skipped_rows": stats.SkippedRows, "swaps": stats.Swaps,
+			"mean_abs_err_w": round2(stats.MeanAbsErr()), "metered": stats.MeterOK,
+		})
+}
+
+func rmse(pred, actual []float64) float64 {
+	var s float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/faults"
+)
+
+// crashyScenario is a lossy client-side feeder: every machine's collector
+// drops half its fetch attempts, so some rows vanish even after retries.
+func crashyScenario() *faults.Scenario {
+	return &faults.Scenario{
+		Name:     "test-lossy",
+		Defaults: faults.MachineFaults{DropProb: 0.5},
+	}
+}
+
+// parseEvents decodes the JSON event lines a -json run emits, keyed by
+// event name (last occurrence wins).
+func parseEvents(t *testing.T, out string) map[string]map[string]any {
+	t.Helper()
+	events := map[string]map[string]any{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("non-JSON event line %q: %v", line, err)
+		}
+		name, _ := ev["event"].(string)
+		events[name] = ev
+	}
+	return events
+}
+
+// TestServeLoadgenEndToEnd boots the daemon in bootstrap+loadgen mode,
+// replays telemetry against its own API with mid-load hot-swaps, and
+// checks the machine-readable summary: nothing failed, the swaps
+// happened, and the served estimates track the metered power.
+func TestServeLoadgenEndToEnd(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-listen", "127.0.0.1:0", "-json",
+		"-machines", "2", "-workloads", "Prime",
+		"-loadgen", "-snapshots", "400", "-batch", "8", "-clients", "4",
+		"-swap-every", "100",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	events := parseEvents(t, stdout.String())
+	for _, name := range []string{"trained", "serving", "loadgen_complete"} {
+		if events[name] == nil {
+			t.Fatalf("missing %q event in output:\n%s", name, stdout.String())
+		}
+	}
+	lg := events["loadgen_complete"]
+	if got := lg["failed"].(float64); got != 0 {
+		t.Errorf("failed = %g, want 0", got)
+	}
+	if got := lg["shed"].(float64); got != 0 {
+		t.Errorf("shed = %g, want 0 (queues are deep in this run)", got)
+	}
+	if got := lg["swaps"].(float64); got < 2 {
+		t.Errorf("swaps = %g, want >= 2 (swap-every 100 over 400 snapshots)", got)
+	}
+	if got := lg["ok"].(float64); got != 400 {
+		t.Errorf("ok = %g, want 400", got)
+	}
+	// The bootstrap model serves its own training distribution: the mean
+	// absolute cluster error should be a few watts, not garbage.
+	if got := lg["mean_abs_err_w"].(float64); got <= 0 || got > 50 {
+		t.Errorf("mean_abs_err_w = %g, want (0, 50]", got)
+	}
+}
+
+// TestServeLoadgenOverloadSheds squeezes the engine (1 shard, queue depth
+// 1, batch of 1) under many concurrent senders and checks overload
+// surfaces as 429 sheds — never as failures or an unbounded queue.
+func TestServeLoadgenOverloadSheds(t *testing.T) {
+	for attempt := 0; attempt < 3; attempt++ {
+		var stdout, stderr bytes.Buffer
+		code := realMain([]string{
+			"-listen", "127.0.0.1:0", "-json",
+			"-machines", "2", "-workloads", "Prime",
+			"-shards", "1", "-queue", "1", "-batch-max", "1", "-batch-window", "1ms",
+			"-loadgen", "-snapshots", "300", "-clients", "8",
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+		}
+		lg := parseEvents(t, stdout.String())["loadgen_complete"]
+		if lg == nil {
+			t.Fatal("missing loadgen_complete event")
+		}
+		if got := lg["failed"].(float64); got != 0 {
+			t.Fatalf("failed = %g, want 0 — overload must shed, not error", got)
+		}
+		if lg["shed"].(float64) > 0 {
+			return // overload observed and handled as 429
+		}
+	}
+	t.Error("no sheds in 3 attempts despite queue depth 1 and 8 clients")
+}
+
+// TestServeDaemonServesAPI starts daemon mode via the holdOpen hook and
+// probes the live endpoints: health, model listing, estimation, metrics.
+func TestServeDaemonServesAPI(t *testing.T) {
+	var stdout bytes.Buffer
+	probed := false
+	cfg := config{
+		Listen: "127.0.0.1:0", JSON: true,
+		Platform: "Core2", Machines: 2, Workloads: []string{"Prime"}, Seed: 7, Tech: "linear",
+		holdOpen: func(addr string) {
+			probed = true
+			base := "http://" + addr
+
+			resp, err := http.Get(base + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("/healthz = %d", resp.StatusCode)
+			}
+
+			resp, err = http.Get(base + "/v1/models")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var list struct {
+				Active string           `json:"active"`
+				Models []map[string]any `json:"models"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if list.Active != "v1" || len(list.Models) != 2 {
+				t.Errorf("models = active %q with %d versions, want v1 with 2", list.Active, len(list.Models))
+			}
+
+			// Estimate a zero counter row (full stream width).
+			row := make([]float64, len(counters.StandardRegistry().Names()))
+			body, _ := json.Marshal(map[string]any{
+				"samples": []map[string]any{
+					{"machine_id": "m0", "platform": "Core2", "counters": row},
+				},
+			})
+			resp, err = http.Post(base+"/v1/estimate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var er struct {
+				Status       int     `json:"status"`
+				ModelVersion string  `json:"model_version"`
+				ClusterWatts float64 `json:"cluster_watts"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || er.ModelVersion != "v1" {
+				t.Errorf("estimate = %d version %q, want 200/v1", resp.StatusCode, er.ModelVersion)
+			}
+			if er.ClusterWatts <= 0 {
+				t.Errorf("idle-row estimate = %g W, want > 0", er.ClusterWatts)
+			}
+
+			resp, err = http.Get(base + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if !strings.Contains(buf.String(), "chaos_serve_samples_total") {
+				t.Error("/metrics missing chaos_serve_samples_total")
+			}
+		},
+	}
+	if err := run(&stdout, cfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !probed {
+		t.Fatal("holdOpen hook never ran")
+	}
+}
+
+// TestServeBadFlagsAndModelPath locks the CLI failure modes: unknown
+// flags exit 2, a missing model file exits 1 with a single clear line.
+func TestServeBadFlagsAndModelPath(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+
+	stderr.Reset()
+	code := realMain([]string{"-listen", "127.0.0.1:0", "-model", "/nonexistent/model.json", "-loadgen", "-snapshots", "1"}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("missing model: exit %d, want 1", code)
+	}
+	msg := strings.TrimSpace(stderr.String())
+	if !strings.HasPrefix(msg, "chaos-serve:") || strings.Contains(msg, "\n") {
+		t.Errorf("missing model should produce one chaos-serve: line, got %q", msg)
+	}
+	if !strings.Contains(msg, "/nonexistent/model.json") && !strings.Contains(msg, "no such file") {
+		t.Errorf("error should mention the cause: %q", msg)
+	}
+}
+
+// TestServeLoadgenWithFaultFeeder routes the replay through a lossy
+// client-side collector scenario and checks rows are skipped (thinned
+// snapshots) while nothing fails server-side.
+func TestServeLoadgenWithFaultFeeder(t *testing.T) {
+	scen := crashyScenario()
+	var stdout bytes.Buffer
+	cfg := config{
+		Listen: "127.0.0.1:0", JSON: true,
+		Platform: "Core2", Machines: 2, Workloads: []string{"Prime"}, Seed: 7, Tech: "linear",
+		Loadgen: true, Snapshots: 300, Clients: 4, Batch: 4,
+		scenario: scen,
+	}
+	if err := run(&stdout, cfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lg := parseEvents(t, stdout.String())["loadgen_complete"]
+	if lg == nil {
+		t.Fatal("missing loadgen_complete event")
+	}
+	if got := lg["failed"].(float64); got != 0 {
+		t.Errorf("failed = %g, want 0", got)
+	}
+	if got := lg["skipped_rows"].(float64); got <= 0 {
+		t.Errorf("skipped_rows = %g, want > 0 under a lossy feeder", got)
+	}
+	if got := lg["ok"].(float64); got <= 0 {
+		t.Errorf("ok = %g, want > 0 — thinned snapshots still serve", got)
+	}
+}

@@ -1,0 +1,184 @@
+package models
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// serializeFixture fits one model of each technique on a synthetic design
+// matrix whose second column behaves like a quantized CPU frequency (so
+// the switching technique has real P-state bins to split on).
+func serializeFixture(t *testing.T, tech Technique) *ClusterModel {
+	t.Helper()
+	const n = 240
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	freqs := []float64{1600, 2000, 2400}
+	for i := 0; i < n; i++ {
+		util := float64(i%100) / 100
+		freq := freqs[i%len(freqs)]
+		disk := float64((i*7)%40) / 10
+		rows[i] = []float64{util, freq, disk}
+		// Mildly nonlinear ground truth so MARS finds knots worth keeping.
+		y[i] = 50 + 30*util + 0.01*freq + 2*disk + 10*util*util
+	}
+	x, err := mathx.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(tech, x, y, FitOptions{FreqCol: 1, MaxKnots: 6})
+	if err != nil {
+		t.Fatalf("fit %s: %v", tech, err)
+	}
+	mm := &MachineModel{
+		Platform: "p",
+		Spec:     FeatureSpec{Name: "synthetic", Counters: []string{"util", "freq", "disk"}},
+		Model:    m,
+	}
+	cm, err := NewClusterModel(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+// probeRows cover the fitted range plus extrapolation on both sides (the
+// MARS clamps and switching fallback paths must round-trip too).
+var probeRows = [][]float64{
+	{0, 1600, 0},
+	{0.25, 2000, 1.4},
+	{0.5, 2400, 2.8},
+	{0.99, 1600, 3.9},
+	{1.5, 3200, 8},   // beyond the training range
+	{-0.2, 1200, -1}, // below it
+}
+
+// TestSerializeRoundTripAllTechniques locks the JSON wire format: for
+// every technique, unmarshal(marshal(model)) must predict bit-identically
+// (Go's encoder emits the shortest float64 representation, which parses
+// back exactly), and the envelope metadata must survive.
+func TestSerializeRoundTripAllTechniques(t *testing.T) {
+	for _, tech := range Techniques() {
+		t.Run(string(tech), func(t *testing.T) {
+			cm := serializeFixture(t, tech)
+			data, err := json.Marshal(cm)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var back ClusterModel
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			orig := cm.ByPlatform["p"]
+			got := back.ByPlatform["p"]
+			if got == nil {
+				t.Fatal("platform p lost in round trip")
+			}
+			if got.Platform != "p" || got.Spec.Name != orig.Spec.Name ||
+				len(got.Spec.Counters) != len(orig.Spec.Counters) {
+				t.Errorf("metadata mangled: %+v", got)
+			}
+			if got.Model.Technique() != tech {
+				t.Errorf("technique = %s, want %s", got.Model.Technique(), tech)
+			}
+			if got.Model.NumInputs() != orig.Model.NumInputs() {
+				t.Errorf("NumInputs = %d, want %d", got.Model.NumInputs(), orig.Model.NumInputs())
+			}
+			for _, row := range probeRows {
+				a, b := orig.Model.Predict(row), got.Model.Predict(row)
+				if a != b {
+					t.Errorf("predict(%v): %v != %v after round trip", row, a, b)
+				}
+				if math.IsNaN(a) || math.IsInf(a, 0) {
+					t.Errorf("predict(%v) not finite: %v", row, a)
+				}
+			}
+			// A second marshal of the round-tripped model is byte-identical:
+			// the wire format is a fixed point.
+			again, err := json.Marshal(&back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(again) != string(data) {
+				t.Error("marshal(unmarshal(x)) != x; wire format is not stable")
+			}
+		})
+	}
+}
+
+// TestSerializeRejectsMalformed locks the rejection paths: truncated and
+// corrupt documents, unknown techniques, and inconsistent envelopes all
+// fail loudly instead of yielding a half-built model.
+func TestSerializeRejectsMalformed(t *testing.T) {
+	good, err := json.Marshal(serializeFixture(t, TechQuadratic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data string
+		want string // substring of the expected error ("" = any)
+	}{
+		{"truncated", string(good[:len(good)/2]), ""},
+		{"corrupt", "{]", ""},
+		{"empty object", "{}", "no machine models"},
+		{"unknown technique", `{"p":{"platform":"p","feature_spec":{"name":"s","counters":["a"]},"model":{"technique":"neural"}}}`, "unknown technique"},
+		{"missing model", `{"p":{"platform":"p","feature_spec":{"name":"s","counters":["a"]}}}`, "missing model"},
+		{"linear without payload", `{"p":{"platform":"p","feature_spec":{"name":"s","counters":["a"]},"model":{"technique":"linear"}}}`, "missing payload"},
+		{"switching without payload", `{"p":{"platform":"p","feature_spec":{"name":"s","counters":["a"]},"model":{"technique":"switching"}}}`, "missing payload"},
+		{"scaler mismatch", `{"p":{"platform":"p","feature_spec":{"name":"s","counters":["a"]},"model":{"technique":"quadratic","mars":{"num_inputs":1},"means":[0,0],"scales":[1]}}}`, "scaler mismatch"},
+	}
+	for _, c := range cases {
+		var cm ClusterModel
+		err := json.Unmarshal([]byte(c.data), &cm)
+		if err == nil {
+			t.Errorf("%s: unmarshal accepted malformed input", c.name)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestSerializeRejectsUnknownModelType locks the marshal side: a Model
+// implementation the wire format does not know must fail to serialize
+// rather than emit an envelope no reader can open.
+func TestSerializeRejectsUnknownModelType(t *testing.T) {
+	mm := &MachineModel{
+		Platform: "p",
+		Spec:     FeatureSpec{Name: "s", Counters: []string{"a"}},
+		Model:    alienModel{},
+	}
+	if _, err := json.Marshal(mm); err == nil {
+		t.Fatal("marshal accepted a foreign Model implementation")
+	}
+}
+
+type alienModel struct{}
+
+func (alienModel) Predict([]float64) float64 { return 0 }
+func (alienModel) Technique() Technique      { return Technique("alien") }
+func (alienModel) NumInputs() int            { return 1 }
+
+// TestSerializeFileSizedModels round-trips every technique through the
+// full file path a daemon start uses: bytes → cluster model → Validate.
+func TestSerializeValidateAfterDecode(t *testing.T) {
+	for _, tech := range Techniques() {
+		data, err := json.Marshal(serializeFixture(t, tech))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cm ClusterModel
+		if err := json.Unmarshal(data, &cm); err != nil {
+			t.Fatalf("%s: %v", tech, err)
+		}
+		if err := cm.Validate(); err != nil {
+			t.Errorf("%s: decoded model fails validation: %v", tech, err)
+		}
+	}
+}

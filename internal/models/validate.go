@@ -1,0 +1,97 @@
+package models
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ModelInfo is the deploy-time metadata of one machine model — what a
+// model registry lists about a version without touching the fitted
+// coefficients.
+type ModelInfo struct {
+	Platform  string    `json:"platform"`
+	Technique Technique `json:"technique"`
+	Inputs    int       `json:"inputs"`
+	Features  []string  `json:"features"`
+}
+
+// Validate checks that a machine model is deployable: platform and model
+// present, the feature spec's input width matching the fitted model, and a
+// probe prediction that comes back finite. The model registry runs this
+// before admitting a version, so a truncated or hand-mangled model file
+// can never become the serving model.
+func (mm *MachineModel) Validate() error {
+	if mm.Platform == "" {
+		return fmt.Errorf("models: machine model has no platform")
+	}
+	if mm.Model == nil {
+		return fmt.Errorf("models: machine model for %s has no fitted model", mm.Platform)
+	}
+	n := mm.Model.NumInputs()
+	if n <= 0 {
+		return fmt.Errorf("models: %s model reports %d inputs", mm.Platform, n)
+	}
+	if want := mm.Spec.NumInputs(); want != n {
+		return fmt.Errorf("models: %s spec implies %d inputs but model wants %d", mm.Platform, want, n)
+	}
+	if sw, ok := mm.Model.(*Switching); ok {
+		if sw.FreqCol < 0 || sw.FreqCol >= n {
+			return fmt.Errorf("models: %s switching model frequency column %d out of range [0,%d)", mm.Platform, sw.FreqCol, n)
+		}
+	}
+	probe := make([]float64, n)
+	if w := mm.Model.Predict(probe); math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("models: %s model predicts non-finite power (%g) on probe row", mm.Platform, w)
+	}
+	return nil
+}
+
+// Info returns the machine model's registry metadata.
+func (mm *MachineModel) Info() ModelInfo {
+	return ModelInfo{
+		Platform:  mm.Platform,
+		Technique: mm.Model.Technique(),
+		Inputs:    mm.Model.NumInputs(),
+		Features:  append([]string(nil), mm.Spec.Counters...),
+	}
+}
+
+// Validate checks that every machine model in the cluster model is
+// deployable and keyed consistently.
+func (cm *ClusterModel) Validate() error {
+	if cm == nil || len(cm.ByPlatform) == 0 {
+		return fmt.Errorf("models: empty cluster model")
+	}
+	for platform, mm := range cm.ByPlatform {
+		if mm == nil {
+			return fmt.Errorf("models: nil machine model for platform %q", platform)
+		}
+		if mm.Platform != platform {
+			return fmt.Errorf("models: machine model keyed %q but built for %q", platform, mm.Platform)
+		}
+		if err := mm.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Platforms returns the cluster model's platform names, sorted.
+func (cm *ClusterModel) Platforms() []string {
+	out := make([]string, 0, len(cm.ByPlatform))
+	for p := range cm.ByPlatform {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Infos returns per-platform metadata, sorted by platform.
+func (cm *ClusterModel) Infos() []ModelInfo {
+	out := make([]ModelInfo, 0, len(cm.ByPlatform))
+	for _, p := range cm.Platforms() {
+		out = append(out, cm.ByPlatform[p].Info())
+	}
+	return out
+}

@@ -312,21 +312,33 @@ func formatLabels(labels Labels, extraKey, extraVal string) string {
 }
 
 // WritePrometheus renders every instrument in the Prometheus text
-// exposition format (one # TYPE line per metric name, series sorted by
-// key).
+// exposition format. Output order is fully deterministic: metric names
+// sorted, one # TYPE line per name, and within a name the series sorted
+// by their (already key-sorted) label sets — so consecutive scrapes diff
+// cleanly no matter what order series were registered or how the map
+// iterated.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
-	keys := make([]string, 0, len(r.inst))
-	byKey := make(map[string]*instrument, len(r.inst))
-	for k, in := range r.inst {
-		keys = append(keys, k)
-		byKey[k] = in
+	byName := map[string][]*instrument{}
+	for _, in := range r.inst {
+		byName[in.name] = append(byName[in.name], in)
 	}
 	r.mu.RUnlock()
-	sort.Strings(keys)
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var ordered []*instrument
+	for _, n := range names {
+		series := byName[n]
+		sort.Slice(series, func(i, j int) bool {
+			return formatLabels(series[i].labels, "", "") < formatLabels(series[j].labels, "", "")
+		})
+		ordered = append(ordered, series...)
+	}
 	typed := map[string]bool{}
-	for _, k := range keys {
-		in := byKey[k]
+	for _, in := range ordered {
 		if !typed[in.name] {
 			typed[in.name] = true
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", in.name, in.kind); err != nil {

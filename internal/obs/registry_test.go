@@ -181,3 +181,80 @@ func TestAtomicFloatAccumulates(t *testing.T) {
 		t.Errorf("atomicFloat = %g, want 2000", got)
 	}
 }
+
+// TestServeWritePrometheusDeterministic locks the /metrics ordering
+// contract the serving layer relies on: repeated renders of the same
+// registry are byte-identical, names come out sorted with one TYPE line
+// each, and a name's series group together sorted by label set — even
+// when registration order is adversarial and bare names interleave with
+// labeled and suffixed ones ('{' sorts after '_', so naive whole-key
+// sorting would split the foo group around foo_bar).
+func TestServeWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Adversarial registration order.
+	r.Counter("foo_bar", nil).Add(7)
+	r.Counter("foo", Labels{"m": "z"}).Add(3)
+	r.Gauge("zzz", nil).Set(9)
+	r.Counter("foo", nil).Add(1)
+	r.Counter("foo", Labels{"m": "a"}).Add(2)
+	r.Histogram("bar", Labels{"shard": "1"}, []float64{1, 2}).Observe(1.5)
+	r.Histogram("bar", Labels{"shard": "0"}, []float64{1, 2}).Observe(0.5)
+
+	var first strings.Builder
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var again strings.Builder
+		if err := r.WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatalf("render %d differs:\n--- first\n%s--- again\n%s", i, first.String(), again.String())
+		}
+	}
+
+	out := first.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Expected full order: bar group (shard 0 before shard 1), then the
+	// foo group (bare, then m=a, then m=z), then foo_bar, then zzz.
+	wantOrder := []string{
+		"# TYPE bar histogram",
+		`bar_bucket{shard="0",le="1"}`,
+		`bar_bucket{shard="1",le="1"}`,
+		"# TYPE foo counter",
+		"foo 1",
+		`foo{m="a"} 2`,
+		`foo{m="z"} 3`,
+		"# TYPE foo_bar counter",
+		"foo_bar 7",
+		"# TYPE zzz gauge",
+		"zzz 9",
+	}
+	pos := -1
+	for _, want := range wantOrder {
+		found := -1
+		for i, line := range lines {
+			if strings.HasPrefix(line, want) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+		if found <= pos {
+			t.Errorf("%q appears at line %d, before the preceding expected entry (line %d)", want, found, pos)
+		}
+		pos = found
+	}
+	// Exactly one TYPE line per metric name.
+	if n := strings.Count(out, "# TYPE foo counter\n"); n != 1 {
+		t.Errorf("foo has %d TYPE lines, want 1", n)
+	}
+	// Base label keys stay sorted (the histogram le bound is appended
+	// after them by design).
+	if strings.Contains(out, `{le="1",shard=`) {
+		t.Error("histogram base labels not sorted before le")
+	}
+}

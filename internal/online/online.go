@@ -139,6 +139,14 @@ func (p *Predictor) Step(samples []Sample) (*Estimate, error) {
 // predictOne validates one sample and predicts its machine's power,
 // maintaining the machine's lag history.
 func (p *Predictor) predictOne(s Sample) (float64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.predictLocked(s)
+}
+
+// predictLocked is predictOne with p.mu already held, so batched callers
+// pay the lock once per batch instead of once per sample.
+func (p *Predictor) predictLocked(s Sample) (float64, error) {
 	mm, ok := p.model.ByPlatform[s.Platform]
 	if !ok {
 		return 0, fmt.Errorf("online: no machine model for platform %q", s.Platform)
@@ -146,13 +154,47 @@ func (p *Predictor) predictOne(s Sample) (float64, error) {
 	if len(s.Counters) != len(p.names) {
 		return 0, fmt.Errorf("online: sample from %s has %d counters, want %d", s.MachineID, len(s.Counters), len(p.names))
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	row, err := p.buildRow(mm.Spec, s)
 	if err != nil {
 		return 0, err
 	}
 	return mm.Model.Predict(row), nil
+}
+
+// BatchItem is one sample's outcome within a batched prediction.
+type BatchItem struct {
+	Watts float64
+	Err   error
+}
+
+// PredictBatch predicts each sample in order under a single lock
+// acquisition and a single latency observation — the serving layer's
+// amortized hot path. Unlike Step, per-sample problems (unknown platform,
+// wrong counter count, non-finite counters) are reported per item and
+// never fail the rest of the batch; samples may belong to different
+// machines, the same machine, or different clusters of requests entirely.
+func (p *Predictor) PredictBatch(samples []Sample) []BatchItem {
+	start := time.Now()
+	defer func() { predictLatency.Observe(time.Since(start).Seconds()) }()
+	out := make([]BatchItem, len(samples))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range samples {
+		s := samples[i]
+		if !finiteRow(s.Counters) {
+			invalidSamples.Inc()
+			out[i].Err = fmt.Errorf("online: sample from %s has non-finite counters", s.MachineID)
+			continue
+		}
+		w, err := p.predictLocked(s)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Watts = w
+		estimatesTotal.Inc()
+	}
+	return out
 }
 
 // buildRow assembles the model input for one sample, maintaining lag

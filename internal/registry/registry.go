@@ -1,0 +1,206 @@
+// Package registry is the versioned model store behind the serving layer:
+// it admits cluster power models (validated before they can ever serve),
+// lists version metadata, and hot-swaps the active version through an
+// atomic pointer so in-flight requests keep the model they started with —
+// a swap or rollback never tears a prediction.
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/obs"
+)
+
+// Registry-wide instruments, resolved once so Activate/Add stay cheap.
+var (
+	versionsGauge    = obs.Default().Gauge("chaos_model_versions", nil)
+	activationsTotal = obs.Default().Counter("chaos_model_activations_total", nil)
+	rollbacksTotal   = obs.Default().Counter("chaos_model_rollbacks_total", nil)
+)
+
+// Meta is caller-supplied metadata attached to a model version.
+type Meta struct {
+	Description string `json:"description,omitempty"`
+	Source      string `json:"source,omitempty"` // e.g. training file, retrain event
+}
+
+// Entry is one admitted model version. Entries are immutable after Add;
+// the serving layer holds whichever Entry was active when a batch started.
+type Entry struct {
+	Version   string
+	Meta      Meta
+	Model     *models.ClusterModel
+	CreatedAt time.Time
+	seq       int
+}
+
+// Info is the listing form of a version.
+type Info struct {
+	Version     string             `json:"version"`
+	Active      bool               `json:"active"`
+	Description string             `json:"description,omitempty"`
+	Source      string             `json:"source,omitempty"`
+	CreatedAt   time.Time          `json:"created_at"`
+	Platforms   []string           `json:"platforms"`
+	Models      []models.ModelInfo `json:"models"`
+}
+
+// Registry holds model versions and the active pointer. Mutations take a
+// mutex; Active is a single atomic load, safe on the hottest path.
+type Registry struct {
+	mu       sync.Mutex
+	versions map[string]*Entry
+	seq      int
+	previous string // version active before the last Activate, for Rollback
+	now      func() time.Time
+
+	active atomic.Pointer[Entry]
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{versions: map[string]*Entry{}, now: time.Now}
+}
+
+// Add validates and admits a model under a new version name. The first
+// admitted version becomes active automatically, so a freshly booted
+// server can serve as soon as one model loads.
+func (r *Registry) Add(version string, cm *models.ClusterModel, meta Meta) error {
+	if version == "" {
+		return fmt.Errorf("registry: empty version name")
+	}
+	if err := cm.Validate(); err != nil {
+		return fmt.Errorf("registry: rejecting %s: %w", version, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.versions[version]; dup {
+		return fmt.Errorf("registry: version %q already exists", version)
+	}
+	r.seq++
+	e := &Entry{Version: version, Meta: meta, Model: cm, CreatedAt: r.now(), seq: r.seq}
+	r.versions[version] = e
+	versionsGauge.Set(float64(len(r.versions)))
+	if r.active.Load() == nil {
+		r.active.Store(e)
+		activationsTotal.Inc()
+	}
+	return nil
+}
+
+// AddJSON parses a serialized cluster model and admits it (the hot-load
+// path of the /v1/models API and the -model flag).
+func (r *Registry) AddJSON(version string, data []byte, meta Meta) error {
+	var cm models.ClusterModel
+	if err := json.Unmarshal(data, &cm); err != nil {
+		return fmt.Errorf("registry: parsing model for %s: %w", version, err)
+	}
+	return r.Add(version, &cm, meta)
+}
+
+// LoadFile reads a model JSON file and admits it, recording the path as
+// the version's source.
+func (r *Registry) LoadFile(version, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("registry: loading model for %s: %w", version, err)
+	}
+	meta := Meta{Source: path}
+	return r.AddJSON(version, data, meta)
+}
+
+// Activate makes the named version the serving model. The swap is a single
+// atomic pointer store: requests already dispatched keep the entry they
+// loaded, new requests see the new version, and nothing is ever dropped.
+func (r *Registry) Activate(version string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.versions[version]
+	if !ok {
+		return fmt.Errorf("registry: unknown version %q", version)
+	}
+	if cur := r.active.Load(); cur != nil {
+		if cur.Version == version {
+			return nil // already active; keep rollback target unchanged
+		}
+		r.previous = cur.Version
+	}
+	r.active.Store(e)
+	activationsTotal.Inc()
+	return nil
+}
+
+// Rollback re-activates the version that was serving before the last
+// Activate. It returns the version rolled back to.
+func (r *Registry) Rollback() (string, error) {
+	r.mu.Lock()
+	prev := r.previous
+	r.mu.Unlock()
+	if prev == "" {
+		return "", fmt.Errorf("registry: no previous version to roll back to")
+	}
+	if err := r.Activate(prev); err != nil {
+		return "", err
+	}
+	rollbacksTotal.Inc()
+	return prev, nil
+}
+
+// Active returns the serving entry (nil when nothing is admitted yet).
+// It is a single atomic load — callers on the request path pay nothing.
+func (r *Registry) Active() *Entry { return r.active.Load() }
+
+// ActiveVersion returns the serving version name, or "".
+func (r *Registry) ActiveVersion() string {
+	if e := r.active.Load(); e != nil {
+		return e.Version
+	}
+	return ""
+}
+
+// Get returns the named version's entry.
+func (r *Registry) Get(version string) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.versions[version]
+	return e, ok
+}
+
+// Len returns the number of admitted versions.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.versions)
+}
+
+// List returns every version's metadata in admission order.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	entries := make([]*Entry, 0, len(r.versions))
+	for _, e := range r.versions {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	activeVersion := r.ActiveVersion()
+	out := make([]Info, len(entries))
+	for i, e := range entries {
+		out[i] = Info{
+			Version:     e.Version,
+			Active:      e.Version == activeVersion,
+			Description: e.Meta.Description,
+			Source:      e.Meta.Source,
+			CreatedAt:   e.CreatedAt,
+			Platforms:   e.Model.Platforms(),
+			Models:      e.Model.Infos(),
+		}
+	}
+	return out
+}

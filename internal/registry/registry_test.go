@@ -1,0 +1,168 @@
+package registry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+// mkCluster builds a one-platform cluster model around a hand-written
+// linear model: watts = intercept + 1*a + 2*b.
+func mkCluster(t *testing.T, platform string, intercept float64) *models.ClusterModel {
+	t.Helper()
+	mm := &models.MachineModel{
+		Platform: platform,
+		Spec:     models.FeatureSpec{Name: "test", Counters: []string{"a", "b"}},
+		Model:    &models.Linear{Intercept: intercept, Coef: []float64{1, 2}},
+	}
+	cm, err := models.NewClusterModel(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+func TestServeRegistryAddActivateRollback(t *testing.T) {
+	r := New()
+	if r.Active() != nil || r.ActiveVersion() != "" {
+		t.Fatal("empty registry should have no active model")
+	}
+	if err := r.Add("v1", mkCluster(t, "p", 10), Meta{Description: "first"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ActiveVersion(); got != "v1" {
+		t.Fatalf("first Add should auto-activate; active = %q", got)
+	}
+	if err := r.Add("v1", mkCluster(t, "p", 11), Meta{}); err == nil {
+		t.Fatal("duplicate version should be rejected")
+	}
+	if err := r.Add("v2", mkCluster(t, "p", 20), Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ActiveVersion(); got != "v1" {
+		t.Fatalf("second Add must not steal the active slot; active = %q", got)
+	}
+	if err := r.Activate("nope"); err == nil {
+		t.Fatal("activating unknown version should fail")
+	}
+	if err := r.Activate("v2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ActiveVersion(); got != "v2" {
+		t.Fatalf("active = %q, want v2", got)
+	}
+	// Re-activating the active version must not clobber the rollback
+	// target.
+	if err := r.Activate("v2"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := r.Rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != "v1" || r.ActiveVersion() != "v1" {
+		t.Fatalf("rollback went to %q (active %q), want v1", back, r.ActiveVersion())
+	}
+}
+
+func TestServeRegistryRollbackWithoutHistory(t *testing.T) {
+	r := New()
+	if _, err := r.Rollback(); err == nil {
+		t.Fatal("rollback on empty registry should fail")
+	}
+	if err := r.Add("v1", mkCluster(t, "p", 10), Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Rollback(); err == nil {
+		t.Fatal("rollback with no prior activation should fail")
+	}
+}
+
+func TestServeRegistryValidationRejects(t *testing.T) {
+	r := New()
+	if err := r.Add("", mkCluster(t, "p", 1), Meta{}); err == nil {
+		t.Error("empty version name should be rejected")
+	}
+	if err := r.Add("v1", &models.ClusterModel{}, Meta{}); err == nil {
+		t.Error("empty cluster model should be rejected")
+	}
+	// Spec width disagrees with the fitted model.
+	bad := &models.MachineModel{
+		Platform: "p",
+		Spec:     models.FeatureSpec{Name: "test", Counters: []string{"a"}},
+		Model:    &models.Linear{Intercept: 1, Coef: []float64{1, 2}},
+	}
+	if err := r.Add("v1", &models.ClusterModel{ByPlatform: map[string]*models.MachineModel{"p": bad}}, Meta{}); err == nil {
+		t.Error("spec/model width mismatch should be rejected")
+	}
+	// Keyed under the wrong platform.
+	mm := &models.MachineModel{
+		Platform: "p",
+		Spec:     models.FeatureSpec{Name: "test", Counters: []string{"a", "b"}},
+		Model:    &models.Linear{Intercept: 1, Coef: []float64{1, 2}},
+	}
+	if err := r.Add("v1", &models.ClusterModel{ByPlatform: map[string]*models.MachineModel{"q": mm}}, Meta{}); err == nil {
+		t.Error("platform key mismatch should be rejected")
+	}
+	if r.Len() != 0 || r.Active() != nil {
+		t.Errorf("rejected adds must not leave state behind: len=%d active=%v", r.Len(), r.Active())
+	}
+}
+
+func TestServeRegistryAddJSONAndList(t *testing.T) {
+	r := New()
+	cm := mkCluster(t, "p", 10)
+	data, err := json.Marshal(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddJSON("v1", data, Meta{Description: "from json", Source: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddJSON("v2", []byte(`{"truncated`), Meta{}); err == nil {
+		t.Fatal("corrupt JSON should be rejected")
+	}
+	if err := r.Add("v2", mkCluster(t, "p", 20), Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	infos := r.List()
+	if len(infos) != 2 {
+		t.Fatalf("List returned %d versions, want 2", len(infos))
+	}
+	if infos[0].Version != "v1" || infos[1].Version != "v2" {
+		t.Errorf("List order = %s, %s; want admission order v1, v2", infos[0].Version, infos[1].Version)
+	}
+	if !infos[0].Active || infos[1].Active {
+		t.Errorf("active flags wrong: %+v", infos)
+	}
+	if infos[0].Description != "from json" || infos[0].Source != "test" {
+		t.Errorf("meta not preserved: %+v", infos[0])
+	}
+	if len(infos[0].Platforms) != 1 || infos[0].Platforms[0] != "p" {
+		t.Errorf("platforms = %v, want [p]", infos[0].Platforms)
+	}
+	if len(infos[0].Models) != 1 || infos[0].Models[0].Technique != models.TechLinear || infos[0].Models[0].Inputs != 2 {
+		t.Errorf("model info = %+v", infos[0].Models)
+	}
+	// Entries round-trip through Get.
+	e, ok := r.Get("v2")
+	if !ok || e.Version != "v2" {
+		t.Fatalf("Get(v2) = %v, %v", e, ok)
+	}
+	if w := e.Model.ByPlatform["p"].Model.Predict([]float64{3, 4}); w != 31 {
+		t.Errorf("v2 predict = %g, want 31", w)
+	}
+}
+
+func TestServeRegistryLoadFileMissing(t *testing.T) {
+	r := New()
+	err := r.LoadFile("v1", "/nonexistent/model.json")
+	if err == nil {
+		t.Fatal("missing file should be an error")
+	}
+	if !strings.Contains(err.Error(), "v1") {
+		t.Errorf("error should name the version: %v", err)
+	}
+}

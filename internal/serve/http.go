@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/online"
+	"repro/internal/registry"
+)
+
+// HTTP-path instruments (per endpoint), resolved once.
+var (
+	estimateReqs  = obs.Default().Counter("chaos_serve_requests_total", obs.Labels{"endpoint": "estimate"})
+	batchReqs     = obs.Default().Counter("chaos_serve_requests_total", obs.Labels{"endpoint": "estimate_batch"})
+	modelsReqs    = obs.Default().Counter("chaos_serve_requests_total", obs.Labels{"endpoint": "models"})
+	estimateSecs  = obs.Default().Histogram("chaos_serve_request_seconds", obs.Labels{"endpoint": "estimate"}, obs.ExpBuckets(1e-6, 4, 12))
+	batchSecs     = obs.Default().Histogram("chaos_serve_request_seconds", obs.Labels{"endpoint": "estimate_batch"}, obs.ExpBuckets(1e-6, 4, 12))
+	httpErrsTotal = obs.Default().Counter("chaos_serve_http_errors_total", nil)
+)
+
+// SampleJSON is one machine's counter vector in the API wire format.
+type SampleJSON struct {
+	MachineID string    `json:"machine_id"`
+	Platform  string    `json:"platform"`
+	Counters  []float64 `json:"counters"`
+	// MeteredWatts, when present on every sample of a snapshot, feeds the
+	// serve-side drift monitor.
+	MeteredWatts *float64 `json:"metered_watts,omitempty"`
+}
+
+// EstimateRequest is one cluster snapshot: one sample per machine.
+type EstimateRequest struct {
+	Samples []SampleJSON `json:"samples"`
+	// DeadlineMS overrides the server's default per-request deadline.
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+}
+
+// EstimateResponse is the result of one snapshot.
+type EstimateResponse struct {
+	Status       int                `json:"status"`
+	ModelVersion string             `json:"model_version,omitempty"`
+	ClusterWatts float64            `json:"cluster_watts"`
+	PerMachine   map[string]float64 `json:"per_machine,omitempty"`
+	Error        string             `json:"error,omitempty"`
+}
+
+// BatchRequest carries many snapshots in one HTTP round trip.
+type BatchRequest struct {
+	Requests   []EstimateRequest `json:"requests"`
+	DeadlineMS float64           `json:"deadline_ms,omitempty"`
+}
+
+// BatchResponse mirrors BatchRequest: one result per snapshot, each with
+// its own status (the HTTP status is 200 whenever the envelope parsed).
+type BatchResponse struct {
+	Results []EstimateResponse `json:"results"`
+}
+
+// ModelsResponse lists the registry.
+type ModelsResponse struct {
+	Active string          `json:"active"`
+	Models []registry.Info `json:"models"`
+}
+
+// ActivateRequest activates a version, rolls back, or admits a new model.
+type ActivateRequest struct {
+	Version  string `json:"version,omitempty"`
+	Rollback bool   `json:"rollback,omitempty"`
+}
+
+// AddModelRequest admits a new model version over HTTP.
+type AddModelRequest struct {
+	Version     string          `json:"version"`
+	Description string          `json:"description,omitempty"`
+	Model       json.RawMessage `json:"model"`
+	Activate    bool            `json:"activate,omitempty"`
+}
+
+// NewMux returns the service mux: the /v1 estimation and model-management
+// API plus the obs endpoints (/metrics, /healthz, pprof) so one listener
+// serves both traffic and scrapes.
+func NewMux(s *Server) *http.ServeMux {
+	mux := obs.NewMux(obs.Default())
+	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("/v1/estimate/batch", s.handleBatch)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/models/activate", s.handleActivate)
+	return mux
+}
+
+// estimateOnce runs one snapshot through the engine and maps the outcome
+// to a wire response + status.
+func (s *Server) estimateOnce(req EstimateRequest, deadline time.Duration) EstimateResponse {
+	if len(req.Samples) == 0 {
+		return EstimateResponse{Status: http.StatusBadRequest, Error: "no samples"}
+	}
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS * float64(time.Millisecond))
+	}
+	samples := make([]online.Sample, len(req.Samples))
+	var metered []float64
+	haveMeter := true
+	for i, sj := range req.Samples {
+		samples[i] = online.Sample{MachineID: sj.MachineID, Platform: sj.Platform, Counters: sj.Counters}
+		if sj.MeteredWatts == nil {
+			haveMeter = false
+		}
+	}
+	if haveMeter {
+		metered = make([]float64, len(req.Samples))
+		for i, sj := range req.Samples {
+			metered[i] = *sj.MeteredWatts
+		}
+	}
+	res, err := s.Estimate(samples, deadline, metered)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return EstimateResponse{Status: http.StatusTooManyRequests, Error: err.Error()}
+	case errors.Is(err, ErrDeadline):
+		return EstimateResponse{Status: http.StatusGatewayTimeout, Error: err.Error()}
+	case errors.Is(err, ErrNoModel):
+		return EstimateResponse{Status: http.StatusServiceUnavailable, Error: err.Error()}
+	case err != nil:
+		return EstimateResponse{Status: http.StatusBadRequest, Error: err.Error()}
+	}
+	return EstimateResponse{
+		Status:       http.StatusOK,
+		ModelVersion: res.Version(),
+		ClusterWatts: res.ClusterWatts,
+		PerMachine:   res.PerMachine,
+	}
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	estimateReqs.Inc()
+	defer func() { estimateSecs.Observe(time.Since(start).Seconds()) }()
+	var req EstimateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp := s.estimateOnce(req, 0)
+	writeJSON(w, resp.Status, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	batchReqs.Inc()
+	defer func() { batchSecs.Observe(time.Since(start).Seconds()) }()
+	var req BatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	deadline := time.Duration(req.DeadlineMS * float64(time.Millisecond))
+	resp := BatchResponse{Results: make([]EstimateResponse, len(req.Requests))}
+	// Scatter every snapshot's samples before gathering any: the shards
+	// see the whole batch at once, so their windows fill and the
+	// per-sample overhead amortizes across the entire HTTP payload.
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp.Results[i] = s.estimateOnce(req.Requests[i], deadline)
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	modelsReqs.Inc()
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, ModelsResponse{
+			Active: s.reg.ActiveVersion(),
+			Models: s.reg.List(),
+		})
+	case http.MethodPost:
+		var req AddModelRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if req.Version == "" || len(req.Model) == 0 {
+			writeError(w, http.StatusBadRequest, "version and model are required")
+			return
+		}
+		if err := s.reg.AddJSON(req.Version, req.Model, registry.Meta{Description: req.Description, Source: "api"}); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		e, _ := s.reg.Get(req.Version)
+		if err := s.ValidateCompatible(e); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if req.Activate {
+			if err := s.activate(req.Version); err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, ModelsResponse{Active: s.reg.ActiveVersion(), Models: s.reg.List()})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST")
+	}
+}
+
+func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
+	modelsReqs.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ActivateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	switch {
+	case req.Rollback:
+		version, err := s.reg.Rollback()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.emitActivation(version, true)
+		writeJSON(w, http.StatusOK, map[string]string{"active": version})
+	case req.Version != "":
+		if err := s.activate(req.Version); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"active": s.reg.ActiveVersion()})
+	default:
+		writeError(w, http.StatusBadRequest, "version or rollback required")
+	}
+}
+
+// activate validates stream compatibility, swaps, and emits the event.
+func (s *Server) activate(version string) error {
+	e, ok := s.reg.Get(version)
+	if !ok {
+		return fmt.Errorf("serve: unknown version %q", version)
+	}
+	if err := s.ValidateCompatible(e); err != nil {
+		return err
+	}
+	if err := s.reg.Activate(version); err != nil {
+		return err
+	}
+	s.emitActivation(version, false)
+	return nil
+}
+
+func (s *Server) emitActivation(version string, rollback bool) {
+	if s.cfg.Events != nil {
+		s.cfg.Events.Emit("model_activated", map[string]any{ //nolint:errcheck // telemetry only
+			"version": version, "rollback": rollback,
+		})
+	}
+}
+
+// decodeJSON parses the request body, answering 400 on garbage. Returns
+// false when the response has been written.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, "parsing body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	httpErrsTotal.Inc()
+	writeJSON(w, status, map[string]any{"status": status, "error": msg})
+}
+
+// ListenAndServe binds addr and serves the mux in the background, like
+// obs.Serve. Close the returned listener wrapper to stop.
+type HTTPServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve binds addr (":8080", "127.0.0.1:0") and serves the engine's API.
+func Serve(addr string, s *Server) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(s), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return &HTTPServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (h *HTTPServer) Addr() string { return h.ln.Addr().String() }
+
+// Close stops the HTTP listener (the engine keeps running; close it
+// separately).
+func (h *HTTPServer) Close() error { return h.srv.Close() }

@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/trace"
+)
+
+// LoadGenConfig drives a replay of simulated cluster telemetry against
+// the serving API, so throughput and tail latency are measurable in-repo.
+type LoadGenConfig struct {
+	// TargetURL is the API base, e.g. "http://127.0.0.1:8080".
+	TargetURL string
+	// Traces is one aligned trace per machine; snapshot t replays second
+	// t mod Len of every trace.
+	Traces []*trace.Trace
+	// Snapshots is how many cluster seconds to replay.
+	Snapshots int
+	// Rate is snapshots per second; 0 replays as fast as the API absorbs
+	// them (the throughput-measurement mode).
+	Rate float64
+	// Clients is the number of concurrent HTTP senders.
+	Clients int
+	// Batch is snapshots per HTTP request: 1 uses /v1/estimate, >1 packs
+	// /v1/estimate/batch.
+	Batch int
+	// IncludeMeter attaches metered watts so the server's drift monitor
+	// sees residuals.
+	IncludeMeter bool
+	// SwapEvery activates the next version of SwapVersions every N
+	// snapshots (0 disables) — the hot-swap-under-load exercise.
+	SwapEvery    int
+	SwapVersions []string
+	// Scenario, when set, routes every machine's row fetch through a
+	// resilient faults.Collector — the client-side feeder — so collector
+	// drops and corruption thin the replayed snapshots realistically.
+	Scenario *faults.Scenario
+	Seed     int64
+}
+
+// LoadStats is the outcome of one load-generation run.
+type LoadStats struct {
+	Snapshots    int // snapshots attempted
+	Samples      int // machine-samples sent
+	OK           int // snapshots answered 200
+	Shed         int // snapshots answered 429
+	Late         int // snapshots answered 504
+	Failed       int // transport errors or unexpected statuses
+	SkippedRows  int // machine rows lost to the client-side fault feeder
+	Swaps        int // hot-swaps performed mid-load
+	Duration     time.Duration
+	SnapshotsPerSec float64
+	SamplesPerSec   float64
+	LatencyP50   time.Duration // per HTTP request
+	LatencyP99   time.Duration
+	SumAbsErr    float64 // |estimate - metered| summed over OK snapshots with meter
+	MeterOK      int     // OK snapshots that carried metered power
+
+	mu        sync.Mutex
+	latencies []time.Duration
+}
+
+// MeanAbsErr returns the mean absolute cluster error over metered OK
+// snapshots (0 when none).
+func (s *LoadStats) MeanAbsErr() float64 {
+	if s.MeterOK == 0 {
+		return 0
+	}
+	return s.SumAbsErr / float64(s.MeterOK)
+}
+
+// snapshotPayload is one prepared cluster second.
+type snapshotPayload struct {
+	req     EstimateRequest
+	actual  float64
+	hasMeter bool
+}
+
+// RunLoadGen replays the traces against the API and reports stats.
+func RunLoadGen(cfg LoadGenConfig) (*LoadStats, error) {
+	if cfg.TargetURL == "" {
+		return nil, fmt.Errorf("serve: loadgen needs a target URL")
+	}
+	if len(cfg.Traces) == 0 {
+		return nil, fmt.Errorf("serve: loadgen needs traces to replay")
+	}
+	n := cfg.Traces[0].Len()
+	for _, t := range cfg.Traces {
+		if t.Len() != n {
+			return nil, fmt.Errorf("serve: loadgen traces must be aligned (%d vs %d)", t.Len(), n)
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("serve: loadgen traces are empty")
+	}
+	if cfg.Snapshots <= 0 {
+		cfg.Snapshots = n
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 1
+	}
+	if cfg.SwapEvery > 0 && len(cfg.SwapVersions) < 2 {
+		return nil, fmt.Errorf("serve: -swap-every needs at least two versions")
+	}
+
+	// Client-side fault feeders: one resilient collector per machine, fed
+	// in snapshot order by the single producer so stuck-row faults replay
+	// deterministically.
+	var inj *faults.Injector
+	cols := make([]*faults.Collector, len(cfg.Traces))
+	if cfg.Scenario != nil {
+		var err error
+		if inj, err = faults.NewInjector(cfg.Scenario, cfg.Seed); err != nil {
+			return nil, err
+		}
+		for i, t := range cfg.Traces {
+			if cols[i], err = faults.NewCollector(t.MachineID, inj, faults.DefaultRetry(), faults.DefaultBreaker()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	stats := &LoadStats{}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Clients * 2,
+		MaxIdleConnsPerHost: cfg.Clients * 2,
+	}}
+
+	// Producer: builds snapshots in order (fault injection needs ordered
+	// seconds), throttled to Rate, grouped Batch per send.
+	work := make(chan []snapshotPayload, cfg.Clients*2)
+	var producerErr error
+	go func() {
+		defer close(work)
+		var tick <-chan time.Time
+		if cfg.Rate > 0 {
+			ticker := time.NewTicker(time.Duration(float64(time.Second) / cfg.Rate))
+			defer ticker.Stop()
+			tick = ticker.C
+		}
+		group := make([]snapshotPayload, 0, cfg.Batch)
+		swapIdx := 0
+		for i := 0; i < cfg.Snapshots; i++ {
+			if tick != nil {
+				<-tick
+			}
+			// Hot-swap mid-load: rotate the active version through the
+			// API while the clients' requests are still in flight.
+			if cfg.SwapEvery > 0 && i > 0 && i%cfg.SwapEvery == 0 {
+				swapIdx++
+				version := cfg.SwapVersions[swapIdx%len(cfg.SwapVersions)]
+				if err := postActivate(client, cfg.TargetURL, version); err != nil {
+					producerErr = err
+					return
+				}
+				stats.mu.Lock()
+				stats.Swaps++
+				stats.mu.Unlock()
+			}
+			t := i % n
+			snap, skipped, err := buildSnapshot(cfg, cols, i, t)
+			if err != nil {
+				producerErr = err
+				return
+			}
+			if skipped > 0 {
+				stats.mu.Lock()
+				stats.SkippedRows += skipped
+				stats.mu.Unlock()
+			}
+			if len(snap.req.Samples) == 0 {
+				continue // every machine's feeder failed this second
+			}
+			group = append(group, snap)
+			if len(group) == cfg.Batch {
+				work <- group
+				group = make([]snapshotPayload, 0, cfg.Batch)
+			}
+		}
+		if len(group) > 0 {
+			work <- group
+		}
+	}()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for group := range work {
+				sendGroup(client, cfg, group, stats)
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Duration = time.Since(start)
+	if producerErr != nil {
+		return nil, producerErr
+	}
+	if stats.Duration > 0 {
+		stats.SnapshotsPerSec = float64(stats.OK+stats.Shed+stats.Late) / stats.Duration.Seconds()
+		stats.SamplesPerSec = float64(stats.Samples) / stats.Duration.Seconds()
+	}
+	stats.finishLatency()
+	return stats, nil
+}
+
+// buildSnapshot assembles cluster second t (replay index i) into a wire
+// request, routing rows through the fault feeders when enabled.
+func buildSnapshot(cfg LoadGenConfig, cols []*faults.Collector, i, t int) (snapshotPayload, int, error) {
+	snap := snapshotPayload{hasMeter: cfg.IncludeMeter}
+	skipped := 0
+	for k, tr := range cfg.Traces {
+		row := tr.X.Row(t)
+		if cols[k] != nil {
+			res, err := cols[k].Collect(i, func() ([]float64, error) {
+				return append([]float64(nil), tr.X.Row(t)...), nil
+			})
+			if err != nil {
+				return snap, skipped, err
+			}
+			if !res.OK {
+				skipped++
+				continue
+			}
+			row = res.Row
+		}
+		sj := SampleJSON{MachineID: tr.MachineID, Platform: tr.Platform, Counters: row}
+		if cfg.IncludeMeter {
+			w := tr.Power[t]
+			sj.MeteredWatts = &w
+		}
+		snap.req.Samples = append(snap.req.Samples, sj)
+		snap.actual += tr.Power[t]
+	}
+	return snap, skipped, nil
+}
+
+// sendGroup sends one group as either a single-snapshot request or one
+// batch request, and accounts the outcomes.
+func sendGroup(client *http.Client, cfg LoadGenConfig, group []snapshotPayload, stats *LoadStats) {
+	samples := 0
+	for _, s := range group {
+		samples += len(s.req.Samples)
+	}
+	var status int
+	var results []EstimateResponse
+	var rtt time.Duration
+	var err error
+	if cfg.Batch == 1 && len(group) == 1 {
+		status, results, rtt, err = postOne(client, cfg.TargetURL+"/v1/estimate", group[0].req)
+	} else {
+		breq := BatchRequest{Requests: make([]EstimateRequest, len(group))}
+		for i, s := range group {
+			breq.Requests[i] = s.req
+		}
+		status, results, rtt, err = postBatch(client, cfg.TargetURL+"/v1/estimate/batch", breq)
+	}
+
+	stats.mu.Lock()
+	defer stats.mu.Unlock()
+	stats.Snapshots += len(group)
+	stats.Samples += samples
+	stats.latencies = append(stats.latencies, rtt)
+	if err != nil {
+		stats.Failed += len(group)
+		return
+	}
+	if status != http.StatusOK && len(results) == 0 {
+		// Whole-request failure (e.g. single endpoint 429/504).
+		switch status {
+		case http.StatusTooManyRequests:
+			stats.Shed += len(group)
+		case http.StatusGatewayTimeout:
+			stats.Late += len(group)
+		default:
+			stats.Failed += len(group)
+		}
+		return
+	}
+	for i, r := range results {
+		switch r.Status {
+		case http.StatusOK:
+			stats.OK++
+			if i < len(group) && group[i].hasMeter {
+				stats.MeterOK++
+				d := r.ClusterWatts - group[i].actual
+				if d < 0 {
+					d = -d
+				}
+				stats.SumAbsErr += d
+			}
+		case http.StatusTooManyRequests:
+			stats.Shed++
+		case http.StatusGatewayTimeout:
+			stats.Late++
+		default:
+			stats.Failed++
+		}
+	}
+}
+
+// postOne posts a single snapshot; the response body carries the status
+// too, so single and batch accounting share a shape.
+func postOne(client *http.Client, url string, req EstimateRequest) (int, []EstimateResponse, time.Duration, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	rtt := time.Since(start)
+	if err != nil {
+		return 0, nil, rtt, err
+	}
+	defer resp.Body.Close()
+	var er EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		return resp.StatusCode, nil, rtt, err
+	}
+	if er.Status == 0 {
+		er.Status = resp.StatusCode
+	}
+	return resp.StatusCode, []EstimateResponse{er}, rtt, nil
+}
+
+func postBatch(client *http.Client, url string, req BatchRequest) (int, []EstimateResponse, time.Duration, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	rtt := time.Since(start)
+	if err != nil {
+		return 0, nil, rtt, err
+	}
+	defer resp.Body.Close()
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return resp.StatusCode, nil, rtt, err
+	}
+	return resp.StatusCode, br.Results, rtt, nil
+}
+
+func postActivate(client *http.Client, base, version string) error {
+	body, _ := json.Marshal(ActivateRequest{Version: version})
+	resp, err := client.Post(base+"/v1/models/activate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: activate %s: status %d", version, resp.StatusCode)
+	}
+	return nil
+}
+
+// finishLatency computes request-latency percentiles from the recorded
+// round trips.
+func (s *LoadStats) finishLatency() {
+	if len(s.latencies) == 0 {
+		return
+	}
+	sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+	s.LatencyP50 = s.latencies[len(s.latencies)/2]
+	s.LatencyP99 = s.latencies[(len(s.latencies)*99)/100]
+}

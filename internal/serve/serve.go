@@ -1,0 +1,436 @@
+// Package serve is the power-prediction serving layer: an HTTP JSON API
+// over the versioned model registry, backed by a sharded worker pool
+// (sharded by machine ID so per-machine lag history never contends across
+// shards) with request batching, bounded queues, 429 backpressure, and
+// per-request deadlines. Estimates feed the online drift monitor and the
+// obs metrics registry, and model versions hot-swap under load without
+// dropping a request: every batch predicts with whichever registry entry
+// was active when it was picked up, via one atomic pointer load.
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/online"
+	"repro/internal/registry"
+)
+
+// Serving-path instruments, resolved once; the per-request path pays only
+// atomic updates.
+var (
+	samplesServed  = obs.Default().Counter("chaos_serve_samples_total", nil)
+	shedTotal      = obs.Default().Counter("chaos_serve_shed_total", nil)
+	deadlineTotal  = obs.Default().Counter("chaos_serve_deadline_exceeded_total", nil)
+	batchSizeHist  = obs.Default().Histogram("chaos_serve_batch_size", nil, obs.ExpBuckets(1, 2, 10))
+	serveDrift     = obs.Default().Counter("chaos_serve_drift_alarms_total", nil)
+	swapPredictors = obs.Default().Counter("chaos_serve_predictor_builds_total", nil)
+)
+
+// Config tunes the serving engine. Zero values take defaults.
+type Config struct {
+	// Shards is the number of worker shards; samples route to a shard by
+	// machine-ID hash so one machine's lag history lives on one shard.
+	Shards int
+	// QueueDepth bounds each shard's queue. A full queue sheds (429).
+	QueueDepth int
+	// BatchWindow is how long a worker waits to accumulate more samples
+	// after the first arrives.
+	BatchWindow time.Duration
+	// BatchMax caps samples per predictor batch.
+	BatchMax int
+	// Deadline is the default per-request deadline (overridable per
+	// request); samples still queued past it are answered with a
+	// deadline-exceeded error instead of occupying the pool.
+	Deadline time.Duration
+	// Names is the counter order of incoming sample rows.
+	Names []string
+	// BaselineRMSE, when positive, enables the drift monitor over
+	// requests that carry metered watts.
+	BaselineRMSE float64
+	// DriftThreshold is the monitor alarm level in baseline units
+	// (default 16).
+	DriftThreshold float64
+	// Events, when set, receives drift/activation events as JSON lines.
+	Events *obs.EventSink
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 64
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 250 * time.Millisecond
+	}
+	if len(c.Names) == 0 {
+		return c, fmt.Errorf("serve: config needs the counter name order")
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 16
+	}
+	return c, nil
+}
+
+// taskResult is one sample's outcome.
+type taskResult struct {
+	watts   float64
+	version string
+	err     error
+	shed    bool
+	late    bool
+}
+
+// pending is the gather side of one estimate request: tasks write their
+// slot and signal the WaitGroup; the handler waits for all of them.
+type pending struct {
+	wg      sync.WaitGroup
+	results []taskResult
+}
+
+// task is one sample queued on a shard.
+type task struct {
+	sample   online.Sample
+	deadline time.Time
+	idx      int
+	req      *pending
+}
+
+// shard is one worker's queue plus its per-version predictor cache. Each
+// machine hashes to exactly one shard, so the shard's predictors own that
+// machine's lag history without cross-shard contention.
+type shard struct {
+	id    int
+	queue chan *task
+	depth *obs.Gauge
+
+	// preds caches one predictor per model version; only the worker
+	// goroutine touches it.
+	preds map[string]*online.Predictor
+}
+
+// Server is the serving engine. Create with New, stop with Close.
+type Server struct {
+	reg    *registry.Registry
+	cfg    Config
+	shards []*shard
+
+	monitor *online.Monitor
+	drifted atomic.Bool
+
+	closeMu sync.RWMutex // guards shard sends vs Close
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New builds a serving engine over the registry and starts its workers.
+func New(reg *registry.Registry, cfg Config) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("serve: nil registry")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, cfg: cfg}
+	if cfg.BaselineRMSE > 0 {
+		if s.monitor, err = online.NewMonitor(cfg.BaselineRMSE, cfg.DriftThreshold); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			id:    i,
+			queue: make(chan *task, cfg.QueueDepth),
+			depth: obs.Default().Gauge("chaos_serve_queue_depth", obs.Labels{"shard": strconv.Itoa(i)}),
+			preds: map[string]*online.Predictor{},
+		}
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go s.worker(sh)
+	}
+	return s, nil
+}
+
+// Close stops the workers after draining queued tasks (every queued task
+// still gets an answer) and makes further estimates fail fast.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	s.closeMu.Unlock()
+	s.wg.Wait()
+}
+
+// shardFor routes a machine ID to its shard.
+func (s *Server) shardFor(machineID string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(machineID))
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
+// Estimate runs one cluster snapshot — one sample per machine — through
+// the sharded pool and gathers the per-machine watts. It returns the
+// summed cluster estimate, the per-machine map, and the model version(s)
+// used. Queue overflow surfaces as ErrOverloaded, an expired deadline as
+// ErrDeadline.
+func (s *Server) Estimate(samples []online.Sample, deadline time.Duration, metered []float64) (*Result, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("serve: no samples")
+	}
+	if deadline <= 0 {
+		deadline = s.cfg.Deadline
+	}
+	due := time.Now().Add(deadline)
+	p := &pending{results: make([]taskResult, len(samples))}
+	p.wg.Add(len(samples))
+
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return nil, fmt.Errorf("serve: server closed")
+	}
+	for i := range samples {
+		t := &task{sample: samples[i], deadline: due, idx: i, req: p}
+		sh := s.shardFor(samples[i].MachineID)
+		select {
+		case sh.queue <- t:
+			sh.depth.Set(float64(len(sh.queue)))
+		default:
+			// Bounded queue full: shed instead of queueing unboundedly.
+			shedTotal.Inc()
+			p.results[i] = taskResult{shed: true}
+			p.wg.Done()
+		}
+	}
+	s.closeMu.RUnlock()
+	p.wg.Wait()
+
+	res := &Result{PerMachine: make(map[string]float64, len(samples))}
+	versions := map[string]bool{}
+	for i, tr := range p.results {
+		switch {
+		case tr.shed:
+			res.Shed++
+		case tr.late:
+			res.Late++
+		case tr.err != nil:
+			res.Err = tr.err
+		default:
+			res.PerMachine[samples[i].MachineID] = tr.watts
+			res.ClusterWatts += tr.watts
+			versions[tr.version] = true
+		}
+	}
+	for v := range versions {
+		res.Versions = append(res.Versions, v)
+	}
+	sort.Strings(res.Versions)
+	if res.Shed > 0 {
+		return res, ErrOverloaded
+	}
+	if res.Late > 0 {
+		return res, ErrDeadline
+	}
+	if res.Err != nil {
+		return res, res.Err
+	}
+	s.observe(res, samples, metered)
+	return res, nil
+}
+
+// observe feeds a fully-served snapshot with complete meter readings into
+// the drift monitor.
+func (s *Server) observe(res *Result, samples []online.Sample, metered []float64) {
+	if s.monitor == nil || len(metered) != len(samples) {
+		return
+	}
+	var actual float64
+	for _, w := range metered {
+		actual += w
+	}
+	if s.monitor.Observe(res.ClusterWatts, actual) && !s.drifted.Swap(true) {
+		serveDrift.Inc()
+		if s.cfg.Events != nil {
+			s.cfg.Events.Emit("drift", map[string]any{ //nolint:errcheck // telemetry only
+				"residual_x": s.monitor.EWMA(),
+				"source":     "serve",
+			})
+		}
+	}
+}
+
+// Drifted reports whether the serve-path drift monitor has alarmed.
+func (s *Server) Drifted() bool { return s.drifted.Load() }
+
+// Result is the outcome of one Estimate call.
+type Result struct {
+	ClusterWatts float64
+	PerMachine   map[string]float64
+	Versions     []string // model versions that served this snapshot (1 unless a swap landed mid-flight)
+	Shed         int
+	Late         int
+	Err          error
+}
+
+// Version returns the single serving version, or a "+"-joined list when a
+// hot-swap landed mid-snapshot.
+func (r *Result) Version() string {
+	switch len(r.Versions) {
+	case 0:
+		return ""
+	case 1:
+		return r.Versions[0]
+	}
+	out := r.Versions[0]
+	for _, v := range r.Versions[1:] {
+		out += "+" + v
+	}
+	return out
+}
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	ErrOverloaded = fmt.Errorf("serve: queue full, request shed")
+	ErrDeadline   = fmt.Errorf("serve: deadline exceeded before processing")
+	ErrNoModel    = fmt.Errorf("serve: no active model")
+)
+
+// worker drains one shard: it picks up the first queued task, widens the
+// batch for up to BatchWindow (or BatchMax samples), then predicts the
+// whole batch under one predictor lock — amortizing queue wakeups, the
+// registry load, and feature-row construction bookkeeping across every
+// sample that arrived in the window.
+func (s *Server) worker(sh *shard) {
+	defer s.wg.Done()
+	for {
+		t, ok := <-sh.queue
+		if !ok {
+			return
+		}
+		batch := []*task{t}
+		timer := time.NewTimer(s.cfg.BatchWindow)
+	fill:
+		for len(batch) < s.cfg.BatchMax {
+			select {
+			case t2, ok := <-sh.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, t2)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		sh.depth.Set(float64(len(sh.queue)))
+		s.process(sh, batch)
+	}
+}
+
+// process predicts one batch against the currently active model version.
+func (s *Server) process(sh *shard, batch []*task) {
+	batchSizeHist.Observe(float64(len(batch)))
+	entry := s.reg.Active()
+	now := time.Now()
+
+	// Answer expired and model-less tasks without touching the predictor.
+	live := batch[:0]
+	for _, t := range batch {
+		switch {
+		case now.After(t.deadline):
+			deadlineTotal.Inc()
+			t.req.results[t.idx] = taskResult{late: true}
+			t.req.wg.Done()
+		case entry == nil:
+			t.req.results[t.idx] = taskResult{err: ErrNoModel}
+			t.req.wg.Done()
+		default:
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	pred, err := s.predictorFor(sh, entry)
+	if err != nil {
+		for _, t := range live {
+			t.req.results[t.idx] = taskResult{err: err}
+			t.req.wg.Done()
+		}
+		return
+	}
+	samples := make([]online.Sample, len(live))
+	for i, t := range live {
+		samples[i] = t.sample
+	}
+	items := pred.PredictBatch(samples)
+	for i, t := range live {
+		if items[i].Err != nil {
+			t.req.results[t.idx] = taskResult{err: items[i].Err}
+		} else {
+			samplesServed.Inc()
+			t.req.results[t.idx] = taskResult{watts: items[i].Watts, version: entry.Version}
+		}
+		t.req.wg.Done()
+	}
+}
+
+// predictorFor returns the shard's predictor for the entry's version,
+// building (and caching) it on first use after a hot-swap. Old versions'
+// predictors are pruned lazily so an activate/rollback ping-pong cannot
+// grow the cache without bound.
+func (s *Server) predictorFor(sh *shard, entry *registry.Entry) (*online.Predictor, error) {
+	if p, ok := sh.preds[entry.Version]; ok {
+		return p, nil
+	}
+	p, err := online.NewPredictor(entry.Model, s.cfg.Names)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %s incompatible with stream: %w", entry.Version, err)
+	}
+	swapPredictors.Inc()
+	if len(sh.preds) >= 8 {
+		for v := range sh.preds {
+			if v != entry.Version {
+				delete(sh.preds, v)
+			}
+		}
+	}
+	sh.preds[entry.Version] = p
+	return p, nil
+}
+
+// ValidateCompatible checks that a model can serve the configured counter
+// stream — run at admission time so activation can never install a model
+// the shards would reject.
+func (s *Server) ValidateCompatible(e *registry.Entry) error {
+	_, err := online.NewPredictor(e.Model, s.cfg.Names)
+	if err != nil {
+		return fmt.Errorf("serve: model %s incompatible with stream: %w", e.Version, err)
+	}
+	return nil
+}
+
+// Registry exposes the underlying model registry (for the HTTP layer).
+func (s *Server) Registry() *registry.Registry { return s.reg }
