@@ -23,7 +23,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/experiments"
+	"repro/internal/lifecycle"
 	"repro/internal/models"
+	"repro/internal/online"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -271,5 +273,80 @@ func BenchmarkSimulationRun(b *testing.B) {
 	b.StopTimer()
 	if e := b.Elapsed().Seconds(); e > 0 {
 		b.ReportMetric(float64(simSeconds)/e, "sim-machine-seconds/s")
+	}
+}
+
+// BenchmarkRetrain measures one lifecycle retrain: pooling the buffered
+// labeled samples of a 4-machine cluster (512 snapshots each) into
+// platform traces and fitting a fresh linear cluster model — the
+// off-hot-path cost of producing a challenger.
+func BenchmarkRetrain(b *testing.B) {
+	names := []string{"a", "b", "c"}
+	spec := models.FeatureSpec{Name: "bench", Counters: names}
+	rt, err := online.NewRetrainer(names, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		a := float64(i % 37)
+		c := float64((i * 5) % 23)
+		d := float64((i * 11) % 17)
+		for m := 0; m < 4; m++ {
+			s := online.Sample{
+				MachineID: "m" + string(rune('0'+m)),
+				Platform:  "Core2",
+				Counters:  []float64{a + float64(m), c, d},
+			}
+			if err := rt.Add(s, 20+2*a+0.5*c+d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Retrain(models.TechLinear, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShadowScore measures scoring one contender over a 256-snapshot
+// held-out window of a 4-machine cluster — the per-contender cost of a
+// lifecycle shadow verdict.
+func BenchmarkShadowScore(b *testing.B) {
+	names := []string{"a", "b", "c"}
+	mm := &models.MachineModel{
+		Platform: "Core2",
+		Spec:     models.FeatureSpec{Name: "bench", Counters: names},
+		Model:    &models.Linear{Intercept: 20, Coef: []float64{2, 0.5, 1}},
+	}
+	cm, err := models.NewClusterModel(mm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	win := make([]lifecycle.Snapshot, 256)
+	for i := range win {
+		samples := make([]online.Sample, 4)
+		var actual float64
+		for m := range samples {
+			row := []float64{float64((i + m) % 37), float64((i * 5) % 23), float64((i * 11) % 17)}
+			samples[m] = online.Sample{
+				MachineID: "m" + string(rune('0'+m)),
+				Platform:  "Core2",
+				Counters:  row,
+			}
+			actual += 20 + 2*row[0] + 0.5*row[1] + row[2]
+		}
+		win[i] = lifecycle.Snapshot{Samples: samples, Actual: actual}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := lifecycle.ScoreWindow(cm, names, win)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sc.N != len(win) {
+			b.Fatalf("scored %d of %d snapshots", sc.N, len(win))
+		}
 	}
 }

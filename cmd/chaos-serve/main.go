@@ -6,6 +6,14 @@
 // sharded by machine ID, batch inside a short window, and shed with 429
 // when the bounded queues fill.
 //
+// With -lifecycle the daemon closes the loop: labeled traffic feeds
+// retrain buffers, drift (or -lifecycle-interval / -lifecycle-samples /
+// POST /v1/lifecycle/retrain) triggers a challenger fit off the hot path,
+// the challenger is shadow-scored against the live champion on mirrored
+// traffic, promoted only if it wins by -promote-margin, and rolled back
+// automatically if it regresses inside the -probation window. Poll
+// /v1/lifecycle/status for the state machine.
+//
 // With -loadgen the process instead replays simulated cluster telemetry
 // against its own API at a configurable rate multiplier and prints
 // throughput, tail latency, shed counts, and accuracy — the in-repo way
@@ -27,6 +35,7 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -34,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/faults"
+	"repro/internal/lifecycle"
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/registry"
@@ -71,6 +81,13 @@ type config struct {
 	SwapEvery int
 	Faults    string
 
+	// Closed-loop model lifecycle.
+	Lifecycle         bool
+	LifecycleInterval time.Duration
+	LifecycleSamples  int
+	PromoteMargin     float64
+	Probation         int
+
 	// holdOpen, when set, runs after the server is up (daemon mode) in
 	// place of waiting for a signal — tests probe the API through it.
 	holdOpen func(addr string)
@@ -106,6 +123,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		batch       = fs.Int("batch", 1, "loadgen snapshots per request (1 = /v1/estimate, >1 = /v1/estimate/batch)")
 		swapEvery   = fs.Int("swap-every", 0, "loadgen: hot-swap model versions every N snapshots (0 = off)")
 		faultsArg   = fs.String("faults", "", "loadgen: fault scenario JSON for the client-side feeder")
+
+		lcEnable   = fs.Bool("lifecycle", false, "run the closed-loop model lifecycle: drift-triggered retraining, shadow evaluation, gated promotion")
+		lcInterval = fs.Duration("lifecycle-interval", 0, "lifecycle: also retrain every wall-clock period (0 = drift/samples/manual only)")
+		lcSamples  = fs.Int("lifecycle-samples", 0, "lifecycle: also retrain every N labeled snapshots (0 = off)")
+		lcMargin   = fs.Float64("promote-margin", 0.05, "lifecycle: challenger must beat the champion's dynamic-range error by this fraction to promote")
+		lcProbe    = fs.Int("probation", 64, "lifecycle: labeled snapshots the promoted model is watched for before rollback is off the table (0 = no probation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -116,6 +139,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Platform: *platform, Machines: *machines, Workloads: strings.Split(*workloads, ","), Seed: *seed, Tech: *tech,
 		Loadgen: *loadgen, Rate: *rate, Snapshots: *snapshots, Clients: *clients, Batch: *batch,
 		SwapEvery: *swapEvery, Faults: *faultsArg,
+		Lifecycle: *lcEnable, LifecycleInterval: *lcInterval, LifecycleSamples: *lcSamples,
+		PromoteMargin: *lcMargin, Probation: *lcProbe,
 	}
 	if *model != "" {
 		cfg.Models = strings.Split(*model, ",")
@@ -192,15 +217,44 @@ func run(w io.Writer, cfg config) error {
 		}
 	}
 
-	srv, err := serve.New(reg, serve.Config{
+	scfg := serve.Config{
 		Shards: cfg.Shards, QueueDepth: cfg.Queue,
 		BatchWindow: cfg.BatchWindow, BatchMax: cfg.BatchMax, Deadline: cfg.Deadline,
 		Names: names, BaselineRMSE: baseline, Events: sink,
-	})
+	}
+	// The orchestrator is built before the engine so its Ingest and
+	// ObserveShadow hooks can ride along in the serve config; it is started
+	// (and bound to the engine) right after.
+	var orch *lifecycle.Orchestrator
+	if cfg.Lifecycle {
+		spec, err := lifecycleSpec(reg, len(cfg.Models) > 0)
+		if err != nil {
+			return err
+		}
+		orch, err = lifecycle.New(reg, lifecycle.Config{
+			Tech: models.Technique(cfg.Tech), Spec: spec, Names: names,
+			Interval: cfg.LifecycleInterval, TriggerSamples: cfg.LifecycleSamples,
+			PromoteMargin: cfg.PromoteMargin, ProbationSnapshots: cfg.Probation,
+			Events: sink,
+		})
+		if err != nil {
+			return err
+		}
+		scfg.Labeled = orch.Ingest
+		scfg.ShadowObserve = orch.ObserveShadow
+	}
+	srv, err := serve.New(reg, scfg)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	if orch != nil {
+		if err := orch.Start(srv); err != nil {
+			return err
+		}
+		defer orch.Close()
+		srv.AttachLifecycle(orch)
+	}
 	httpSrv, err := serve.Serve(cfg.Listen, srv)
 	if err != nil {
 		return err
@@ -225,6 +279,26 @@ func run(w io.Writer, cfg config) error {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	return em.event("shutdown", "shutting down", nil)
+}
+
+// lifecycleSpec picks the feature spec lifecycle challengers are fitted
+// on: the bootstrap spec when simulating, otherwise the active model's
+// own spec (platforms of one version share a spec; the lowest-sorted
+// platform's copy is representative).
+func lifecycleSpec(reg *registry.Registry, fromFiles bool) (models.FeatureSpec, error) {
+	if !fromFiles {
+		return core.ClusterSpec([]string{counters.CPUTotal, counters.CPUFreqCore0}), nil
+	}
+	e := reg.Active()
+	if e == nil {
+		return models.FeatureSpec{}, fmt.Errorf("lifecycle needs an active model to derive the retrain spec")
+	}
+	platforms := make([]string, 0, len(e.Model.ByPlatform))
+	for p := range e.Model.ByPlatform {
+		platforms = append(platforms, p)
+	}
+	sort.Strings(platforms)
+	return e.Model.ByPlatform[platforms[0]].Spec, nil
 }
 
 // simTraces runs the workload sequence on a simulated cluster, giving the

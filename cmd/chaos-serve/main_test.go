@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/counters"
 	"repro/internal/faults"
@@ -246,5 +247,124 @@ func TestServeLoadgenWithFaultFeeder(t *testing.T) {
 	}
 	if got := lg["ok"].(float64); got <= 0 {
 		t.Errorf("ok = %g, want > 0 — thinned snapshots still serve", got)
+	}
+}
+
+// TestLifecycleServeDaemonEndpoints boots the daemon with -lifecycle
+// semantics and probes the lifecycle API: status reports the idle state
+// machine, a manual retrain is accepted (202) and — with empty buffers —
+// surfaces the online package's fail-fast error in the status rather than
+// promoting anything.
+func TestLifecycleServeDaemonEndpoints(t *testing.T) {
+	var stdout bytes.Buffer
+	probed := false
+	cfg := config{
+		Listen: "127.0.0.1:0", JSON: true,
+		Platform: "Core2", Machines: 2, Workloads: []string{"Prime"}, Seed: 7, Tech: "linear",
+		Lifecycle: true, PromoteMargin: 0.05, Probation: 8,
+		holdOpen: func(addr string) {
+			probed = true
+			base := "http://" + addr
+
+			resp, err := http.Get(base + "/v1/lifecycle/status")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("/v1/lifecycle/status = %d, want 200", resp.StatusCode)
+			}
+			if st["state"] != "idle" || st["champion"] != "v1" {
+				t.Errorf("status = %+v, want idle with champion v1", st)
+			}
+
+			// GET on the retrain endpoint is refused.
+			resp, err = http.Get(base + "/v1/lifecycle/retrain")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("GET /v1/lifecycle/retrain = %d, want 405", resp.StatusCode)
+			}
+
+			// A bare POST is a manual trigger: accepted asynchronously.
+			resp, err = http.Post(base+"/v1/lifecycle/retrain", "application/json", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("POST /v1/lifecycle/retrain = %d, want 202", resp.StatusCode)
+			}
+
+			// With nothing buffered the retrain fails fast; the error lands
+			// in the status and the champion keeps serving.
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				resp, err := http.Get(base + "/v1/lifecycle/status")
+				if err != nil {
+					t.Fatal(err)
+				}
+				st = map[string]any{}
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if msg, _ := st["last_error"].(string); msg != "" {
+					if !strings.Contains(msg, "retrain") {
+						t.Errorf("last_error = %q, want a retrain failure", msg)
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("retrain failure never surfaced; status %+v", st)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if st["champion"] != "v1" {
+				t.Errorf("champion = %v after failed retrain, want v1", st["champion"])
+			}
+		},
+	}
+	if err := run(&stdout, cfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !probed {
+		t.Fatal("holdOpen hook never ran")
+	}
+}
+
+// TestLifecycleServeDisabled locks the default: without -lifecycle the
+// endpoints answer 404.
+func TestLifecycleServeDisabled(t *testing.T) {
+	var stdout bytes.Buffer
+	cfg := config{
+		Listen: "127.0.0.1:0", JSON: true,
+		Platform: "Core2", Machines: 2, Workloads: []string{"Prime"}, Seed: 7, Tech: "linear",
+		holdOpen: func(addr string) {
+			for _, probe := range []func() (*http.Response, error){
+				func() (*http.Response, error) { return http.Get("http://" + addr + "/v1/lifecycle/status") },
+				func() (*http.Response, error) {
+					return http.Post("http://"+addr+"/v1/lifecycle/retrain", "application/json", nil)
+				},
+			} {
+				resp, err := probe()
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusNotFound {
+					t.Errorf("lifecycle endpoint without -lifecycle = %d, want 404", resp.StatusCode)
+				}
+			}
+		},
+	}
+	if err := run(&stdout, cfg); err != nil {
+		t.Fatalf("run: %v", err)
 	}
 }

@@ -1,0 +1,458 @@
+package lifecycle
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/online"
+	"repro/internal/registry"
+	"repro/internal/serve"
+)
+
+// testNames is the counter-stream order every fixture uses.
+var testNames = []string{"a", "b"}
+
+// mkModel builds a one-platform cluster model:
+// watts = intercept + c1*a + c2*b.
+func mkModel(t *testing.T, intercept, c1, c2 float64) *models.ClusterModel {
+	t.Helper()
+	mm := &models.MachineModel{
+		Platform: "p",
+		Spec:     models.FeatureSpec{Name: "test", Counters: testNames},
+		Model:    &models.Linear{Intercept: intercept, Coef: []float64{c1, c2}},
+	}
+	cm, err := models.NewClusterModel(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+// stack is a full closed-loop fixture: registry with champion v1
+// (10 + a + 2b), serving engine wired to the orchestrator's hooks, and
+// the orchestrator running against the engine.
+type stack struct {
+	reg  *registry.Registry
+	srv  *serve.Server
+	orch *Orchestrator
+}
+
+func newStack(t *testing.T, lcfg Config, scfg serve.Config) *stack {
+	t.Helper()
+	reg := registry.New()
+	if err := reg.Add("v1", mkModel(t, 10, 1, 2), registry.Meta{Description: "champion"}); err != nil {
+		t.Fatal(err)
+	}
+	if lcfg.Names == nil {
+		lcfg.Names = testNames
+	}
+	if len(lcfg.Spec.Counters) == 0 {
+		lcfg.Spec = models.FeatureSpec{Name: "test", Counters: testNames}
+	}
+	if lcfg.CheckInterval == 0 {
+		lcfg.CheckInterval = 2 * time.Millisecond
+	}
+	if lcfg.Cooldown == 0 {
+		lcfg.Cooldown = time.Millisecond
+	}
+	orch, err := New(reg, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg.Names = testNames
+	scfg.Labeled = orch.Ingest
+	scfg.ShadowObserve = orch.ObserveShadow
+	if scfg.BatchWindow == 0 {
+		scfg.BatchWindow = 200 * time.Microsecond
+	}
+	srv, err := serve.New(reg, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orch.Start(srv); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		orch.Close()
+		srv.Close()
+	})
+	return &stack{reg: reg, srv: srv, orch: orch}
+}
+
+// snapshotSamples is the feeder's workload: two machines whose counters
+// sweep a 2-D grid so every retrain window has full column rank and real
+// dynamic range.
+func snapshotSamples(i int) []online.Sample {
+	mk := func(id string, off float64) online.Sample {
+		a := float64(i%17) + off
+		b := float64((i*3)%13) + off/2
+		return online.Sample{MachineID: id, Platform: "p", Counters: []float64{a, b}}
+	}
+	return []online.Sample{mk("f0", 0), mk("f1", 6)}
+}
+
+// feedOne sends one labeled snapshot through the engine; label maps one
+// machine's counters to its metered watts.
+func feedOne(t *testing.T, st *stack, i int, label func(a, b float64) float64) {
+	t.Helper()
+	samples := snapshotSamples(i)
+	metered := make([]float64, len(samples))
+	for j, s := range samples {
+		metered[j] = label(s.Counters[0], s.Counters[1])
+	}
+	if _, err := st.srv.Estimate(samples, 5*time.Second, metered); err != nil {
+		t.Fatalf("feeder estimate %d: %v", i, err)
+	}
+}
+
+// driveUntil feeds labeled snapshots until the orchestrator status
+// satisfies cond, failing the test after timeout. label may change
+// between snapshots (it is re-read each iteration via the pointer).
+func driveUntil(t *testing.T, st *stack, i *int, label func(a, b float64) float64,
+	timeout time.Duration, what string, cond func(Status) bool) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		s := st.orch.Status()
+		if cond(s) {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; status %+v", what, s)
+		}
+		feedOne(t, st, *i, label)
+		*i++
+	}
+}
+
+// TestLifecycleDriftRetrainPromote is the happy path end to end: a
+// workload shift makes the champion's residuals alarm the drift monitor,
+// the orchestrator retrains a challenger off the hot path, the challenger
+// wins shadow evaluation on mirrored live traffic, is promoted through
+// the registry hot-swap with zero dropped or torn requests in flight, and
+// survives probation.
+func TestLifecycleDriftRetrainPromote(t *testing.T) {
+	st := newStack(t, Config{
+		MinTrainSnapshots:  40,
+		ShadowSnapshots:    20,
+		ProbationSnapshots: 30,
+		HeldOut:            128,
+	}, serve.Config{
+		Shards:       2,
+		BaselineRMSE: 1, // the shifted truth is tens of watts off: drift alarms fast
+	})
+
+	// Hammer the API from three clients for the whole run: every answer
+	// must be a complete, untorn snapshot — the per-machine watts must be
+	// exactly what the reported model version predicts.
+	var failures, torn, served atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for h := 0; h < 3; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			id := "h" + string(rune('0'+h))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctrs := []float64{float64(i % 9), float64((i * 7) % 5)}
+				res, err := st.srv.Estimate([]online.Sample{
+					{MachineID: id, Platform: "p", Counters: ctrs},
+				}, 5*time.Second, nil)
+				if err != nil {
+					failures.Add(1)
+					return
+				}
+				e, ok := st.reg.Get(res.Versions[0])
+				if !ok {
+					torn.Add(1)
+					return
+				}
+				want := e.Model.ByPlatform["p"].Model.Predict(ctrs)
+				if res.PerMachine[id] != want {
+					torn.Add(1)
+					return
+				}
+				served.Add(1)
+			}
+		}(h)
+	}
+
+	// The workload shift: metered power follows a different law than the
+	// champion (10 + a + 2b) was fitted for.
+	shifted := func(a, b float64) float64 { return 40 + 3*a + 0.5*b }
+	i := 0
+	driveUntil(t, st, &i, shifted, 60*time.Second, "promotion",
+		func(s Status) bool { return s.Promotions >= 1 })
+	final := driveUntil(t, st, &i, shifted, 60*time.Second, "probation pass",
+		func(s Status) bool { return s.Promotions >= 1 && s.State == "idle" })
+
+	close(stop)
+	wg.Wait()
+
+	if final.Rollbacks != 0 {
+		t.Errorf("rollbacks = %d, want 0 (challenger fits the shifted truth)", final.Rollbacks)
+	}
+	if final.Retrains < 1 || final.LastTrigger != "drift" {
+		t.Errorf("retrains = %d trigger %q, want >= 1 via drift", final.Retrains, final.LastTrigger)
+	}
+	if final.LastVerdict != "promoted" {
+		t.Errorf("last verdict = %q, want promoted", final.LastVerdict)
+	}
+	if active := st.reg.ActiveVersion(); active == "v1" {
+		t.Error("champion v1 still active after promotion")
+	}
+	if n := failures.Load(); n != 0 {
+		t.Errorf("%d hammer requests failed during the lifecycle", n)
+	}
+	if n := torn.Load(); n != 0 {
+		t.Errorf("%d torn responses (watts not matching the reported version)", n)
+	}
+	if served.Load() == 0 {
+		t.Error("hammers never served a request")
+	}
+	// The promoted challenger must actually track the shifted truth.
+	e := st.reg.Active()
+	got := e.Model.ByPlatform["p"].Model.Predict([]float64{8, 4})
+	if want := shifted(8, 4); math.Abs(got-want) > 1 {
+		t.Errorf("promoted model predicts %g at (8,4), want ~%g", got, want)
+	}
+}
+
+// TestLifecycleCorruptRetrainWindowRejected feeds the retrain window
+// deliberately poisoned labels (the fault-injection story: a corrupted
+// meter lies to the buffers), triggers a retrain, and then serves clean
+// traffic during the shadow phase. The challenger — a perfect fit of the
+// garbage — must lose the live-mirror gate and never promote.
+func TestLifecycleCorruptRetrainWindowRejected(t *testing.T) {
+	st := newStack(t, Config{
+		ShadowSnapshots: 20,
+	}, serve.Config{Shards: 2})
+
+	truth := func(a, b float64) float64 { return 10 + a + 2*b } // == champion
+	poison := func(a, b float64) float64 { return 200 - 2*a + 5*b }
+
+	// Phase 1: the retrain window fills with poisoned labels.
+	i := 0
+	for ; i < 60; i++ {
+		feedOne(t, st, i, poison)
+	}
+	if err := st.orch.TriggerRetrain("test-corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the challenger to be fitted and the mirror to start; no
+	// feeding needed — training runs on the orchestrator goroutine.
+	deadline := time.Now().Add(30 * time.Second)
+	for st.orch.Status().State != "shadowing" {
+		if time.Now().After(deadline) {
+			t.Fatalf("challenger never reached shadowing; status %+v", st.orch.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Phase 2: clean traffic during the mirror. The champion nails it, the
+	// poisoned challenger is wildly off.
+	verdict := driveUntil(t, st, &i, truth, 60*time.Second, "verdict",
+		func(s Status) bool { return s.State == "idle" && s.Retrains >= 1 })
+
+	if verdict.Promotions != 0 {
+		t.Errorf("promotions = %d, want 0 for a poisoned challenger", verdict.Promotions)
+	}
+	if verdict.LastVerdict != "rejected" {
+		t.Errorf("last verdict = %q, want rejected", verdict.LastVerdict)
+	}
+	if active := st.reg.ActiveVersion(); active != "v1" {
+		t.Errorf("active = %q, want champion v1 to keep serving", active)
+	}
+	if verdict.ShadowErrorRatio <= 1 {
+		t.Errorf("shadow error ratio = %g, want > 1 (challenger worse)", verdict.ShadowErrorRatio)
+	}
+}
+
+// TestLifecycleProbationRollback promotes a challenger fitted on
+// distribution B, then snaps the live workload back to the champion's
+// original distribution: the freshly promoted model regresses past the
+// probation bound and must be rolled back automatically.
+func TestLifecycleProbationRollback(t *testing.T) {
+	st := newStack(t, Config{
+		MinTrainSnapshots:  40,
+		ShadowSnapshots:    20,
+		ProbationSnapshots: 60,
+	}, serve.Config{
+		Shards:       2,
+		BaselineRMSE: 1,
+	})
+
+	distB := func(a, b float64) float64 { return 40 + 3*a + 0.5*b }
+	distC := func(a, b float64) float64 { return 10 + a + 2*b } // v1's own law
+
+	i := 0
+	driveUntil(t, st, &i, distB, 60*time.Second, "promotion",
+		func(s Status) bool { return s.Promotions >= 1 })
+	promoted := st.reg.ActiveVersion()
+	if promoted == "v1" {
+		t.Fatal("expected a challenger to be active after promotion")
+	}
+	// The world changes back mid-probation: the promoted model is now the
+	// wrong one.
+	final := driveUntil(t, st, &i, distC, 60*time.Second, "rollback",
+		func(s Status) bool { return s.Rollbacks >= 1 })
+
+	if active := st.reg.ActiveVersion(); active != "v1" {
+		t.Errorf("active = %q after rollback, want v1", active)
+	}
+	if final.LastVerdict != "rolled_back" {
+		t.Errorf("last verdict = %q, want rolled_back", final.LastVerdict)
+	}
+	if final.ProbationSnapshots > 60 {
+		t.Errorf("rollback took %d probation snapshots, want within the window of 60", final.ProbationSnapshots)
+	}
+}
+
+// TestLifecycleManualTriggerTooLittleData locks the fail-fast path: a
+// manual retrain with starving buffers must surface the online package's
+// minimum-rows error in the status, leave the champion serving, and
+// return the orchestrator to idle.
+func TestLifecycleManualTriggerTooLittleData(t *testing.T) {
+	st := newStack(t, Config{}, serve.Config{Shards: 1})
+	// Two labeled snapshots: plenty to prove liveness, far below the
+	// features+intercept+1 floor.
+	truth := func(a, b float64) float64 { return 10 + a + 2*b }
+	for i := 0; i < 2; i++ {
+		feedOne(t, st, i, truth)
+	}
+	if err := st.orch.TriggerRetrain(""); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s := st.orch.Status()
+		if s.LastError != "" {
+			if s.State != "idle" {
+				t.Errorf("state = %q after failed retrain, want idle", s.State)
+			}
+			if s.Promotions != 0 || st.reg.ActiveVersion() != "v1" {
+				t.Errorf("failed retrain must not touch the active model: %+v", s)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retrain failure never surfaced; status %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLifecycleScoreWindow pins the scoring math: RMSE and DRE over a
+// hand-computed window, the constant-load RMSE fallback, and the empty
+// window.
+func TestLifecycleScoreWindow(t *testing.T) {
+	cm := mkModel(t, 0, 1, 0) // watts = a
+	snap := func(a, actual float64) Snapshot {
+		return Snapshot{
+			Samples: []online.Sample{{MachineID: "m", Platform: "p", Counters: []float64{a, 0}}},
+			Actual:  actual,
+		}
+	}
+	// Predictions 1, 2, 3 vs actuals 2, 2, 6: errors -1, 0, -3.
+	sc, err := ScoreWindow(cm, testNames, []Snapshot{snap(1, 2), snap(2, 2), snap(3, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRMSE := math.Sqrt((1.0 + 0 + 9) / 3)
+	if sc.N != 3 || math.Abs(sc.RMSE-wantRMSE) > 1e-12 {
+		t.Errorf("score = %+v, want N=3 RMSE=%g", sc, wantRMSE)
+	}
+	if want := wantRMSE / 4; math.Abs(sc.DRE-want) > 1e-12 { // range 6-2
+		t.Errorf("DRE = %g, want %g", sc.DRE, want)
+	}
+	// Constant actuals: no dynamic range, DRE falls back to RMSE.
+	sc, err = ScoreWindow(cm, testNames, []Snapshot{snap(1, 5), snap(2, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.DRE != sc.RMSE {
+		t.Errorf("constant-load DRE = %g, want RMSE fallback %g", sc.DRE, sc.RMSE)
+	}
+	// Empty window scores zero without error.
+	sc, err = ScoreWindow(cm, testNames, nil)
+	if err != nil || sc.N != 0 {
+		t.Errorf("empty window = %+v, %v; want zero score, nil error", sc, err)
+	}
+}
+
+// TestLifecycleConfigValidation locks constructor failure modes.
+func TestLifecycleConfigValidation(t *testing.T) {
+	reg := registry.New()
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil registry accepted")
+	}
+	if _, err := New(reg, Config{Names: testNames}); err == nil {
+		t.Error("missing spec accepted")
+	}
+	if _, err := New(reg, Config{Spec: models.FeatureSpec{Counters: testNames}}); err == nil {
+		t.Error("missing names accepted")
+	}
+	o, err := New(reg, Config{Names: testNames, Spec: models.FeatureSpec{Name: "t", Counters: testNames}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Start(nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if err := o.TriggerRetrain("x"); err == nil {
+		t.Error("trigger before Start accepted")
+	}
+	o.Close()
+	o.Close() // idempotent
+	if err := o.TriggerRetrain("x"); err == nil {
+		t.Error("trigger after Close accepted")
+	}
+}
+
+// TestLifecycleFirstRetrainSkipsCooldown locks in the warmup semantics of
+// the cooldown gate: before any retrain has run there is nothing to cool
+// down from, so the first automatic trigger fires as soon as the minimum
+// held-out window fills — a daemon that drifts seconds after boot must not
+// sit out a 30-second cooldown it never earned. After a retrain the
+// cooldown applies normally.
+func TestLifecycleFirstRetrainSkipsCooldown(t *testing.T) {
+	reg := registry.New()
+	o, err := New(reg, Config{
+		Names:          testNames,
+		Spec:           models.FeatureSpec{Name: "t", Counters: testNames},
+		TriggerSamples: 10,
+		// Cooldown left at the 30s default on purpose.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1000, 0)
+	o.now = func() time.Time { return clock }
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.heldNext = o.cfg.MinTrainSnapshots
+	o.sinceRetrain = o.cfg.TriggerSamples
+
+	if reason, ok := o.triggerLocked(); !ok || reason != "samples" {
+		t.Fatalf("first trigger = (%q, %v), want (samples, true): startup must not be cooled down", reason, ok)
+	}
+	// A completed retrain arms the cooldown; the same conditions must now
+	// be blocked until it elapses.
+	o.lastRetrain = clock
+	o.sinceRetrain = o.cfg.TriggerSamples
+	if reason, ok := o.triggerLocked(); ok {
+		t.Fatalf("trigger %q fired inside the cooldown", reason)
+	}
+	clock = clock.Add(o.cfg.Cooldown)
+	if reason, ok := o.triggerLocked(); !ok || reason != "samples" {
+		t.Fatalf("post-cooldown trigger = (%q, %v), want (samples, true)", reason, ok)
+	}
+}

@@ -1,0 +1,78 @@
+package lifecycle
+
+import (
+	"math"
+
+	"repro/internal/models"
+	"repro/internal/online"
+)
+
+// Snapshot is one labeled cluster snapshot from the held-out window: the
+// per-machine samples the serving layer answered, and the metered cluster
+// watts they drew.
+type Snapshot struct {
+	Samples []online.Sample
+	Actual  float64
+}
+
+// Score is one model's error over a window of labeled snapshots. DRE is
+// RMSE over the window's dynamic range of the metered watts (the paper's
+// Eq. 6 with the observed range standing in for pmax − pidle); when the
+// window has no range (constant load), DRE falls back to the RMSE so the
+// comparison still orders models.
+type Score struct {
+	N         int
+	SSE       float64
+	RMSE      float64
+	DRE       float64
+	MinActual float64
+	MaxActual float64
+}
+
+// ScoreWindow replays a window of labeled snapshots through a fresh
+// predictor for the model (its own lag history, fed chronologically) and
+// scores the summed cluster estimate against the metered watts. Snapshots
+// any machine of which the model cannot predict are skipped, not scored
+// as errors.
+func ScoreWindow(cm *models.ClusterModel, names []string, win []Snapshot) (Score, error) {
+	if len(win) == 0 {
+		return Score{}, nil
+	}
+	p, err := online.NewPredictor(cm, names)
+	if err != nil {
+		return Score{}, err
+	}
+	sc := Score{MinActual: math.Inf(1), MaxActual: math.Inf(-1)}
+	for _, snap := range win {
+		items := p.PredictBatch(snap.Samples)
+		sum, ok := 0.0, true
+		for _, it := range items {
+			if it.Err != nil {
+				ok = false
+				break
+			}
+			sum += it.Watts
+		}
+		if !ok || math.IsNaN(sum) || math.IsInf(sum, 0) {
+			continue
+		}
+		d := sum - snap.Actual
+		sc.N++
+		sc.SSE += d * d
+		if snap.Actual < sc.MinActual {
+			sc.MinActual = snap.Actual
+		}
+		if snap.Actual > sc.MaxActual {
+			sc.MaxActual = snap.Actual
+		}
+	}
+	if sc.N > 0 {
+		sc.RMSE = math.Sqrt(sc.SSE / float64(sc.N))
+		if r := sc.MaxActual - sc.MinActual; r > 0 {
+			sc.DRE = sc.RMSE / r
+		} else {
+			sc.DRE = sc.RMSE
+		}
+	}
+	return sc, nil
+}

@@ -421,11 +421,21 @@ func (rt *Retrainer) Retrain(tech models.Technique, spec models.FeatureSpec) (*m
 	defer span.End()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	// A machine with fewer rows than the design width would make the
+	// normal equations rank-deficient and the fit degenerate (an exact
+	// interpolation of noise at best; regress.OLS itself demands strictly
+	// more rows than parameters). Fail fast with the machine named rather
+	// than hand a garbage model or a cryptic solver error to the caller.
+	minRows := spec.NumInputs() + 2
 	byPlatform := map[string][]*trace.Trace{}
 	for id, b := range rt.buffers {
 		rows, power := b.snapshot()
 		if len(rows) == 0 {
 			continue
+		}
+		if len(rows) < minRows {
+			return nil, fmt.Errorf("online: machine %s has %d buffered samples, need at least %d (features + intercept + 1) to retrain",
+				id, len(rows), minRows)
 		}
 		builder := trace.NewBuilder(rt.platform[id], "online", id, 0, rt.names, 0)
 		for i := range rows {

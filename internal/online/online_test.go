@@ -2,6 +2,7 @@ package online
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 
@@ -295,6 +296,54 @@ func TestRetrainerValidation(t *testing.T) {
 	}
 	if _, err := rt.Retrain(models.TechLinear, models.CPUOnlySpec()); err == nil {
 		t.Error("expected error with no buffered data")
+	}
+}
+
+// TestRetrainerMinRowsGuard locks the fail-fast path the lifecycle
+// orchestrator depends on: a machine with fewer buffered samples than the
+// design width (features + intercept) must produce a clear error naming
+// the machine, not a rank-deficient fit.
+func TestRetrainerMinRowsGuard(t *testing.T) {
+	names := []string{"a", "b"}
+	spec := models.FeatureSpec{Name: "ab", Counters: names}
+	rt, err := NewRetrainer(names, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = 1 + 2a + 3b, noise-free; the floor is features + intercept + 1
+	// (regress.OLS wants strictly more rows than parameters), here 4.
+	rows := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	power := []float64{3, 4, 6, 8}
+	// Three samples < floor of four: must refuse.
+	for i := 0; i < 3; i++ {
+		if err := rt.Add(Sample{MachineID: "m0", Platform: "Core2", Counters: rows[i]}, power[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = rt.Retrain(models.TechLinear, spec)
+	if err == nil {
+		t.Fatal("Retrain succeeded with 3 samples for a 3-unknown design")
+	}
+	for _, want := range []string{"m0", "3", "4"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %q (machine, have, need)", err, want)
+		}
+	}
+	// One more row meets the floor and the fit goes through.
+	if err := rt.Add(Sample{MachineID: "m0", Platform: "Core2", Counters: rows[3]}, power[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Retrain(models.TechLinear, spec); err != nil {
+		t.Fatalf("Retrain at exactly the minimum-rows floor: %v", err)
+	}
+	// The guard is per machine: a healthy machine cannot mask a starved one.
+	if err := rt.Add(Sample{MachineID: "m1", Platform: "Core2", Counters: rows[0]}, power[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Retrain(models.TechLinear, spec); err == nil {
+		t.Error("Retrain succeeded with one starved machine in the buffers")
+	} else if !strings.Contains(err.Error(), "m1") {
+		t.Errorf("error %q should name the starved machine m1", err)
 	}
 }
 

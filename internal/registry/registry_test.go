@@ -2,7 +2,9 @@ package registry
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/models"
@@ -153,6 +155,114 @@ func TestServeRegistryAddJSONAndList(t *testing.T) {
 	}
 	if w := e.Model.ByPlatform["p"].Model.Predict([]float64{3, 4}); w != 31 {
 		t.Errorf("v2 predict = %g, want 31", w)
+	}
+}
+
+// TestLifecycleRegistryConcurrentStress hammers the registry from four
+// directions at once — admitters, activators, rollbackers, and listers —
+// under the race detector, locking in the atomic-pointer invariants the
+// lifecycle promotion path leans on: a reader always sees a complete,
+// admitted entry (never nil mid-swap, never a torn version), List stays
+// admission-ordered, and entries are immutable once admitted.
+func TestLifecycleRegistryConcurrentStress(t *testing.T) {
+	r := New()
+	if err := r.Add("seed", mkCluster(t, "p", 1), Meta{}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		adders    = 4
+		perAdder  = 50
+		activator = 4
+		rounds    = 200
+	)
+	var wg sync.WaitGroup
+
+	// Admitters: each owns a disjoint version namespace, so every Add must
+	// succeed exactly once.
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < perAdder; i++ {
+				v := fmt.Sprintf("w%d-%d", a, i)
+				if err := r.Add(v, mkCluster(t, "p", float64(a*perAdder+i)), Meta{Source: "stress"}); err != nil {
+					t.Errorf("Add(%s): %v", v, err)
+					return
+				}
+			}
+		}(a)
+	}
+	// Activators ping-pong activation across whatever versions exist.
+	for a := 0; a < activator; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				v := fmt.Sprintf("w%d-%d", a%adders, i%perAdder)
+				// Racing an admitter: unknown-version errors are expected,
+				// activation of an admitted version is not allowed to fail.
+				if _, ok := r.Get(v); ok {
+					if err := r.Activate(v); err != nil {
+						t.Errorf("Activate(%s): %v", v, err)
+						return
+					}
+				}
+			}
+		}(a)
+	}
+	// Rollbackers: any outcome is legal except a panic or a torn active
+	// pointer; "no previous version" errors race legitimately.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			_, _ = r.Rollback() //nolint:errcheck // racing history is legal
+		}
+	}()
+	// Listers/readers: the active entry must always be complete.
+	for l := 0; l < 2; l++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if e := r.Active(); e != nil {
+					if e.Version == "" || e.Model == nil {
+						t.Error("torn active entry observed")
+						return
+					}
+					if w := e.Model.ByPlatform["p"].Model.Predict([]float64{0, 0}); w < 0 {
+						t.Errorf("active model predicts %g, want >= 0", w)
+						return
+					}
+				}
+				infos := r.List()
+				for j := 1; j < len(infos); j++ {
+					if infos[j-1].CreatedAt.After(infos[j].CreatedAt) {
+						t.Error("List out of admission order")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := r.Len(), 1+adders*perAdder; got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+	infos := r.List()
+	active := 0
+	for _, in := range infos {
+		if in.Active {
+			active++
+		}
+	}
+	if active != 1 {
+		t.Errorf("%d entries flagged active, want exactly 1", active)
+	}
+	if av := r.ActiveVersion(); av == "" {
+		t.Error("no active version after the storm")
 	}
 }
 

@@ -83,6 +83,33 @@ type AddModelRequest struct {
 	Activate    bool            `json:"activate,omitempty"`
 }
 
+// Lifecycle is the orchestrator surface the HTTP layer exposes. The
+// lifecycle package implements it; keeping it an interface here means
+// serve never imports lifecycle (which imports registry and online, the
+// same layers serve builds on).
+type Lifecycle interface {
+	// StatusJSON returns the /v1/lifecycle/status payload.
+	StatusJSON() any
+	// TriggerRetrain requests an explicit retrain cycle.
+	TriggerRetrain(reason string) error
+}
+
+// AttachLifecycle binds a lifecycle orchestrator to the HTTP surface.
+// Before (or without) attachment the lifecycle endpoints answer 404.
+func (s *Server) AttachLifecycle(lc Lifecycle) {
+	s.lcMu.Lock()
+	s.lc = lc
+	s.lcMu.Unlock()
+}
+
+// Lifecycle returns the attached orchestrator, nil when lifecycle is
+// disabled.
+func (s *Server) Lifecycle() Lifecycle {
+	s.lcMu.RLock()
+	defer s.lcMu.RUnlock()
+	return s.lc
+}
+
 // NewMux returns the service mux: the /v1 estimation and model-management
 // API plus the obs endpoints (/metrics, /healthz, pprof) so one listener
 // serves both traffic and scrapes.
@@ -92,6 +119,8 @@ func NewMux(s *Server) *http.ServeMux {
 	mux.HandleFunc("/v1/estimate/batch", s.handleBatch)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/models/activate", s.handleActivate)
+	mux.HandleFunc("/v1/lifecycle/status", s.handleLifecycleStatus)
+	mux.HandleFunc("/v1/lifecycle/retrain", s.handleLifecycleRetrain)
 	return mux
 }
 
@@ -245,6 +274,51 @@ func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, "version or rollback required")
 	}
+}
+
+func (s *Server) handleLifecycleStatus(w http.ResponseWriter, r *http.Request) {
+	lc := s.Lifecycle()
+	if lc == nil {
+		writeError(w, http.StatusNotFound, "lifecycle disabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, lc.StatusJSON())
+}
+
+func (s *Server) handleLifecycleRetrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	lc := s.Lifecycle()
+	if lc == nil {
+		writeError(w, http.StatusNotFound, "lifecycle disabled")
+		return
+	}
+	var req struct {
+		Reason string `json:"reason"`
+	}
+	// The body is optional: a bare POST means a plain manual trigger.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "parsing body: "+err.Error())
+			return
+		}
+	}
+	if req.Reason == "" {
+		req.Reason = "manual"
+	}
+	if err := lc.TriggerRetrain(req.Reason); err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	// 202: the retrain runs asynchronously; poll /v1/lifecycle/status.
+	writeJSON(w, http.StatusAccepted, map[string]any{"status": "accepted", "reason": req.Reason})
 }
 
 // activate validates stream compatibility, swaps, and emits the event.

@@ -59,6 +59,20 @@ type Config struct {
 	DriftThreshold float64
 	// Events, when set, receives drift/activation events as JSON lines.
 	Events *obs.EventSink
+	// Labeled, when set, receives every fully-served snapshot that carried
+	// complete meter readings: the samples, the per-machine metered watts,
+	// the cluster estimate answered, and the model version that served it
+	// (so a post-swap consumer can tell which model earned the residual).
+	// The lifecycle orchestrator hangs its retrain buffers, held-out
+	// scoring window, and probation accounting off this hook. It is called
+	// from the request goroutine after the response is complete, so it
+	// must be cheap (the lifecycle hook copies and returns).
+	Labeled func(samples []online.Sample, metered []float64, estimated float64, version string)
+	// ShadowObserve, when set, receives one mirrored score per fully
+	// shadowed metered snapshot: the champion's cluster estimate, the
+	// shadow challenger's (computed in the shards, never returned to
+	// clients), and the metered cluster watts.
+	ShadowObserve func(champion, challenger, actual float64)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -86,13 +100,17 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// taskResult is one sample's outcome.
+// taskResult is one sample's outcome. shadowWatts carries the shadow
+// challenger's prediction for the same sample when a mirror is active; it
+// never reaches the response payload.
 type taskResult struct {
-	watts   float64
-	version string
-	err     error
-	shed    bool
-	late    bool
+	watts       float64
+	version     string
+	err         error
+	shed        bool
+	late        bool
+	shadowWatts float64
+	shadowOK    bool
 }
 
 // pending is the gather side of one estimate request: tasks write their
@@ -131,6 +149,15 @@ type Server struct {
 
 	monitor *online.Monitor
 	drifted atomic.Bool
+
+	// shadow, when non-nil, is the challenger entry every shard mirrors:
+	// workers predict it alongside the champion (one extra batch predict on
+	// the shard's own goroutine — no new locks) and the gathered cluster
+	// score flows to cfg.ShadowObserve. One atomic load per batch.
+	shadow atomic.Pointer[registry.Entry]
+
+	lcMu sync.RWMutex // guards lc
+	lc   Lifecycle
 
 	closeMu sync.RWMutex // guards shard sends vs Close
 	closed  bool
@@ -228,6 +255,8 @@ func (s *Server) Estimate(samples []online.Sample, deadline time.Duration, meter
 
 	res := &Result{PerMachine: make(map[string]float64, len(samples))}
 	versions := map[string]bool{}
+	var shadowSum float64
+	shadowN := 0
 	for i, tr := range p.results {
 		switch {
 		case tr.shed:
@@ -240,6 +269,10 @@ func (s *Server) Estimate(samples []online.Sample, deadline time.Duration, meter
 			res.PerMachine[samples[i].MachineID] = tr.watts
 			res.ClusterWatts += tr.watts
 			versions[tr.version] = true
+			if tr.shadowOK {
+				shadowSum += tr.shadowWatts
+				shadowN++
+			}
 		}
 	}
 	for v := range versions {
@@ -255,21 +288,22 @@ func (s *Server) Estimate(samples []online.Sample, deadline time.Duration, meter
 	if res.Err != nil {
 		return res, res.Err
 	}
-	s.observe(res, samples, metered)
+	s.observe(res, samples, metered, shadowSum, shadowN)
 	return res, nil
 }
 
 // observe feeds a fully-served snapshot with complete meter readings into
-// the drift monitor.
-func (s *Server) observe(res *Result, samples []online.Sample, metered []float64) {
-	if s.monitor == nil || len(metered) != len(samples) {
+// the drift monitor, the shadow-mirror score stream, and the labeled-
+// snapshot hook.
+func (s *Server) observe(res *Result, samples []online.Sample, metered []float64, shadowSum float64, shadowN int) {
+	if len(metered) != len(samples) {
 		return
 	}
 	var actual float64
 	for _, w := range metered {
 		actual += w
 	}
-	if s.monitor.Observe(res.ClusterWatts, actual) && !s.drifted.Swap(true) {
+	if s.monitor != nil && s.monitor.Observe(res.ClusterWatts, actual) && !s.drifted.Swap(true) {
 		serveDrift.Inc()
 		if s.cfg.Events != nil {
 			s.cfg.Events.Emit("drift", map[string]any{ //nolint:errcheck // telemetry only
@@ -278,10 +312,56 @@ func (s *Server) observe(res *Result, samples []online.Sample, metered []float64
 			})
 		}
 	}
+	// Only fully mirrored snapshots score the shadow: a partial mirror
+	// (mirror started mid-snapshot, or one shard's shadow predictor failed)
+	// would bias the cluster-level comparison.
+	if s.cfg.ShadowObserve != nil && shadowN == len(samples) {
+		s.cfg.ShadowObserve(res.ClusterWatts, shadowSum, actual)
+	}
+	if s.cfg.Labeled != nil {
+		s.cfg.Labeled(samples, metered, res.ClusterWatts, res.Version())
+	}
 }
 
 // Drifted reports whether the serve-path drift monitor has alarmed.
 func (s *Server) Drifted() bool { return s.drifted.Load() }
+
+// ResetDrift clears the drift alarm and re-arms the monitor on fresh
+// residuals (the lifecycle orchestrator calls this after each verdict so
+// a resolved drift does not immediately re-trigger).
+func (s *Server) ResetDrift() {
+	if s.monitor != nil {
+		s.monitor.Reset()
+	}
+	s.drifted.Store(false)
+}
+
+// StartShadow begins mirroring live traffic against the named registry
+// version: every shard predicts it alongside the champion, and fully
+// mirrored metered snapshots flow to Config.ShadowObserve. Shadow
+// predictions are never returned to clients.
+func (s *Server) StartShadow(version string) error {
+	e, ok := s.reg.Get(version)
+	if !ok {
+		return fmt.Errorf("serve: unknown shadow version %q", version)
+	}
+	if err := s.ValidateCompatible(e); err != nil {
+		return err
+	}
+	s.shadow.Store(e)
+	return nil
+}
+
+// StopShadow ends the mirror.
+func (s *Server) StopShadow() { s.shadow.Store(nil) }
+
+// ShadowVersion returns the version being mirrored, or "" when none.
+func (s *Server) ShadowVersion() string {
+	if e := s.shadow.Load(); e != nil {
+		return e.Version
+	}
+	return ""
+}
 
 // Result is the outcome of one Estimate call.
 type Result struct {
@@ -386,12 +466,29 @@ func (s *Server) process(sh *shard, batch []*task) {
 		samples[i] = t.sample
 	}
 	items := pred.PredictBatch(samples)
+
+	// Mirror the batch against the shadow challenger, if one is active.
+	// Same samples, same shard goroutine, its own per-shard predictor (own
+	// lag history) — one extra PredictBatch, no new lock contention. A
+	// shadow predictor failure silently skips the mirror for this batch;
+	// the serving path is never affected.
+	var shadowItems []online.BatchItem
+	if se := s.shadow.Load(); se != nil && se.Version != entry.Version {
+		if sp, err := s.predictorFor(sh, se); err == nil {
+			shadowItems = sp.PredictBatch(samples)
+		}
+	}
 	for i, t := range live {
 		if items[i].Err != nil {
 			t.req.results[t.idx] = taskResult{err: items[i].Err}
 		} else {
 			samplesServed.Inc()
-			t.req.results[t.idx] = taskResult{watts: items[i].Watts, version: entry.Version}
+			tr := taskResult{watts: items[i].Watts, version: entry.Version}
+			if shadowItems != nil && shadowItems[i].Err == nil {
+				tr.shadowWatts = shadowItems[i].Watts
+				tr.shadowOK = true
+			}
+			t.req.results[t.idx] = tr
 		}
 		t.req.wg.Done()
 	}
@@ -411,8 +508,18 @@ func (s *Server) predictorFor(sh *shard, entry *registry.Entry) (*online.Predict
 	}
 	swapPredictors.Inc()
 	if len(sh.preds) >= 8 {
+		// Prune everything except the versions still in play: the entry
+		// being built, the active champion, and the shadow challenger (so
+		// mirroring never evicts the mirror's own lag history).
+		keep := map[string]bool{entry.Version: true}
+		if ae := s.reg.Active(); ae != nil {
+			keep[ae.Version] = true
+		}
+		if se := s.shadow.Load(); se != nil {
+			keep[se.Version] = true
+		}
 		for v := range sh.preds {
-			if v != entry.Version {
+			if !keep[v] {
 				delete(sh.preds, v)
 			}
 		}
