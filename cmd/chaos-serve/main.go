@@ -29,12 +29,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -48,6 +50,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -87,6 +90,12 @@ type config struct {
 	LifecycleSamples  int
 	PromoteMargin     float64
 	Probation         int
+
+	// Durable state: when StateDir is set the registry journals to disk
+	// and the lifecycle checkpoints, so a crash or restart resumes the
+	// exact pre-crash model state.
+	StateDir           string
+	CheckpointInterval time.Duration
 
 	// holdOpen, when set, runs after the server is up (daemon mode) in
 	// place of waiting for a signal — tests probe the API through it.
@@ -129,6 +138,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		lcSamples  = fs.Int("lifecycle-samples", 0, "lifecycle: also retrain every N labeled snapshots (0 = off)")
 		lcMargin   = fs.Float64("promote-margin", 0.05, "lifecycle: challenger must beat the champion's dynamic-range error by this fraction to promote")
 		lcProbe    = fs.Int("probation", 64, "lifecycle: labeled snapshots the promoted model is watched for before rollback is off the table (0 = no probation)")
+
+		stateDir   = fs.String("state-dir", "", "durable state directory: journal model admissions/activations and checkpoint the lifecycle so restarts resume the pre-crash state")
+		ckInterval = fs.Duration("checkpoint-interval", 10*time.Second, "how often the lifecycle state checkpoints to -state-dir")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -141,6 +153,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		SwapEvery: *swapEvery, Faults: *faultsArg,
 		Lifecycle: *lcEnable, LifecycleInterval: *lcInterval, LifecycleSamples: *lcSamples,
 		PromoteMargin: *lcMargin, Probation: *lcProbe,
+		StateDir: *stateDir, CheckpointInterval: *ckInterval,
 	}
 	if *model != "" {
 		cfg.Models = strings.Split(*model, ",")
@@ -174,12 +187,61 @@ func run(w io.Writer, cfg config) error {
 		em.sink = sink
 	}
 
-	reg := registry.New()
+	// The registry: journal-backed when -state-dir is set, in-memory
+	// otherwise. A populated state dir recovers the pre-crash model set
+	// and active version instead of re-bootstrapping.
+	var reg *registry.Registry
+	var recov *registry.Recovery
+	if cfg.StateDir != "" {
+		var err error
+		reg, recov, err = registry.Open(filepath.Join(cfg.StateDir, "models"), registry.OpenOptions{})
+		if err != nil {
+			return err
+		}
+		defer reg.Close()
+		if recov.Journal.TruncatedRecords > 0 || recov.Journal.TruncatedBytes > 0 {
+			if err := em.event("journal_truncated",
+				fmt.Sprintf("recovery truncated a torn journal tail: %d record(s), %d byte(s)",
+					recov.Journal.TruncatedRecords, recov.Journal.TruncatedBytes),
+				map[string]any{"records": recov.Journal.TruncatedRecords,
+					"bytes": recov.Journal.TruncatedBytes}); err != nil {
+				return err
+			}
+		}
+		if recov.Journal.QuarantineFile != "" {
+			if err := em.event("segment_quarantined",
+				fmt.Sprintf("recovery quarantined a corrupt journal segment: %d byte(s) preserved in %s",
+					recov.Journal.QuarantinedBytes, recov.Journal.QuarantineFile),
+				map[string]any{"file": recov.Journal.QuarantineFile,
+					"bytes": recov.Journal.QuarantinedBytes}); err != nil {
+				return err
+			}
+		}
+	} else {
+		reg = registry.New()
+	}
+	recovered := recov != nil && recov.Versions > 0
+
 	var names []string
 	var traces []*trace.Trace
 	var baseline float64
 
-	if len(cfg.Models) > 0 {
+	switch {
+	case recovered:
+		// The models came back from the journal; the counter order and
+		// drift baseline come from the meta document written at first boot.
+		meta, err := readStateMeta(cfg.StateDir)
+		if err != nil {
+			return err
+		}
+		names = meta.Names
+		baseline = meta.BaselineRMSE
+		if cfg.Loadgen {
+			if traces, err = simTraces(cfg); err != nil {
+				return err
+			}
+		}
+	case len(cfg.Models) > 0:
 		// Daemon with pre-trained models: v1, v2, ... in flag order; the
 		// first admitted version serves.
 		for i, path := range cfg.Models {
@@ -197,7 +259,7 @@ func run(w io.Writer, cfg config) error {
 			}
 			names = traces[0].Names
 		}
-	} else {
+	default:
 		// Bootstrap: simulate the cluster, fit v1 with the chosen
 		// technique and v2 linear (the swap/rollback partner), admit both.
 		var err error
@@ -216,6 +278,14 @@ func run(w io.Writer, cfg config) error {
 			return err
 		}
 	}
+	if cfg.StateDir != "" && !recovered {
+		// First boot on this state dir: persist what recovery will need.
+		if err := writeStateMeta(cfg.StateDir, stateMeta{
+			Names: names, BaselineRMSE: baseline, Tech: cfg.Tech,
+		}); err != nil {
+			return err
+		}
+	}
 
 	scfg := serve.Config{
 		Shards: cfg.Shards, QueueDepth: cfg.Queue,
@@ -224,10 +294,15 @@ func run(w io.Writer, cfg config) error {
 	}
 	// The orchestrator is built before the engine so its Ingest and
 	// ObserveShadow hooks can ride along in the serve config; it is started
-	// (and bound to the engine) right after.
+	// (and bound to the engine) right after. With a state dir, the last
+	// checkpoint restores BEFORE Start so a mid-probation restart resumes
+	// probation instead of skipping it.
 	var orch *lifecycle.Orchestrator
+	var ck *store.Checkpointer
+	lifecycleState := ""
 	if cfg.Lifecycle {
-		spec, err := lifecycleSpec(reg, len(cfg.Models) > 0)
+		fromFiles := len(cfg.Models) > 0 || recovered
+		spec, err := lifecycleSpec(reg, fromFiles)
 		if err != nil {
 			return err
 		}
@@ -240,8 +315,45 @@ func run(w io.Writer, cfg config) error {
 		if err != nil {
 			return err
 		}
+		if cfg.StateDir != "" {
+			ckPath := filepath.Join(cfg.StateDir, "lifecycle.ckpt")
+			if data, err := os.ReadFile(ckPath); err == nil {
+				if rerr := orch.RestoreCheckpoint(data); rerr != nil {
+					// A stale or incompatible checkpoint must not block boot;
+					// the loop restarts fresh and the fact is reported.
+					if err := em.event("lifecycle_error",
+						"lifecycle checkpoint not restored: "+rerr.Error(),
+						map[string]any{"stage": "restore", "error": rerr.Error()}); err != nil {
+						return err
+					}
+				} else {
+					lifecycleState = orch.Status().State
+				}
+			} else if !os.IsNotExist(err) {
+				return fmt.Errorf("reading lifecycle checkpoint: %w", err)
+			}
+			interval := cfg.CheckpointInterval
+			if interval <= 0 {
+				interval = 10 * time.Second
+			}
+			if ck, err = store.NewCheckpointer(ckPath, interval, orch.MarshalCheckpoint); err != nil {
+				return err
+			}
+			defer ck.Close()
+		}
 		scfg.Labeled = orch.Ingest
 		scfg.ShadowObserve = orch.ObserveShadow
+	}
+	if recovered {
+		if err := em.event("recovered",
+			fmt.Sprintf("recovered %d model version(s) from %s; active %s",
+				recov.Versions, cfg.StateDir, recov.Active),
+			map[string]any{"versions": recov.Versions, "active": recov.Active,
+				"from_snapshot": recov.FromSnapshot, "skipped_records": recov.SkippedRecords,
+				"truncated_records": recov.Journal.TruncatedRecords,
+				"lifecycle_state":   lifecycleState}); err != nil {
+			return err
+		}
 	}
 	srv, err := serve.New(reg, scfg)
 	if err != nil {
@@ -278,7 +390,63 @@ func run(w io.Writer, cfg config) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	return em.event("shutdown", "shutting down", nil)
+
+	// Ordered graceful shutdown: stop intake, drain the shards (every
+	// queued request still gets an answer), stop the lifecycle loop, take
+	// the final checkpoint, and only then let the deferred reg.Close
+	// release the journal. Every step is idempotent against the deferred
+	// closes that follow the return.
+	httpSrv.Close()
+	srv.Close()
+	if orch != nil {
+		orch.Close()
+	}
+	ckBytes := 0
+	if ck != nil {
+		ck.Close()
+		n, err := ck.Flush()
+		if err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		ckBytes = n
+	}
+	return em.event("shutdown",
+		fmt.Sprintf("shut down cleanly: drained %d queued sample(s), checkpointed %d byte(s), active model %s",
+			srv.Drained(), ckBytes, reg.ActiveVersion()),
+		map[string]any{"drained_samples": srv.Drained(), "checkpoint_bytes": ckBytes,
+			"active": reg.ActiveVersion()})
+}
+
+// stateMeta is the small document beside the journal that recovery needs
+// but the journal does not carry: the counter-stream order and the drift
+// baseline the serving engine was configured with at first boot.
+type stateMeta struct {
+	Names        []string `json:"names"`
+	BaselineRMSE float64  `json:"baseline_rmse"`
+	Tech         string   `json:"tech,omitempty"`
+}
+
+func writeStateMeta(dir string, m stateMeta) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return store.WriteFileAtomic(filepath.Join(dir, "meta.json"), data, 0o644)
+}
+
+func readStateMeta(dir string) (stateMeta, error) {
+	var m stateMeta
+	data, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return m, fmt.Errorf("state dir has models but no readable meta.json: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("parsing %s/meta.json: %w", dir, err)
+	}
+	if len(m.Names) == 0 {
+		return m, fmt.Errorf("%s/meta.json carries no counter names", dir)
+	}
+	return m, nil
 }
 
 // lifecycleSpec picks the feature spec lifecycle challengers are fitted
@@ -392,12 +560,12 @@ func runLoadgen(em *emitter, addr string, reg *registry.Registry, traces []*trac
 			stats.MeanAbsErr(), stats.MeterOK),
 		map[string]any{
 			"snapshots": stats.Snapshots, "samples": stats.Samples,
-			"duration_s":    round2(stats.Duration.Seconds()),
+			"duration_s":      round2(stats.Duration.Seconds()),
 			"snapshots_per_s": round2(stats.SnapshotsPerSec),
 			"samples_per_s":   round2(stats.SamplesPerSec),
 			"latency_p50_ms":  round2(float64(stats.LatencyP50) / float64(time.Millisecond)),
 			"latency_p99_ms":  round2(float64(stats.LatencyP99) / float64(time.Millisecond)),
-			"ok": stats.OK, "shed": stats.Shed, "late": stats.Late, "failed": stats.Failed,
+			"ok":              stats.OK, "shed": stats.Shed, "late": stats.Late, "failed": stats.Failed,
 			"skipped_rows": stats.SkippedRows, "swaps": stats.Swaps,
 			"mean_abs_err_w": round2(stats.MeanAbsErr()), "metered": stats.MeterOK,
 		})

@@ -1,0 +1,443 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+)
+
+// TestMain lets the crash tests re-exec this test binary as a real
+// chaos-serve process: when CHAOS_SERVE_CHILD is set the binary runs
+// realMain with the JSON-encoded args instead of the test suite, so the
+// parent can SIGKILL it mid-flight — something an in-process run can
+// never simulate.
+func TestMain(m *testing.M) {
+	if os.Getenv("CHAOS_SERVE_CHILD") == "1" {
+		var args []string
+		if err := json.Unmarshal([]byte(os.Getenv("CHAOS_SERVE_ARGS")), &args); err != nil {
+			panic("CHAOS_SERVE_ARGS: " + err.Error())
+		}
+		os.Exit(realMain(args, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// child is a re-exec'd chaos-serve daemon under test control.
+type child struct {
+	t      *testing.T
+	cmd    *exec.Cmd
+	events chan map[string]any // closed on stdout EOF (process death)
+	stderr *bytes.Buffer
+	done   chan struct{} // closed when Wait returns
+	err    error         // valid after done
+}
+
+func startChild(t *testing.T, args ...string) *child {
+	t.Helper()
+	encoded, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"CHAOS_SERVE_CHILD=1",
+		"CHAOS_SERVE_ARGS="+string(encoded))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &child{
+		t: t, cmd: cmd,
+		events: make(chan map[string]any, 1024),
+		stderr: &bytes.Buffer{},
+		done:   make(chan struct{}),
+	}
+	cmd.Stderr = c.stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var ev map[string]any
+			if json.Unmarshal([]byte(line), &ev) == nil {
+				c.events <- ev
+			}
+		}
+		close(c.events)
+	}()
+	go func() {
+		c.err = cmd.Wait()
+		close(c.done)
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill() //nolint:errcheck // already-exited is fine
+		<-c.done
+	})
+	return c
+}
+
+// waitEvent consumes child events until one named name arrives.
+func (c *child) waitEvent(name string, timeout time.Duration) map[string]any {
+	c.t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev, ok := <-c.events:
+			if !ok {
+				c.t.Fatalf("child exited before %q event; stderr:\n%s", name, c.stderr.String())
+			}
+			if ev["event"] == name {
+				return ev
+			}
+		case <-deadline:
+			c.t.Fatalf("timed out waiting for %q event; stderr:\n%s", name, c.stderr.String())
+		}
+	}
+}
+
+// waitExit blocks until the child process is gone.
+func (c *child) waitExit(timeout time.Duration) {
+	c.t.Helper()
+	select {
+	case <-c.done:
+	case <-time.After(timeout):
+		c.t.Fatalf("child did not exit within %v; stderr:\n%s", timeout, c.stderr.String())
+	}
+}
+
+// estimateResult is the full answer for one snapshot — the comparison
+// unit for bit-identical recovery.
+type estimateResult struct {
+	Version    string
+	Cluster    float64
+	PerMachine map[string]float64
+}
+
+// postEstimate sends one two-machine snapshot built from row (machine m1
+// gets row shifted by +1 per counter) and returns the parsed answer.
+// metered > 0 labels every sample so the snapshot feeds the retrainer.
+func postEstimate(t *testing.T, base string, row []float64, metered float64) estimateResult {
+	t.Helper()
+	mkSample := func(id string, shift float64) map[string]any {
+		r := make([]float64, len(row))
+		for i := range row {
+			r[i] = row[i] + shift
+		}
+		s := map[string]any{"machine_id": id, "platform": "Core2", "counters": r}
+		if metered > 0 {
+			s["metered_watts"] = metered
+		}
+		return s
+	}
+	body, err := json.Marshal(map[string]any{
+		"samples": []map[string]any{mkSample("m0", 0), mkSample("m1", 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var er struct {
+		Status       int                `json:"status"`
+		ModelVersion string             `json:"model_version"`
+		ClusterWatts float64            `json:"cluster_watts"`
+		PerMachine   map[string]float64 `json:"per_machine"`
+		Error        string             `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate = %d (%s)", resp.StatusCode, er.Error)
+	}
+	return estimateResult{Version: er.ModelVersion, Cluster: er.ClusterWatts, PerMachine: er.PerMachine}
+}
+
+func activeVersion(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Active string `json:"active"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	return list.Active
+}
+
+// probeRows builds a few deterministic full-width counter rows whose
+// estimates must come back bit-identical after the crash.
+func probeRows() [][]float64 {
+	width := len(counters.StandardRegistry().Names())
+	rows := make([][]float64, 3)
+	for k := range rows {
+		row := make([]float64, width)
+		for i := range row {
+			row[i] = float64((i*(k+3))%11) + 0.25*float64(k+1)
+		}
+		rows[k] = row
+	}
+	return rows
+}
+
+// TestRecoveryCrashRestartServe is the headline crash e2e: a serving
+// chaos-serve with lifecycle enabled is killed with SIGKILL mid-retrain;
+// the restart on the same state dir must come back serving the exact
+// pre-crash active version with bit-identical estimates.
+func TestRecoveryCrashRestartServe(t *testing.T) {
+	stateDir := t.TempDir()
+	args := []string{
+		"-listen", "127.0.0.1:0", "-json",
+		"-machines", "2", "-workloads", "Prime", "-seed", "7",
+		"-lifecycle", "-promote-margin", "0.99", "-probation", "8",
+		"-state-dir", stateDir, "-checkpoint-interval", "50ms",
+	}
+	c1 := startChild(t, args...)
+	serving := c1.waitEvent("serving", 90*time.Second)
+	base := "http://" + serving["addr"].(string)
+
+	// Fill the retrain buffers with labeled traffic so the manual trigger
+	// has something to fit, and capture the pre-crash ground truth.
+	rows := probeRows()
+	for i := 0; i < 100; i++ {
+		postEstimate(t, base, rows[i%len(rows)], 50+float64(i%13))
+	}
+	before := make([]estimateResult, len(rows))
+	for k, row := range rows {
+		before[k] = postEstimate(t, base, row, 0)
+	}
+	activeBefore := activeVersion(t, base)
+	if activeBefore == "" {
+		t.Fatal("no active version before crash")
+	}
+
+	// Kick off a retrain and kill -9 while it is (at best) mid-fit. The
+	// journal may or may not carry the challenger admission — either way
+	// the active version must survive.
+	resp, err := http.Post(base+"/v1/lifecycle/retrain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("retrain trigger = %d, want 202", resp.StatusCode)
+	}
+	if err := c1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	c1.waitExit(30 * time.Second)
+
+	// The restart: same state dir, no re-bootstrap. It must announce
+	// recovery and serve the identical model state.
+	c2 := startChild(t, args...)
+	recovered := c2.waitEvent("recovered", 90*time.Second)
+	if got := recovered["active"].(string); got != activeBefore {
+		t.Errorf("recovered active = %q, want pre-crash %q", got, activeBefore)
+	}
+	if got := recovered["versions"].(float64); got < 2 {
+		t.Errorf("recovered versions = %g, want >= 2", got)
+	}
+	serving2 := c2.waitEvent("serving", 90*time.Second)
+	base2 := "http://" + serving2["addr"].(string)
+	if got := activeVersion(t, base2); got != activeBefore {
+		t.Errorf("active after restart = %q, want %q", got, activeBefore)
+	}
+	for k, row := range rows {
+		after := postEstimate(t, base2, row, 0)
+		if !reflect.DeepEqual(after, before[k]) {
+			t.Errorf("estimate %d diverged across the crash:\n before %+v\n after  %+v", k, before[k], after)
+		}
+	}
+
+	// The second boot must not have re-bootstrapped: no "trained" event.
+	if got := serving2["active"].(string); got != activeBefore {
+		t.Errorf("serving event active = %q, want %q", got, activeBefore)
+	}
+}
+
+// TestRecoveryGracefulShutdownServe locks the SIGTERM path: the daemon
+// drains its shards, takes a final lifecycle checkpoint, and emits the
+// shutdown event with the drain and checkpoint accounting; a subsequent
+// boot recovers the same state.
+func TestRecoveryGracefulShutdownServe(t *testing.T) {
+	stateDir := t.TempDir()
+	args := []string{
+		"-listen", "127.0.0.1:0", "-json",
+		"-machines", "2", "-workloads", "Prime", "-seed", "7",
+		"-lifecycle", "-promote-margin", "0.99",
+		"-state-dir", stateDir,
+	}
+	c1 := startChild(t, args...)
+	serving := c1.waitEvent("serving", 90*time.Second)
+	base := "http://" + serving["addr"].(string)
+
+	rows := probeRows()
+	for i := 0; i < 20; i++ {
+		postEstimate(t, base, rows[i%len(rows)], 40+float64(i))
+	}
+	activeBefore := activeVersion(t, base)
+
+	if err := c1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	shutdown := c1.waitEvent("shutdown", 60*time.Second)
+	c1.waitExit(30 * time.Second)
+	if c1.err != nil {
+		t.Errorf("SIGTERM exit: %v (want clean exit 0); stderr:\n%s", c1.err, c1.stderr.String())
+	}
+	if _, ok := shutdown["drained_samples"].(float64); !ok {
+		t.Errorf("shutdown event missing drained_samples: %+v", shutdown)
+	}
+	if got, ok := shutdown["checkpoint_bytes"].(float64); !ok || got <= 0 {
+		t.Errorf("shutdown checkpoint_bytes = %v, want > 0 (final checkpoint flushed)", shutdown["checkpoint_bytes"])
+	}
+	if got := shutdown["active"].(string); got != activeBefore {
+		t.Errorf("shutdown active = %q, want %q", got, activeBefore)
+	}
+
+	// The state dir holds the full durable layout.
+	for _, rel := range []string{
+		filepath.Join("models", "journal.log"), "meta.json", "lifecycle.ckpt",
+	} {
+		if _, err := os.Stat(filepath.Join(stateDir, rel)); err != nil {
+			t.Errorf("after shutdown: %v", err)
+		}
+	}
+
+	// And the next boot resumes from it.
+	c2 := startChild(t, args...)
+	recovered := c2.waitEvent("recovered", 90*time.Second)
+	if got := recovered["active"].(string); got != activeBefore {
+		t.Errorf("recovered active = %q, want %q", got, activeBefore)
+	}
+	if got, ok := recovered["lifecycle_state"].(string); !ok || got == "" {
+		t.Errorf("recovered lifecycle_state = %v, want the restored state machine phase", recovered["lifecycle_state"])
+	}
+	c2.waitEvent("serving", 90*time.Second)
+}
+
+// TestRecoveryTornStateDirServe corrupts the journal tail on disk between
+// two boots — the torn-write a kill -9 mid-append leaves behind — and
+// checks the daemon reports the truncation and still serves the last
+// intact state.
+func TestRecoveryTornStateDirServe(t *testing.T) {
+	stateDir := t.TempDir()
+	args := []string{
+		"-listen", "127.0.0.1:0", "-json",
+		"-machines", "2", "-workloads", "Prime", "-seed", "7",
+		"-state-dir", stateDir,
+	}
+	c1 := startChild(t, args...)
+	serving := c1.waitEvent("serving", 90*time.Second)
+	base := "http://" + serving["addr"].(string)
+	rows := probeRows()
+	before := postEstimate(t, base, rows[0], 0)
+	activeBefore := activeVersion(t, base)
+	if err := c1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	c1.waitExit(30 * time.Second)
+
+	// Tear the tail: append half a frame of garbage, as if the process
+	// died mid-append.
+	journal := filepath.Join(stateDir, "models", "journal.log")
+	f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c2 := startChild(t, args...)
+	truncated := c2.waitEvent("journal_truncated", 90*time.Second)
+	if got := truncated["bytes"].(float64); got <= 0 {
+		t.Errorf("journal_truncated bytes = %g, want > 0", got)
+	}
+	serving2 := c2.waitEvent("serving", 90*time.Second)
+	base2 := "http://" + serving2["addr"].(string)
+	if got := activeVersion(t, base2); got != activeBefore {
+		t.Errorf("active after torn tail = %q, want %q", got, activeBefore)
+	}
+	if after := postEstimate(t, base2, rows[0], 0); !reflect.DeepEqual(after, before) {
+		t.Errorf("estimate diverged across torn-tail recovery:\n before %+v\n after  %+v", before, after)
+	}
+}
+
+// TestRecoveryColdStateDir locks the first-boot contract: an empty
+// -state-dir bootstraps normally (trained event, no recovered event) and
+// leaves a replayable journal behind.
+func TestRecoveryColdStateDir(t *testing.T) {
+	stateDir := filepath.Join(t.TempDir(), "nested", "state")
+	var stdout bytes.Buffer
+	probed := false
+	cfg := config{
+		Listen: "127.0.0.1:0", JSON: true,
+		Platform: "Core2", Machines: 2, Workloads: []string{"Prime"}, Seed: 7, Tech: "linear",
+		StateDir: stateDir,
+		holdOpen: func(addr string) { probed = true },
+	}
+	if err := run(&stdout, cfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !probed {
+		t.Fatal("holdOpen never ran")
+	}
+	events := parseEvents(t, stdout.String())
+	if events["trained"] == nil {
+		t.Error("first boot on an empty state dir should bootstrap (trained event)")
+	}
+	if events["recovered"] != nil {
+		t.Error("first boot emitted a recovered event")
+	}
+	if fi, err := os.Stat(filepath.Join(stateDir, "models", "journal.log")); err != nil || fi.Size() == 0 {
+		t.Errorf("journal after first boot: %v (size %v), want non-empty", err, fi)
+	}
+	if _, err := os.Stat(filepath.Join(stateDir, "meta.json")); err != nil {
+		t.Errorf("meta.json after first boot: %v", err)
+	}
+
+	// Second in-process run on the same dir: recovered, same active model.
+	var stdout2 bytes.Buffer
+	cfg2 := cfg
+	var active2 string
+	cfg2.holdOpen = func(addr string) { active2 = activeVersion(t, "http://"+addr) }
+	if err := run(&stdout2, cfg2); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	events2 := parseEvents(t, stdout2.String())
+	if events2["recovered"] == nil {
+		t.Fatalf("second boot missing recovered event:\n%s", stdout2.String())
+	}
+	if events2["trained"] != nil {
+		t.Error("second boot re-bootstrapped despite a populated state dir")
+	}
+	if active2 != "v1" {
+		t.Errorf("second boot active = %q, want v1", active2)
+	}
+}

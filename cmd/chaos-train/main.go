@@ -21,6 +21,7 @@ import (
 	"repro/internal/featsel"
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -146,7 +147,9 @@ func run(in, techName, features, out, listen string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(out, data, 0o644); err != nil {
+	// Atomic replacement: a crash mid-write must never leave a truncated
+	// model file where a previous good one stood.
+	if err := store.WriteFileAtomic(out, data, 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d bytes)\n", out, len(data))

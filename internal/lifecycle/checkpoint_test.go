@@ -1,0 +1,286 @@
+package lifecycle
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/registry"
+	"repro/internal/serve"
+)
+
+// TestRecoveryCheckpointRoundTrip marshals a populated orchestrator and
+// restores it into a fresh one: held-out window, retrain buffers,
+// counters, and status must all survive the trip.
+func TestRecoveryCheckpointRoundTrip(t *testing.T) {
+	st := newStack(t, Config{}, serve.Config{Shards: 1})
+	truth := func(a, b float64) float64 { return 10 + a + 2*b }
+	for i := 0; i < 40; i++ {
+		feedOne(t, st, i, truth)
+	}
+	data, err := st.orch.MarshalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := New(st.reg, Config{
+		Names: testNames,
+		Spec:  models.FeatureSpec{Name: "test", Counters: testNames},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.RestoreCheckpoint(data); err != nil {
+		t.Fatal(err)
+	}
+	was, now := st.orch.Status(), restored.Status()
+	if now.State != "idle" || now.SnapshotsSinceRetrain != was.SnapshotsSinceRetrain ||
+		now.HeldOutSnapshots != was.HeldOutSnapshots {
+		t.Fatalf("restored status %+v, want to match %+v", now, was)
+	}
+	// The retrain buffers came back: both feeder machines hold their rows.
+	for _, id := range []string{"f0", "f1"} {
+		if got, want := restored.rt.Buffered(id), st.orch.rt.Buffered(id); got != want || got == 0 {
+			t.Fatalf("machine %s restored %d buffered rows, want %d (nonzero)", id, got, want)
+		}
+	}
+	// The restored held-out window scores identically to the original.
+	cm := mkModel(t, 10, 1, 2)
+	s1, err := ScoreWindow(cm, testNames, st.orch.window())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ScoreWindow(cm, testNames, restored.window())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("window score diverged across restore: %+v vs %+v", s1, s2)
+	}
+
+	// Restore after Start must be refused.
+	late, err := New(st.reg, Config{
+		Names: testNames,
+		Spec:  models.FeatureSpec{Name: "test", Counters: testNames},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	if err := late.Start(nopEngine{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := late.RestoreCheckpoint(data); err == nil {
+		t.Fatal("restore after Start accepted")
+	}
+	// Counter-order mismatch must be refused.
+	other, err := New(st.reg, Config{
+		Names: []string{"b", "a"},
+		Spec:  models.FeatureSpec{Name: "test", Counters: []string{"b", "a"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := other.RestoreCheckpoint(data); err == nil {
+		t.Fatal("counter-order mismatch accepted")
+	}
+}
+
+// nopEngine satisfies Engine for tests that never reach shadowing.
+type nopEngine struct{}
+
+func (nopEngine) Drifted() bool            { return false }
+func (nopEngine) ResetDrift()              {}
+func (nopEngine) StartShadow(string) error { return nil }
+func (nopEngine) StopShadow()              {}
+
+// recordEngine records StartShadow calls.
+type recordEngine struct {
+	nopEngine
+	started chan string
+	fail    bool
+}
+
+func (e *recordEngine) StartShadow(v string) error {
+	if e.fail {
+		return errShadow
+	}
+	select {
+	case e.started <- v:
+	default:
+	}
+	return nil
+}
+
+var errShadow = &shadowErr{}
+
+type shadowErr struct{}
+
+func (*shadowErr) Error() string { return "no such challenger" }
+
+// TestRecoveryShadowRearm checkpoints an orchestrator mid-shadow and
+// restores it: Start must re-arm the live mirror against the restored
+// challenger (the mirror died with the old process), and when the
+// challenger cannot be mirrored the machine must fall back to idle
+// rather than refuse to boot.
+func TestRecoveryShadowRearm(t *testing.T) {
+	reg := registry.New()
+	if err := reg.Add("v1", mkModel(t, 10, 1, 2), registry.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Names:         testNames,
+		Spec:          models.FeatureSpec{Name: "test", Counters: testNames},
+		CheckInterval: time.Hour, // keep the loop quiet; only Start matters
+	}
+	o, err := New(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.mu.Lock()
+	o.state = stateShadowing
+	o.challenger = "auto-1"
+	o.champion = "v1"
+	o.live = accum{n: 7, champSSE: 3, challSSE: 2, minA: 1, maxA: 9}
+	o.mu.Unlock()
+	data, err := o.MarshalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+
+	restored, err := New(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.RestoreCheckpoint(data); err != nil {
+		t.Fatal(err)
+	}
+	eng := &recordEngine{started: make(chan string, 1)}
+	if err := restored.Start(eng); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-eng.started:
+		if v != "auto-1" {
+			t.Fatalf("re-armed shadow against %q, want auto-1", v)
+		}
+	default:
+		t.Fatal("Start did not re-arm the shadow mirror")
+	}
+	if s := restored.Status(); s.State != "shadowing" || s.LiveShadowSnapshots != 7 {
+		t.Fatalf("restored status %+v, want shadowing with 7 live snapshots", s)
+	}
+
+	// Same checkpoint, but the engine refuses the mirror: idle fallback.
+	broken, err := New(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broken.Close()
+	if err := broken.RestoreCheckpoint(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := broken.Start(&recordEngine{fail: true}); err != nil {
+		t.Fatal(err)
+	}
+	if s := broken.Status(); s.State != "idle" || s.LastError == "" {
+		t.Fatalf("status %+v, want idle with the re-arm error recorded", s)
+	}
+}
+
+// TestRecoveryMidProbationResume is the headline lifecycle crash test:
+// promote a challenger, checkpoint while it is mid-probation, tear the
+// whole stack down (the crash), rebuild over the same registry, restore —
+// the orchestrator must resume probation (not skip it), and when the
+// workload turns hostile the resumed probation must still roll back.
+func TestRecoveryMidProbationResume(t *testing.T) {
+	st := newStack(t, Config{
+		MinTrainSnapshots:  40,
+		ShadowSnapshots:    20,
+		ProbationSnapshots: 60,
+	}, serve.Config{
+		Shards:       2,
+		BaselineRMSE: 1,
+	})
+	distB := func(a, b float64) float64 { return 40 + 3*a + 0.5*b }
+	distC := func(a, b float64) float64 { return 10 + a + 2*b } // v1's law
+
+	i := 0
+	driveUntil(t, st, &i, distB, 60*time.Second, "promotion",
+		func(s Status) bool { return s.Promotions >= 1 && s.State == "probation" })
+	promoted := st.reg.ActiveVersion()
+	if promoted == "v1" {
+		t.Fatal("expected a challenger to be active after promotion")
+	}
+	// Feed a little more good traffic so probation has accumulated
+	// evidence worth preserving, then crash.
+	for n := 0; n < 5; n++ {
+		feedOne(t, st, i, distB)
+		i++
+	}
+	data, err := st.orch.MarshalCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.orch.Close()
+	st.srv.Close()
+
+	// The restart: fresh orchestrator and server over the surviving
+	// registry, state restored from the checkpoint.
+	orch2, err := New(st.reg, Config{
+		Names:              testNames,
+		Spec:               models.FeatureSpec{Name: "test", Counters: testNames},
+		MinTrainSnapshots:  40,
+		ShadowSnapshots:    20,
+		ProbationSnapshots: 60,
+		CheckInterval:      2 * time.Millisecond,
+		Cooldown:           time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orch2.RestoreCheckpoint(data); err != nil {
+		t.Fatal(err)
+	}
+	if s := orch2.Status(); s.State != "probation" {
+		t.Fatalf("restored state %q, want probation (resume, not skip)", s.State)
+	}
+	srv2, err := serve.New(st.reg, serve.Config{
+		Names:         testNames,
+		Shards:        2,
+		BaselineRMSE:  1,
+		BatchWindow:   200 * time.Microsecond,
+		Labeled:       orch2.Ingest,
+		ShadowObserve: orch2.ObserveShadow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orch2.Start(srv2); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		orch2.Close()
+		srv2.Close()
+	})
+	st2 := &stack{reg: st.reg, srv: srv2, orch: orch2}
+
+	// The workload reverts to v1's law: the promoted model is now wrong,
+	// and the RESUMED probation must catch it and roll back.
+	final := driveUntil(t, st2, &i, distC, 60*time.Second, "rollback after restore",
+		func(s Status) bool { return s.Rollbacks >= 1 })
+	if active := st.reg.ActiveVersion(); active != "v1" {
+		t.Errorf("active = %q after resumed-probation rollback, want v1", active)
+	}
+	if final.LastVerdict != "rolled_back" {
+		t.Errorf("last verdict = %q, want rolled_back", final.LastVerdict)
+	}
+	// The pre-crash promotion is part of the restored history.
+	if final.Promotions < 1 {
+		t.Errorf("promotions = %d after restore, want the pre-crash promotion preserved", final.Promotions)
+	}
+}

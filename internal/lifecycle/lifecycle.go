@@ -298,7 +298,10 @@ func New(reg *registry.Registry, cfg Config) (*Orchestrator, error) {
 	return o, nil
 }
 
-// Start binds the serving engine and launches the background loop.
+// Start binds the serving engine and launches the background loop. When a
+// restored checkpoint left the machine shadowing, the live mirror is
+// re-armed here — the mirror itself died with the old process; only the
+// accumulated scores survived.
 func (o *Orchestrator) Start(eng Engine) error {
 	if eng == nil {
 		return fmt.Errorf("lifecycle: nil engine")
@@ -314,7 +317,23 @@ func (o *Orchestrator) Start(eng Engine) error {
 	}
 	o.eng = eng
 	o.startedAt = o.now()
+	rearm := ""
+	if o.state == stateShadowing && o.challenger != "" {
+		rearm = o.challenger
+	}
 	o.mu.Unlock()
+	if rearm != "" {
+		if err := eng.StartShadow(rearm); err != nil {
+			// The challenger may be gone (e.g. its admission was the lost
+			// journal tail). Fall back to idle rather than refuse to boot.
+			o.mu.Lock()
+			o.state = stateIdle
+			o.challenger = ""
+			o.lastErr = "restore-shadow: " + err.Error()
+			o.mu.Unlock()
+			o.emit("lifecycle_error", map[string]any{"stage": "restore-shadow", "error": err.Error()})
+		}
+	}
 	go o.run()
 	return nil
 }
@@ -786,13 +805,7 @@ func (o *Orchestrator) checkProbation() {
 func (o *Orchestrator) window() []Snapshot {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if !o.heldFull {
-		return append([]Snapshot(nil), o.heldout[:o.heldNext]...)
-	}
-	out := make([]Snapshot, 0, len(o.heldout))
-	out = append(out, o.heldout[o.heldNext:]...)
-	out = append(out, o.heldout[:o.heldNext]...)
-	return out
+	return o.windowLocked()
 }
 
 // emit sends one lifecycle event when a sink is configured.

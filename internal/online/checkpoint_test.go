@@ -1,0 +1,89 @@
+package online
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestRecoveryRetrainerState round-trips the retrain buffers through the
+// serialized checkpoint form, including a wrapped ring whose chronological
+// order must be preserved, and locks the mismatch guards.
+func TestRecoveryRetrainerState(t *testing.T) {
+	names := []string{"a", "b"}
+	rt, err := NewRetrainer(names, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 adds into a capacity-4 ring: the ring wraps, keeping seconds 2..5.
+	for i := 0; i < 6; i++ {
+		s := Sample{MachineID: "m0", Platform: "p", Counters: []float64{float64(i), float64(i * 2)}}
+		if err := rt.Add(s, float64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Add(Sample{MachineID: "m1", Platform: "q", Counters: []float64{7, 8}}, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	st := rt.State()
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded RetrainerState
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	m0 := decoded.Machines["m0"]
+	wantRows := [][]float64{{2, 4}, {3, 6}, {4, 8}, {5, 10}}
+	wantPower := []float64{102, 103, 104, 105}
+	if !reflect.DeepEqual(m0.Rows, wantRows) || !reflect.DeepEqual(m0.Power, wantPower) {
+		t.Fatalf("wrapped ring state = %+v / %+v, want %+v / %+v (oldest first)",
+			m0.Rows, m0.Power, wantRows, wantPower)
+	}
+	if decoded.Machines["m1"].Platform != "q" {
+		t.Fatalf("platform lost: %+v", decoded.Machines["m1"])
+	}
+
+	rt2, err := NewRetrainer(names, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt2.Buffered("m0"); got != 4 {
+		t.Fatalf("restored m0 buffered = %d, want 4", got)
+	}
+	if got := rt2.Buffered("m1"); got != 1 {
+		t.Fatalf("restored m1 buffered = %d, want 1", got)
+	}
+	// The restored ring continues in order: one more add evicts the oldest.
+	if err := rt2.Add(Sample{MachineID: "m0", Platform: "p", Counters: []float64{9, 9}}, 200); err != nil {
+		t.Fatal(err)
+	}
+	st2 := rt2.State()
+	if got := st2.Machines["m0"]; got.Power[0] != 103 || got.Power[3] != 200 {
+		t.Fatalf("post-restore add broke ring order: %+v", got)
+	}
+
+	// Mismatched counter order must be refused.
+	bad, err := NewRetrainer([]string{"b", "a"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Restore(decoded); err == nil {
+		t.Fatal("counter-order mismatch accepted")
+	}
+	// Row/label length mismatch must be refused.
+	broken := decoded
+	mb := broken.Machines["m0"]
+	mb.Power = mb.Power[:2]
+	broken.Machines = map[string]MachineBuffer{"m0": mb}
+	rt3, _ := NewRetrainer(names, 4)
+	if err := rt3.Restore(broken); err == nil {
+		t.Fatal("row/label mismatch accepted")
+	}
+}

@@ -53,13 +53,18 @@ type Info struct {
 }
 
 // Registry holds model versions and the active pointer. Mutations take a
-// mutex; Active is a single atomic load, safe on the hottest path.
+// mutex; Active is a single atomic load, safe on the hottest path. A
+// registry built with New is purely in-memory; one built with Open is
+// backed by a journal so every admission and activation survives a crash.
 type Registry struct {
 	mu       sync.Mutex
 	versions map[string]*Entry
 	seq      int
 	previous string // version active before the last Activate, for Rollback
 	now      func() time.Time
+
+	// persist, when non-nil, journals mutations (see persist.go).
+	persist *persister
 
 	active atomic.Pointer[Entry]
 }
@@ -92,7 +97,7 @@ func (r *Registry) Add(version string, cm *models.ClusterModel, meta Meta) error
 		r.active.Store(e)
 		activationsTotal.Inc()
 	}
-	return nil
+	return r.journalAdmitLocked(e)
 }
 
 // AddJSON parses a serialized cluster model and admits it (the hot-load
@@ -122,34 +127,54 @@ func (r *Registry) LoadFile(version, path string) error {
 func (r *Registry) Activate(version string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	swapped, err := r.activateLocked(version)
+	if err != nil || !swapped {
+		return err
+	}
+	return r.journalActivateLocked(version)
+}
+
+// activateLocked performs the swap; the caller holds r.mu. It reports
+// whether the active pointer actually changed (a no-op re-activation is
+// not journaled).
+func (r *Registry) activateLocked(version string) (swapped bool, err error) {
 	e, ok := r.versions[version]
 	if !ok {
-		return fmt.Errorf("registry: unknown version %q", version)
+		return false, fmt.Errorf("registry: unknown version %q", version)
 	}
 	if cur := r.active.Load(); cur != nil {
 		if cur.Version == version {
-			return nil // already active; keep rollback target unchanged
+			return false, nil // already active; keep rollback target unchanged
 		}
 		r.previous = cur.Version
 	}
 	r.active.Store(e)
 	activationsTotal.Inc()
-	return nil
+	return true, nil
 }
 
 // Rollback re-activates the version that was serving before the last
-// Activate. It returns the version rolled back to.
+// Activate. It returns the version rolled back to. In a persistent
+// registry a rollback journals as a plain activation of the previous
+// version — the state transition is identical, so replay needs no
+// separate record type.
 func (r *Registry) Rollback() (string, error) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	prev := r.previous
-	r.mu.Unlock()
 	if prev == "" {
 		return "", fmt.Errorf("registry: no previous version to roll back to")
 	}
-	if err := r.Activate(prev); err != nil {
+	swapped, err := r.activateLocked(prev)
+	if err != nil {
 		return "", err
 	}
 	rollbacksTotal.Inc()
+	if swapped {
+		if err := r.journalActivateLocked(prev); err != nil {
+			return "", err
+		}
+	}
 	return prev, nil
 }
 

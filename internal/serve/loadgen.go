@@ -47,21 +47,21 @@ type LoadGenConfig struct {
 
 // LoadStats is the outcome of one load-generation run.
 type LoadStats struct {
-	Snapshots    int // snapshots attempted
-	Samples      int // machine-samples sent
-	OK           int // snapshots answered 200
-	Shed         int // snapshots answered 429
-	Late         int // snapshots answered 504
-	Failed       int // transport errors or unexpected statuses
-	SkippedRows  int // machine rows lost to the client-side fault feeder
-	Swaps        int // hot-swaps performed mid-load
-	Duration     time.Duration
+	Snapshots       int // snapshots attempted
+	Samples         int // machine-samples sent
+	OK              int // snapshots answered 200
+	Shed            int // snapshots answered 429
+	Late            int // snapshots answered 504
+	Failed          int // transport errors or unexpected statuses
+	SkippedRows     int // machine rows lost to the client-side fault feeder
+	Swaps           int // hot-swaps performed mid-load
+	Duration        time.Duration
 	SnapshotsPerSec float64
 	SamplesPerSec   float64
-	LatencyP50   time.Duration // per HTTP request
-	LatencyP99   time.Duration
-	SumAbsErr    float64 // |estimate - metered| summed over OK snapshots with meter
-	MeterOK      int     // OK snapshots that carried metered power
+	LatencyP50      time.Duration // per HTTP request
+	LatencyP99      time.Duration
+	SumAbsErr       float64 // |estimate - metered| summed over OK snapshots with meter
+	MeterOK         int     // OK snapshots that carried metered power
 
 	mu        sync.Mutex
 	latencies []time.Duration
@@ -78,8 +78,8 @@ func (s *LoadStats) MeanAbsErr() float64 {
 
 // snapshotPayload is one prepared cluster second.
 type snapshotPayload struct {
-	req     EstimateRequest
-	actual  float64
+	req      EstimateRequest
+	actual   float64
 	hasMeter bool
 }
 

@@ -161,6 +161,7 @@ type Server struct {
 
 	closeMu sync.RWMutex // guards shard sends vs Close
 	closed  bool
+	drained int // tasks still queued when Close began, all answered
 	wg      sync.WaitGroup
 }
 
@@ -203,10 +204,20 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	for _, sh := range s.shards {
+		s.drained += len(sh.queue)
 		close(sh.queue)
 	}
 	s.closeMu.Unlock()
 	s.wg.Wait()
+}
+
+// Drained reports how many tasks were still queued when Close began; all
+// of them were answered before Close returned (the ordered-shutdown
+// accounting the shutdown event reports).
+func (s *Server) Drained() int {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	return s.drained
 }
 
 // shardFor routes a machine ID to its shard.

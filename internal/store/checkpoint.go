@@ -1,0 +1,97 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Checkpointer periodically snapshots opaque state to a file, atomically.
+// The source callback produces the full serialized state; each write goes
+// through WriteFileAtomic, so a crash mid-checkpoint leaves the previous
+// complete checkpoint in place. Flush writes on demand (the graceful-
+// shutdown path); Close stops the ticker without a final write so callers
+// control shutdown ordering explicitly.
+type Checkpointer struct {
+	path     string
+	interval time.Duration
+	source   func() ([]byte, error)
+
+	mu        sync.Mutex
+	lastBytes int
+	lastErr   error
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewCheckpointer starts checkpointing source() to path every interval.
+// interval must be positive; source is called on the checkpointer's own
+// goroutine and must be safe to call concurrently with the state's owner.
+func NewCheckpointer(path string, interval time.Duration, source func() ([]byte, error)) (*Checkpointer, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("store: checkpoint interval must be positive, got %v", interval)
+	}
+	if source == nil {
+		return nil, fmt.Errorf("store: nil checkpoint source")
+	}
+	c := &Checkpointer{
+		path:     path,
+		interval: interval,
+		source:   source,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go c.run()
+	return c, nil
+}
+
+func (c *Checkpointer) run() {
+	defer close(c.done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			n, err := c.Flush()
+			c.mu.Lock()
+			c.lastBytes, c.lastErr = n, err
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Flush serializes and writes one checkpoint now, returning the bytes
+// written. Safe to call concurrently with the periodic loop and after
+// Close (the final-checkpoint path).
+func (c *Checkpointer) Flush() (int, error) {
+	start := time.Now()
+	data, err := c.source()
+	if err != nil {
+		return 0, fmt.Errorf("store: checkpoint source: %w", err)
+	}
+	if err := WriteFileAtomic(c.path, data, 0o644); err != nil {
+		return 0, err
+	}
+	checkpointSecs.Observe(time.Since(start).Seconds())
+	return len(data), nil
+}
+
+// LastErr returns the most recent periodic checkpoint error (nil when the
+// last tick succeeded or none has run yet).
+func (c *Checkpointer) LastErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// Close stops the periodic loop and waits for any in-flight tick. It does
+// NOT write a final checkpoint — call Flush after Close so the final write
+// happens at the right point in the shutdown order.
+func (c *Checkpointer) Close() {
+	c.once.Do(func() { close(c.stop) })
+	<-c.done
+}

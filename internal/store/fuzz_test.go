@@ -1,0 +1,103 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzJournal mirrors faults.FuzzScenario for the durability layer:
+// arbitrary bytes on disk must never panic the journal reader, every
+// record it accepts must carry a matching checksum by construction, the
+// repaired journal must reopen cleanly and idempotently, and appends on
+// top of any recovered state must round-trip.
+func FuzzJournal(f *testing.F) {
+	// Seed corpus: empty, a valid journal, torn tails, flipped bytes,
+	// garbage headers, and an adversarial length field.
+	valid := func(payloads ...string) []byte {
+		var buf bytes.Buffer
+		for _, p := range payloads {
+			var hdr [frameHeader]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+			binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum([]byte(p), crcTable))
+			buf.Write(hdr[:])
+			buf.WriteString(p)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add(valid("hello", "world"))
+	f.Add(valid("hello", "world")[:13])
+	f.Add(valid("a"))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
+	f.Add(append(valid("keep"), 0xDE, 0xAD))
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	corrupted := valid("first", "second")
+	corrupted[frameHeader] ^= 0x80
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var recs [][]byte
+		j, rec, err := OpenJournal(path, func(r []byte) error {
+			recs = append(recs, append([]byte(nil), r...))
+			return nil
+		})
+		if err != nil {
+			return // I/O-level failure is allowed; panics are not
+		}
+		if rec.Records != len(recs) {
+			t.Fatalf("recovery reports %d records, replayed %d", rec.Records, len(recs))
+		}
+		// Every accepted record must be re-verifiable against the raw
+		// bytes: its frame sits where the reader said, checksum intact.
+		off := 0
+		for i, r := range recs {
+			n := int(binary.LittleEndian.Uint32(data[off:]))
+			if n != len(r) {
+				t.Fatalf("record %d: frame length %d vs replayed %d", i, n, len(r))
+			}
+			if crc32.Checksum(r, crcTable) != binary.LittleEndian.Uint32(data[off+4:]) {
+				t.Fatalf("record %d accepted with mismatched checksum", i)
+			}
+			off += frameHeader + n
+		}
+		// Appending on the recovered journal round-trips.
+		if err := j.Append([]byte("fuzz-append")); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		j.Close()
+		var recs2 [][]byte
+		j2, rec2, err := OpenJournal(path, func(r []byte) error {
+			recs2 = append(recs2, append([]byte(nil), r...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("reopen after repair: %v", err)
+		}
+		defer j2.Close()
+		// The first open repaired the file, so the second must be clean and
+		// see exactly the accepted records plus the append.
+		if !rec2.Clean() {
+			t.Fatalf("second open not clean: %+v", rec2)
+		}
+		if len(recs2) != len(recs)+1 {
+			t.Fatalf("second open replayed %d records, want %d", len(recs2), len(recs)+1)
+		}
+		for i := range recs {
+			if !bytes.Equal(recs2[i], recs[i]) {
+				t.Fatalf("record %d changed across repair: %q vs %q", i, recs2[i], recs[i])
+			}
+		}
+		if string(recs2[len(recs2)-1]) != "fuzz-append" {
+			t.Fatalf("appended record = %q", recs2[len(recs2)-1])
+		}
+	})
+}

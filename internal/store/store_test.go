@@ -1,0 +1,313 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// openCollect opens the journal collecting replayed records.
+func openCollect(t *testing.T, path string) (*Journal, Recovery, [][]byte) {
+	t.Helper()
+	var recs [][]byte
+	j, rec, err := OpenJournal(path, func(r []byte) error {
+		recs = append(recs, append([]byte(nil), r...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("OpenJournal(%s): %v", path, err)
+	}
+	return j, rec, recs
+}
+
+func TestStoreWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("read back %q, want v1", got)
+	}
+	// Overwrite replaces wholesale.
+	if err := WriteFileAtomic(path, []byte("v2-longer-content"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v2-longer-content" {
+		t.Fatalf("read back %q (%v), want v2-longer-content", got, err)
+	}
+	// No temp debris left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+	// Missing directory fails cleanly, target untouched.
+	if err := WriteFileAtomic(filepath.Join(dir, "no/such/dir/f"), []byte("x"), 0o644); err == nil {
+		t.Error("write into missing directory should fail")
+	}
+}
+
+func TestStoreJournalAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	j, rec, recs := openCollect(t, path)
+	if rec.Records != 0 || !rec.Clean() || len(recs) != 0 {
+		t.Fatalf("fresh journal recovery = %+v", rec)
+	}
+	want := [][]byte{[]byte("one"), []byte(""), []byte("three-3"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantSize := int64(0)
+	for _, r := range want {
+		wantSize += int64(frameHeader + len(r))
+	}
+	if j.Size() != wantSize {
+		t.Errorf("Size = %d, want %d", j.Size(), wantSize)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("after close")); err == nil {
+		t.Error("append after close should fail")
+	}
+
+	j2, rec2, recs2 := openCollect(t, path)
+	defer j2.Close()
+	if !rec2.Clean() || rec2.Records != len(want) {
+		t.Fatalf("reopen recovery = %+v, want %d clean records", rec2, len(want))
+	}
+	if len(recs2) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs2), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(recs2[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, recs2[i], want[i])
+		}
+	}
+	// Appends after recovery extend the same log.
+	if err := j2.Append([]byte("five")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, rec3, recs3 := openCollect(t, path)
+	if rec3.Records != len(want)+1 || string(recs3[len(recs3)-1]) != "five" {
+		t.Fatalf("after post-recovery append: %+v, last %q", rec3, recs3[len(recs3)-1])
+	}
+}
+
+func TestStoreJournalReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	j, _, _ := openCollect(t, path)
+	for i := 0; i < 10; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Size() != 0 {
+		t.Errorf("Size after Reset = %d, want 0", j.Size())
+	}
+	// The journal keeps working after a reset.
+	if err := j.Append([]byte("post-reset")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, rec, recs := openCollect(t, path)
+	if rec.Records != 1 || string(recs[0]) != "post-reset" {
+		t.Fatalf("after reset+append: %+v, records %q", rec, recs)
+	}
+}
+
+// buildJournal writes n records and returns the file bytes plus the byte
+// offset where the final record's frame starts.
+func buildJournal(t *testing.T, path string, payloads ...[]byte) (data []byte, lastOff int) {
+	t.Helper()
+	j, _, _ := openCollect(t, path)
+	for _, p := range payloads {
+		if err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads[:len(payloads)-1] {
+		lastOff += frameHeader + len(p)
+	}
+	return data, lastOff
+}
+
+// TestStoreTornTailSweep is the byte-level crash simulator the registry
+// sweep builds on: truncating the journal at every offset inside the
+// final record, and flipping every single byte of it, must always recover
+// cleanly — all earlier records intact, the damaged tail dropped and
+// reported, never a panic and never a corrupt record replayed.
+func TestStoreTornTailSweep(t *testing.T) {
+	base := t.TempDir()
+	master, lastOff := buildJournal(t, filepath.Join(base, "master.log"),
+		[]byte("alpha-record"), []byte("beta-record-longer"), []byte("gamma-final-record-payload"))
+
+	check := func(name string, mutated []byte, wantTail bool) {
+		t.Helper()
+		path := filepath.Join(base, name+".log")
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, rec, recs := openCollect(t, path)
+		defer j.Close()
+		if len(recs) < 2 {
+			t.Fatalf("%s: only %d records survived, want the 2 intact ones", name, len(recs))
+		}
+		if string(recs[0]) != "alpha-record" || string(recs[1]) != "beta-record-longer" {
+			t.Fatalf("%s: intact records corrupted: %q", name, recs)
+		}
+		if wantTail {
+			if rec.Clean() {
+				t.Fatalf("%s: recovery reported clean for damaged tail", name)
+			}
+			if len(recs) != 2 {
+				t.Fatalf("%s: %d records replayed, want exactly 2 (damaged tail dropped)", name, len(recs))
+			}
+			// Recovery repairs the file: a second open is clean.
+			j.Close()
+			j2, rec2, recs2 := openCollect(t, path)
+			j2.Close()
+			if !rec2.Clean() || len(recs2) != 2 {
+				t.Fatalf("%s: second open after repair = %+v with %d records", name, rec2, len(recs2))
+			}
+		}
+	}
+
+	// Every truncation point inside the final record's frame.
+	for cut := lastOff; cut < len(master); cut++ {
+		mutated := append([]byte(nil), master[:cut]...)
+		check(fmt.Sprintf("trunc-%d", cut), mutated, cut != lastOff && cut != len(master))
+	}
+	// Every single-byte flip inside the final record's frame.
+	for i := lastOff; i < len(master); i++ {
+		mutated := append([]byte(nil), master...)
+		mutated[i] ^= 0xFF
+		check(fmt.Sprintf("flip-%d", i), mutated, true)
+	}
+}
+
+// TestStoreQuarantineMidJournal corrupts a record in the middle of the
+// journal: replay must stop there, the unreachable suffix must be
+// preserved in a quarantine file (not silently deleted), and the repaired
+// journal must reopen cleanly.
+func TestStoreQuarantineMidJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.log")
+	master, _ := buildJournal(t, path,
+		[]byte("first-ok"), []byte("second-corrupted"), []byte("third-unreachable"))
+
+	// Flip one payload byte of the middle record.
+	midPayload := frameHeader + len("first-ok") + frameHeader
+	mutated := append([]byte(nil), master...)
+	mutated[midPayload] ^= 0x01
+	if err := os.WriteFile(path, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, rec, recs := openCollect(t, path)
+	defer j.Close()
+	if len(recs) != 1 || string(recs[0]) != "first-ok" {
+		t.Fatalf("replayed %q, want just first-ok", recs)
+	}
+	if rec.QuarantineFile == "" || rec.QuarantinedBytes == 0 {
+		t.Fatalf("mid-journal corruption not quarantined: %+v", rec)
+	}
+	qdata, err := os.ReadFile(rec.QuarantineFile)
+	if err != nil {
+		t.Fatalf("quarantine file unreadable: %v", err)
+	}
+	if !bytes.Equal(qdata, mutated[frameHeader+len("first-ok"):]) {
+		t.Error("quarantine file does not preserve the corrupt suffix")
+	}
+	// The repaired journal reopens clean and accepts appends.
+	j.Close()
+	j2, rec2, recs2 := openCollect(t, path)
+	defer j2.Close()
+	if !rec2.Clean() || len(recs2) != 1 {
+		t.Fatalf("post-repair open = %+v with %d records", rec2, len(recs2))
+	}
+	if err := j2.Append([]byte("fourth")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreJournalHugeLengthRejected hand-crafts a frame whose length
+// field claims more than MaxRecord: recovery must treat it as corruption,
+// not attempt the allocation.
+func TestStoreJournalHugeLengthRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	frame := make([]byte, frameHeader+4)
+	binary.LittleEndian.PutUint32(frame, uint32(MaxRecord+1))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(frame[frameHeader:], crcTable))
+	if err := os.WriteFile(path, frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, rec, recs := openCollect(t, path)
+	defer j.Close()
+	if len(recs) != 0 || rec.Clean() {
+		t.Fatalf("huge length accepted: %+v, %d records", rec, len(recs))
+	}
+	if err := j.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Error("append beyond MaxRecord should fail")
+	}
+}
+
+func TestStoreCheckpointer(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	var n int
+	ck, err := NewCheckpointer(path, time.Hour, func() ([]byte, error) {
+		n++
+		return []byte(fmt.Sprintf("state-%d", n)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flush on demand, independent of the (hour-long) ticker.
+	wrote, err := ck.Flush()
+	if err != nil || wrote != len("state-1") {
+		t.Fatalf("Flush = %d, %v", wrote, err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "state-1" {
+		t.Fatalf("checkpoint file = %q", got)
+	}
+	ck.Close()
+	ck.Close() // idempotent
+	// Final flush after Close (the shutdown path).
+	if _, err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "state-2" {
+		t.Fatalf("final checkpoint = %q, want state-2", got)
+	}
+
+	if _, err := NewCheckpointer(path, 0, func() ([]byte, error) { return nil, nil }); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewCheckpointer(path, time.Second, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
