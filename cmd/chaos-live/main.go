@@ -108,6 +108,7 @@ func run(w io.Writer, cfg config) error {
 		em.sink = obs.NewEventSink(w)
 	}
 	if cfg.Listen != "" {
+		obs.RegisterBuildInfo(obs.Default())
 		srv, err := obs.Serve(cfg.Listen, obs.Default())
 		if err != nil {
 			return err

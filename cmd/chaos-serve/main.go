@@ -50,6 +50,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/serve"
+	"repro/internal/slo"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -97,6 +98,22 @@ type config struct {
 	StateDir           string
 	CheckpointInterval time.Duration
 
+	// Request tracing: every request carrying a traceparent header is
+	// traced; the rest are sampled 1-in-TraceSample.
+	TraceSample int
+	TraceBuffer int
+	TraceSlow   time.Duration
+
+	// Live accuracy/latency SLOs (0 disables each objective).
+	SLODre    float64
+	SLOP99    time.Duration
+	SLOWindow int
+
+	// EventLog tees JSON events into a size-capped rotating file,
+	// independent of the console format.
+	EventLog         string
+	EventLogMaxBytes int64
+
 	// holdOpen, when set, runs after the server is up (daemon mode) in
 	// place of waiting for a signal — tests probe the API through it.
 	holdOpen func(addr string)
@@ -141,6 +158,17 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 		stateDir   = fs.String("state-dir", "", "durable state directory: journal model admissions/activations and checkpoint the lifecycle so restarts resume the pre-crash state")
 		ckInterval = fs.Duration("checkpoint-interval", 10*time.Second, "how often the lifecycle state checkpoints to -state-dir")
+
+		traceSample = fs.Int("trace-sample", 16, "trace 1 in N requests (traceparent-carrying requests always trace; <0 traces none)")
+		traceBuffer = fs.Int("trace-buffer", 256, "recent traces kept for /debug/traces (slow/error traces keep an extra reserved ring)")
+		traceSlow   = fs.Duration("trace-slow", 250*time.Millisecond, "traces at least this slow are retained past the recent ring")
+
+		sloDre    = fs.Float64("slo-dre", 0, "accuracy SLO: max rolling cluster dynamic-range error (0 = off)")
+		sloP99    = fs.Duration("slo-p99", 0, "latency SLO: max rolling p99 request latency (0 = off)")
+		sloWindow = fs.Int("slo-window", 64, "SLO fast-window observation count (slow window is 4x)")
+
+		eventLog      = fs.String("event-log", "", "also write JSON events to this file, rotated by size (keeps one .1 generation)")
+		eventLogBytes = fs.Int64("event-log-max-bytes", 8<<20, "rotate -event-log after this many bytes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -154,6 +182,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Lifecycle: *lcEnable, LifecycleInterval: *lcInterval, LifecycleSamples: *lcSamples,
 		PromoteMargin: *lcMargin, Probation: *lcProbe,
 		StateDir: *stateDir, CheckpointInterval: *ckInterval,
+		TraceSample: *traceSample, TraceBuffer: *traceBuffer, TraceSlow: *traceSlow,
+		SLODre: *sloDre, SLOP99: *sloP99, SLOWindow: *sloWindow,
+		EventLog: *eventLog, EventLogMaxBytes: *eventLogBytes,
 	}
 	if *model != "" {
 		cfg.Models = strings.Split(*model, ",")
@@ -165,7 +196,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// emitter mirrors chaos-live: text lines or JSON events.
+// emitter mirrors chaos-live: text lines and/or JSON events. Both
+// outputs can be live at once — a text console with a JSON -event-log.
 type emitter struct {
 	w    io.Writer
 	sink *obs.EventSink
@@ -173,18 +205,42 @@ type emitter struct {
 
 func (e *emitter) event(name, text string, fields map[string]any) error {
 	if e.sink != nil {
-		return e.sink.Emit(name, fields)
+		if err := e.sink.Emit(name, fields); err != nil {
+			return err
+		}
 	}
-	_, err := fmt.Fprintln(e.w, text)
-	return err
+	if e.w != nil {
+		_, err := fmt.Fprintln(e.w, text)
+		return err
+	}
+	return nil
 }
 
 func run(w io.Writer, cfg config) error {
+	obs.RegisterBuildInfo(obs.Default())
+
+	// Events flow to the console (text or JSON) and, independently, to a
+	// size-capped rotating JSON log when -event-log is set.
 	em := &emitter{w: w}
-	var sink *obs.EventSink
+	var sinkWriters []io.Writer
 	if cfg.JSON {
-		sink = obs.NewEventSink(w)
+		sinkWriters = append(sinkWriters, w)
+	}
+	if cfg.EventLog != "" {
+		rw, err := obs.NewRotatingWriter(cfg.EventLog, cfg.EventLogMaxBytes, nil)
+		if err != nil {
+			return err
+		}
+		defer rw.Close()
+		sinkWriters = append(sinkWriters, rw)
+	}
+	var sink *obs.EventSink
+	if len(sinkWriters) > 0 {
+		sink = obs.NewEventSink(io.MultiWriter(sinkWriters...))
 		em.sink = sink
+		if cfg.JSON {
+			em.w = nil // the console already receives JSON via the sink
+		}
 	}
 
 	// The registry: journal-backed when -state-dir is set, in-memory
@@ -287,10 +343,22 @@ func run(w io.Writer, cfg config) error {
 		}
 	}
 
+	// Request tracing: the store always exists so /debug/traces is live;
+	// -trace-sample governs how much untagged traffic lands in it.
+	traceStore := obs.NewTraceStore(cfg.TraceBuffer, cfg.TraceSlow)
+
 	scfg := serve.Config{
 		Shards: cfg.Shards, QueueDepth: cfg.Queue,
 		BatchWindow: cfg.BatchWindow, BatchMax: cfg.BatchMax, Deadline: cfg.Deadline,
 		Names: names, BaselineRMSE: baseline, Events: sink,
+		Traces: traceStore, TraceSample: cfg.TraceSample,
+	}
+	// Live SLOs ride the serving path's own observation streams.
+	if cfg.SLODre > 0 || cfg.SLOP99 > 0 {
+		scfg.Observer = slo.NewTracker(slo.Config{
+			DREObjective: cfg.SLODre, P99Objective: cfg.SLOP99,
+			FastWindow: cfg.SLOWindow, Events: sink,
+		})
 	}
 	// The orchestrator is built before the engine so its Ingest and
 	// ObserveShadow hooks can ride along in the serve config; it is started
@@ -550,12 +618,13 @@ func runLoadgen(em *emitter, addr string, reg *registry.Registry, traces []*trac
 	}
 	return em.event("loadgen_complete",
 		fmt.Sprintf("loadgen: %d snapshots (%d samples) in %.2fs — %.0f snap/s, %.0f samples/s\n"+
-			"  latency p50 %s p99 %s\n"+
+			"  latency p50 %s p99 %s (server-side %s / %s over %d requests)\n"+
 			"  ok %d  shed %d  late %d  failed %d  skipped rows %d  swaps %d\n"+
 			"  mean abs cluster err %.2f W over %d metered snapshots",
 			stats.Snapshots, stats.Samples, stats.Duration.Seconds(),
 			stats.SnapshotsPerSec, stats.SamplesPerSec,
 			stats.LatencyP50, stats.LatencyP99,
+			stats.ServerP50, stats.ServerP99, stats.ServerRequests,
 			stats.OK, stats.Shed, stats.Late, stats.Failed, stats.SkippedRows, stats.Swaps,
 			stats.MeanAbsErr(), stats.MeterOK),
 		map[string]any{
@@ -565,6 +634,9 @@ func runLoadgen(em *emitter, addr string, reg *registry.Registry, traces []*trac
 			"samples_per_s":   round2(stats.SamplesPerSec),
 			"latency_p50_ms":  round2(float64(stats.LatencyP50) / float64(time.Millisecond)),
 			"latency_p99_ms":  round2(float64(stats.LatencyP99) / float64(time.Millisecond)),
+			"server_p50_ms":   round2(float64(stats.ServerP50) / float64(time.Millisecond)),
+			"server_p99_ms":   round2(float64(stats.ServerP99) / float64(time.Millisecond)),
+			"server_requests": stats.ServerRequests,
 			"ok":              stats.OK, "shed": stats.Shed, "late": stats.Late, "failed": stats.Failed,
 			"skipped_rows": stats.SkippedRows, "swaps": stats.Swaps,
 			"mean_abs_err_w": round2(stats.MeanAbsErr()), "metered": stats.MeterOK,

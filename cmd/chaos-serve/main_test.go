@@ -5,12 +5,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/counters"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // crashyScenario is a lossy client-side feeder: every machine's collector
@@ -366,5 +368,98 @@ func TestLifecycleServeDisabled(t *testing.T) {
 	}
 	if err := run(&stdout, cfg); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestServeObservabilityWiring boots the daemon with tracing, SLOs, and
+// a rotating event log all enabled, and checks each surface: a
+// traceparent-tagged request is retrievable at /debug/traces,
+// /v1/version reports build identity, /metrics carries chaos_build_info
+// and the SLO gauges, and the event log file holds the JSON events.
+func TestServeObservabilityWiring(t *testing.T) {
+	var stdout bytes.Buffer
+	eventLog := t.TempDir() + "/events.jsonl"
+	traceID := obs.NewTraceID()
+	probed := false
+	cfg := config{
+		Listen: "127.0.0.1:0", JSON: true,
+		Platform: "Core2", Machines: 2, Workloads: []string{"Prime"}, Seed: 7, Tech: "linear",
+		TraceSample: 1, TraceBuffer: 32, TraceSlow: time.Second,
+		SLODre: 0.5, SLOWindow: 8,
+		EventLog: eventLog, EventLogMaxBytes: 1 << 20,
+		holdOpen: func(addr string) {
+			probed = true
+			base := "http://" + addr
+
+			// A tagged estimate lands in the trace store under its own ID.
+			row := make([]float64, len(counters.StandardRegistry().Names()))
+			body, _ := json.Marshal(map[string]any{
+				"samples": []map[string]any{
+					{"machine_id": "m0", "platform": "Core2", "counters": row},
+				},
+			})
+			req, _ := http.NewRequest("POST", base+"/v1/estimate", bytes.NewReader(body))
+			req.Header.Set("traceparent", obs.FormatTraceparent(traceID, obs.NewSpanID()))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("estimate = %d", resp.StatusCode)
+			}
+			resp, err = http.Get(base + "/debug/traces/" + traceID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var td map[string]any
+			json.NewDecoder(resp.Body).Decode(&td) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || td["trace_id"] != traceID {
+				t.Errorf("/debug/traces/%s = %d %v", traceID, resp.StatusCode, td["trace_id"])
+			}
+
+			// Version endpoint: build identity plus the active model.
+			resp, err = http.Get(base + "/v1/version")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ver map[string]any
+			json.NewDecoder(resp.Body).Decode(&ver) //nolint:errcheck
+			resp.Body.Close()
+			if ver["go_version"] == nil || ver["active_model"] != "v1" {
+				t.Errorf("/v1/version = %v", ver)
+			}
+
+			// Metrics: build info and the SLO objective gauge.
+			resp, err = http.Get(base + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			for _, want := range []string{"chaos_build_info{", `chaos_slo_objective{slo="accuracy"} 0.5`} {
+				if !strings.Contains(buf.String(), want) {
+					t.Errorf("/metrics missing %s", want)
+				}
+			}
+		},
+	}
+	if err := run(&stdout, cfg); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !probed {
+		t.Fatal("holdOpen hook never ran")
+	}
+	// The event log holds the same JSON events the console saw.
+	data, err := os.ReadFile(eventLog)
+	if err != nil {
+		t.Fatalf("event log not written: %v", err)
+	}
+	for _, want := range []string{`"event":"trained"`, `"event":"serving"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("event log missing %s:\n%s", want, data)
+		}
 	}
 }

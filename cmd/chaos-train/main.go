@@ -66,6 +66,7 @@ func loadTraces(dir string) ([]*trace.Trace, error) {
 
 func run(in, techName, features, out, listen string) error {
 	if listen != "" {
+		obs.RegisterBuildInfo(obs.Default())
 		srv, err := obs.Serve(listen, obs.Default())
 		if err != nil {
 			return err

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is what a running daemon can report about the binary it was
+// built from — the answer to "which code is this fleet actually running?"
+// during an incident.
+type BuildInfo struct {
+	GoVersion     string `json:"go_version"`
+	ModuleVersion string `json:"module_version"`
+	VCSRevision   string `json:"vcs_revision"`
+	VCSTime       string `json:"vcs_time,omitempty"`
+	Modified      bool   `json:"vcs_modified,omitempty"`
+}
+
+// ReadBuild extracts build metadata from the binary. Fields the toolchain
+// did not stamp (e.g. a plain `go test` binary has no VCS info) come back
+// as "unknown" so the metric labels never go empty.
+func ReadBuild() BuildInfo {
+	out := BuildInfo{
+		GoVersion:     runtime.Version(),
+		ModuleVersion: "unknown",
+		VCSRevision:   "unknown",
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out.ModuleVersion = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if s.Value != "" {
+				out.VCSRevision = s.Value
+			}
+		case "vcs.time":
+			out.VCSTime = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// RegisterBuildInfo sets the constant chaos_build_info gauge (value 1,
+// identity in the labels — the standard Prometheus build-info idiom) on
+// reg and returns what it read. Every daemon calls this once at startup.
+func RegisterBuildInfo(reg *Registry) BuildInfo {
+	if reg == nil {
+		reg = Default()
+	}
+	bi := ReadBuild()
+	reg.Gauge("chaos_build_info", Labels{
+		"go_version":     bi.GoVersion,
+		"module_version": bi.ModuleVersion,
+		"vcs_revision":   bi.VCSRevision,
+	}).Set(1)
+	return bi
+}

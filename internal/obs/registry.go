@@ -77,6 +77,16 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sum    atomicFloat
 	total  atomic.Uint64
+	// exemplars holds at most one exemplar per bucket — the most recent
+	// traced observation that landed there — linking the latency metric
+	// back to a retrievable trace ID.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observed value to the trace that produced it.
+type Exemplar struct {
+	Value   float64
+	TraceID string
 }
 
 // Observe records one value.
@@ -87,11 +97,96 @@ func (h *Histogram) Observe(v float64) {
 	h.total.Add(1)
 }
 
+// ObserveExemplar records one value and, when traceID is non-empty,
+// stamps the bucket it landed in with a trace-ID exemplar (one atomic
+// pointer swap — cheap enough for the per-request path).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.total.Load() }
 
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// HistState is a point-in-time copy of a histogram, subtractable so a
+// caller can compute quantiles over just the observations between two
+// snapshots (the loadgen's consistency check does exactly that).
+type HistState struct {
+	Bounds []float64
+	Counts []uint64 // len(Bounds)+1; last is +Inf
+	Count  uint64
+	Sum    float64
+}
+
+// State snapshots the histogram's buckets.
+func (h *Histogram) State() HistState {
+	s := HistState{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.total.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Sub returns the bucket-wise difference s - prev (observations recorded
+// between the two snapshots). Mismatched bounds return s unchanged.
+func (s HistState) Sub(prev HistState) HistState {
+	if len(prev.Counts) != len(s.Counts) {
+		return s
+	}
+	out := HistState{Bounds: s.Bounds, Counts: make([]uint64, len(s.Counts)),
+		Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	return out
+}
+
+// Quantile returns the bucket upper bound at or below which a q fraction
+// of observations fall — the histogram estimate of the q-quantile
+// (conservative: the true value is ≤ the returned bound). Observations in
+// the +Inf bucket return the last finite bound. Returns 0 when empty.
+func (s HistState) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantile estimates the q-quantile over the histogram's full history.
+func (h *Histogram) Quantile(q float64) float64 { return h.State().Quantile(q) }
 
 // ExpBuckets returns n exponential bucket bounds starting at start and
 // multiplying by factor.
@@ -224,7 +319,8 @@ func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Hist
 	in := r.get(name, labels, "histogram", func() *instrument {
 		b := append([]float64(nil), bounds...)
 		sort.Float64s(b)
-		h := &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		h := &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(b)+1)}
 		return &instrument{name: name, labels: cloneLabels(labels), kind: "histogram", h: h}
 	})
 	return in.h
@@ -311,6 +407,22 @@ func formatLabels(labels Labels, extraKey, extraVal string) string {
 	return sb.String()
 }
 
+// exemplarSuffix renders the OpenMetrics exemplar annotation for bucket i
+// (" # {trace_id=\"...\"} value"), or "" when the bucket has none. For a
+// fixed histogram state the rendering is fully deterministic — the
+// exemplar is one atomic pointer, so consecutive renders of an idle
+// registry are byte-identical.
+func exemplarSuffix(h *Histogram, i int) string {
+	if i >= len(h.exemplars) {
+		return ""
+	}
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(` # {trace_id="%s"} %g`, escapeLabel(ex.TraceID), ex.Value)
+}
+
 // WritePrometheus renders every instrument in the Prometheus text
 // exposition format. Output order is fully deterministic: metric names
 // sorted, one # TYPE line per name, and within a name the series sorted
@@ -359,12 +471,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			cum := uint64(0)
 			for i, b := range h.bounds {
 				cum += h.counts[i].Load()
-				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", in.name, formatLabels(in.labels, "le", fmt.Sprintf("%g", b)), cum); err != nil {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", in.name, formatLabels(in.labels, "le", fmt.Sprintf("%g", b)), cum, exemplarSuffix(h, i)); err != nil {
 					return err
 				}
 			}
 			cum += h.counts[len(h.bounds)].Load()
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", in.name, formatLabels(in.labels, "le", "+Inf"), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", in.name, formatLabels(in.labels, "le", "+Inf"), cum, exemplarSuffix(h, len(h.bounds))); err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", in.name, formatLabels(in.labels, "", ""), h.Sum()); err != nil {

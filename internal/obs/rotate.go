@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RotatingWriter is an append-only file writer with size-capped rotation:
+// when a write would push the file past maxBytes, the current file is
+// renamed to <path>.1 (replacing any previous .1) and a fresh file is
+// opened — so a long-running daemon's JSON event log is bounded at about
+// 2×maxBytes on disk. Rotations are counted in
+// chaos_events_rotated_total.
+//
+// Writes are serialized; an EventSink already holds its own lock while
+// writing, so stacking the two costs one uncontended mutex.
+type RotatingWriter struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+	rotated  *Counter
+}
+
+// NewRotatingWriter opens (appending) path with the given size cap.
+// maxBytes <= 0 takes 8 MiB.
+func NewRotatingWriter(path string, maxBytes int64, reg *Registry) (*RotatingWriter, error) {
+	if maxBytes <= 0 {
+		maxBytes = 8 << 20
+	}
+	if reg == nil {
+		reg = Default()
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open event log %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: stat event log %s: %w", path, err)
+	}
+	return &RotatingWriter{
+		path:     path,
+		maxBytes: maxBytes,
+		f:        f,
+		size:     st.Size(),
+		rotated:  reg.Counter("chaos_events_rotated_total", nil),
+	}, nil
+}
+
+// Write appends p, rotating first when the file is non-empty and p would
+// push it past the cap. A single record larger than the cap still lands
+// whole (in its own file) — records are never split across rotations.
+func (w *RotatingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, fmt.Errorf("obs: event log %s is closed", w.path)
+	}
+	if w.size > 0 && w.size+int64(len(p)) > w.maxBytes {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// rotate closes the current file, shifts it to .1, and reopens fresh.
+// Caller holds the lock.
+func (w *RotatingWriter) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("obs: rotate %s: close: %w", w.path, err)
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return fmt.Errorf("obs: rotate %s: %w", w.path, err)
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: rotate %s: reopen: %w", w.path, err)
+	}
+	w.f = f
+	w.size = 0
+	w.rotated.Inc()
+	return nil
+}
+
+// Rotations returns how many rotations have happened (process lifetime,
+// via the registry counter).
+func (w *RotatingWriter) Rotations() float64 { return w.rotated.Value() }
+
+// Close closes the underlying file; further writes fail.
+func (w *RotatingWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

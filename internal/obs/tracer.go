@@ -8,8 +8,8 @@ import (
 
 // Attr is one key/value annotation on a span.
 type Attr struct {
-	Key   string
-	Value any
+	Key   string `json:"k"`
+	Value any    `json:"v"`
 }
 
 // String builds a string attribute.
@@ -21,13 +21,18 @@ func Int(k string, v int) Attr { return Attr{Key: k, Value: v} }
 // Float builds a float attribute.
 func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
 
-// SpanData is the record a finished span hands to a tracer sink.
+// SpanData is the record a finished span hands to a tracer sink (and the
+// wire form /debug/traces serves). TraceID groups every span of one
+// request; ParentSpanID links a child to the span that created it.
 type SpanData struct {
-	Name     string
-	Parent   string // parent span name, "" for roots
-	Start    time.Time
-	Duration time.Duration
-	Attrs    []Attr
+	Name         string        `json:"name"`
+	Parent       string        `json:"parent,omitempty"` // parent span name, "" for roots
+	TraceID      string        `json:"trace_id,omitempty"`
+	SpanID       string        `json:"span_id,omitempty"`
+	ParentSpanID string        `json:"parent_span_id,omitempty"`
+	Start        time.Time     `json:"start"`
+	Duration     time.Duration `json:"duration_ns"`
+	Attrs        []Attr        `json:"attrs,omitempty"`
 }
 
 // spanBuckets covers 10 µs to ~40 s — the span durations the pipeline
@@ -73,24 +78,47 @@ func StartSpan(name string, attrs ...Attr) *Span {
 // Span is one timed region of work. Spans are not safe for concurrent
 // mutation; give each goroutine its own (child) span.
 type Span struct {
-	t      *Tracer
-	name   string
-	parent string
-	start  time.Time
-	attrs  []Attr
-	ended  bool
+	t            *Tracer
+	name         string
+	parent       string
+	traceID      string
+	spanID       string
+	parentSpanID string
+	start        time.Time
+	attrs        []Attr
+	ended        bool
 }
 
-// Start begins a root span.
+// Start begins a root span with a freshly generated trace ID.
 func (t *Tracer) Start(name string, attrs ...Attr) *Span {
-	return &Span{t: t, name: name, start: t.now(), attrs: attrs}
+	return &Span{t: t, name: name, traceID: NewTraceID(), spanID: NewSpanID(),
+		start: t.now(), attrs: attrs}
+}
+
+// StartWith begins a root span inside an existing trace — traceID from a
+// caller-supplied traceparent, parentSpanID the remote parent ("" for
+// none). An empty traceID generates a fresh one, like Start.
+func (t *Tracer) StartWith(name, traceID, parentSpanID string, attrs ...Attr) *Span {
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	return &Span{t: t, name: name, traceID: traceID, spanID: NewSpanID(),
+		parentSpanID: parentSpanID, start: t.now(), attrs: attrs}
 }
 
 // Child begins a nested span. The child records its own histogram series
-// under its own name and carries the parent name in its SpanData.
+// under its own name, shares the parent's trace ID, and links back to the
+// parent's span ID.
 func (s *Span) Child(name string, attrs ...Attr) *Span {
-	return &Span{t: s.t, name: name, parent: s.name, start: s.t.now(), attrs: attrs}
+	return &Span{t: s.t, name: name, parent: s.name, traceID: s.traceID,
+		spanID: NewSpanID(), parentSpanID: s.spanID, start: s.t.now(), attrs: attrs}
 }
+
+// TraceID returns the span's trace ID (32 hex chars).
+func (s *Span) TraceID() string { return s.traceID }
+
+// SpanID returns the span's own ID (16 hex chars).
+func (s *Span) SpanID() string { return s.spanID }
 
 // SetAttr appends an annotation to the span (visible to the sink).
 func (s *Span) SetAttr(attrs ...Attr) {
@@ -118,7 +146,9 @@ func (s *Span) End() time.Duration {
 	sink := s.t.sink
 	s.t.mu.RUnlock()
 	if sink != nil {
-		sink(SpanData{Name: s.name, Parent: s.parent, Start: s.start, Duration: d, Attrs: s.attrs})
+		sink(SpanData{Name: s.name, Parent: s.parent, TraceID: s.traceID,
+			SpanID: s.spanID, ParentSpanID: s.parentSpanID,
+			Start: s.start, Duration: d, Attrs: s.attrs})
 	}
 	return d
 }

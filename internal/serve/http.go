@@ -25,6 +25,23 @@ var (
 	httpErrsTotal = obs.Default().Counter("chaos_serve_http_errors_total", nil)
 )
 
+// RequestSeconds returns the server-side latency histogram behind
+// chaos_serve_request_seconds{endpoint=...} — the same series /metrics
+// exports. The loadgen sources its reported p50/p99 from here so the
+// summary and the scrape can never diverge. Endpoints: "estimate",
+// "estimate_batch".
+func RequestSeconds(endpoint string) *obs.Histogram {
+	switch endpoint {
+	case "estimate":
+		return estimateSecs
+	case "estimate_batch":
+		return batchSecs
+	default:
+		return obs.Default().Histogram("chaos_serve_request_seconds",
+			obs.Labels{"endpoint": endpoint}, obs.ExpBuckets(1e-6, 4, 12))
+	}
+}
+
 // SampleJSON is one machine's counter vector in the API wire format.
 type SampleJSON struct {
 	MachineID string    `json:"machine_id"`
@@ -49,6 +66,9 @@ type EstimateResponse struct {
 	ClusterWatts float64            `json:"cluster_watts"`
 	PerMachine   map[string]float64 `json:"per_machine,omitempty"`
 	Error        string             `json:"error,omitempty"`
+	// TraceID is set when the request was traced; the full span breakdown
+	// is retrievable at /debug/traces/<id>.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // BatchRequest carries many snapshots in one HTTP round trip.
@@ -112,7 +132,8 @@ func (s *Server) Lifecycle() Lifecycle {
 
 // NewMux returns the service mux: the /v1 estimation and model-management
 // API plus the obs endpoints (/metrics, /healthz, pprof) so one listener
-// serves both traffic and scrapes.
+// serves both traffic and scrapes. When tracing is configured the trace
+// store mounts at /debug/traces.
 func NewMux(s *Server) *http.ServeMux {
 	mux := obs.NewMux(obs.Default())
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
@@ -121,12 +142,66 @@ func NewMux(s *Server) *http.ServeMux {
 	mux.HandleFunc("/v1/models/activate", s.handleActivate)
 	mux.HandleFunc("/v1/lifecycle/status", s.handleLifecycleStatus)
 	mux.HandleFunc("/v1/lifecycle/retrain", s.handleLifecycleRetrain)
+	mux.HandleFunc("/v1/version", s.handleVersion)
+	if s.cfg.Traces != nil {
+		h := s.cfg.Traces.Handler()
+		mux.Handle("/debug/traces", h)
+		mux.Handle("/debug/traces/", h)
+	}
 	return mux
 }
 
+// handleVersion reports what binary is serving: build metadata plus the
+// active model version — the first thing to check when fleet behavior
+// diverges.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	bi := obs.ReadBuild()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"go_version":     bi.GoVersion,
+		"module_version": bi.ModuleVersion,
+		"vcs_revision":   bi.VCSRevision,
+		"vcs_time":       bi.VCSTime,
+		"active_model":   s.reg.ActiveVersion(),
+		"models":         s.reg.Len(),
+	})
+}
+
+// startTrace decides whether this request is traced: always when the
+// caller supplied a valid traceparent (they intend to look the trace up),
+// else 1-in-TraceSample. Returns nil for untraced requests — every
+// ActiveTrace method is nil-safe, so the hot path pays only nil checks.
+func (s *Server) startTrace(r *http.Request, endpoint string) *obs.ActiveTrace {
+	ts := s.cfg.Traces
+	if ts == nil {
+		return nil
+	}
+	if tid, _, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		return ts.Start("serve."+endpoint, tid, true)
+	}
+	if !ts.Sample(s.cfg.TraceSample) {
+		return nil
+	}
+	return ts.Start("serve."+endpoint, "", false)
+}
+
+// traceStatus maps a response status to the trace's terminal state —
+// what tail retention keys on.
+func traceStatus(httpStatus int) string {
+	switch httpStatus {
+	case http.StatusOK:
+		return "ok"
+	case http.StatusTooManyRequests:
+		return "shed"
+	case http.StatusGatewayTimeout:
+		return "late"
+	default:
+		return "error"
+	}
+}
+
 // estimateOnce runs one snapshot through the engine and maps the outcome
-// to a wire response + status.
-func (s *Server) estimateOnce(req EstimateRequest, deadline time.Duration) EstimateResponse {
+// to a wire response + status. at may be nil (untraced).
+func (s *Server) estimateOnce(req EstimateRequest, deadline time.Duration, at *obs.ActiveTrace) EstimateResponse {
 	if len(req.Samples) == 0 {
 		return EstimateResponse{Status: http.StatusBadRequest, Error: "no samples"}
 	}
@@ -148,7 +223,7 @@ func (s *Server) estimateOnce(req EstimateRequest, deadline time.Duration) Estim
 			metered[i] = *sj.MeteredWatts
 		}
 	}
-	res, err := s.Estimate(samples, deadline, metered)
+	res, err := s.EstimateTraced(samples, deadline, metered, at)
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return EstimateResponse{Status: http.StatusTooManyRequests, Error: err.Error()}
@@ -170,42 +245,88 @@ func (s *Server) estimateOnce(req EstimateRequest, deadline time.Duration) Estim
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	estimateReqs.Inc()
-	defer func() { estimateSecs.Observe(time.Since(start).Seconds()) }()
+	at := s.startTrace(r, "estimate")
+	var status int
+	defer func() {
+		d := time.Since(start)
+		// Exemplars tie the latency histogram back to a retrievable trace;
+		// untraced requests observe plainly.
+		estimateSecs.ObserveExemplar(d.Seconds(), at.TraceID())
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.ObserveRequest("estimate", d, status)
+		}
+	}()
 	var req EstimateRequest
 	if !decodeJSON(w, r, &req) {
+		status = http.StatusBadRequest
+		at.End("error")
 		return
 	}
-	resp := s.estimateOnce(req, 0)
+	resp := s.estimateOnce(req, 0, at)
+	status = resp.Status
+	if at != nil {
+		resp.TraceID = at.TraceID()
+		w.Header().Set("traceparent", obs.FormatTraceparent(at.TraceID(), at.SpanID()))
+	}
+	respondStart := time.Now()
 	writeJSON(w, resp.Status, resp)
+	at.Span("respond", respondStart, time.Since(respondStart))
+	at.End(traceStatus(resp.Status))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	batchReqs.Inc()
-	defer func() { batchSecs.Observe(time.Since(start).Seconds()) }()
+	at := s.startTrace(r, "estimate_batch")
+	var status int
+	defer func() {
+		d := time.Since(start)
+		batchSecs.ObserveExemplar(d.Seconds(), at.TraceID())
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.ObserveRequest("estimate_batch", d, status)
+		}
+	}()
 	var req BatchRequest
 	if !decodeJSON(w, r, &req) {
+		status = http.StatusBadRequest
+		at.End("error")
 		return
 	}
 	if len(req.Requests) == 0 {
+		status = http.StatusBadRequest
 		writeError(w, http.StatusBadRequest, "empty batch")
+		at.End("error")
 		return
 	}
 	deadline := time.Duration(req.DeadlineMS * float64(time.Millisecond))
 	resp := BatchResponse{Results: make([]EstimateResponse, len(req.Requests))}
 	// Scatter every snapshot's samples before gathering any: the shards
 	// see the whole batch at once, so their windows fill and the
-	// per-sample overhead amortizes across the entire HTTP payload.
+	// per-sample overhead amortizes across the entire HTTP payload. All
+	// snapshots of a traced batch share the request's trace.
 	var wg sync.WaitGroup
 	for i := range req.Requests {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp.Results[i] = s.estimateOnce(req.Requests[i], deadline)
+			resp.Results[i] = s.estimateOnce(req.Requests[i], deadline, at)
 		}(i)
 	}
 	wg.Wait()
+	status = http.StatusOK
+	if at != nil {
+		w.Header().Set("traceparent", obs.FormatTraceparent(at.TraceID(), at.SpanID()))
+	}
+	respondStart := time.Now()
 	writeJSON(w, http.StatusOK, resp)
+	at.Span("respond", respondStart, time.Since(respondStart))
+	worst := "ok"
+	for _, r := range resp.Results {
+		if st := traceStatus(r.Status); st != "ok" && worst == "ok" {
+			worst = st
+		}
+	}
+	at.End(worst)
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

@@ -58,10 +58,18 @@ type LoadStats struct {
 	Duration        time.Duration
 	SnapshotsPerSec float64
 	SamplesPerSec   float64
-	LatencyP50      time.Duration // per HTTP request
+	LatencyP50      time.Duration // per HTTP request, client-measured
 	LatencyP99      time.Duration
-	SumAbsErr       float64 // |estimate - metered| summed over OK snapshots with meter
-	MeterOK         int     // OK snapshots that carried metered power
+	// ServerP50/P99 are sourced from the same obs histogram the server
+	// exports at /metrics (chaos_serve_request_seconds, delta over this
+	// run), so the loadgen summary and a Prometheus scrape can never
+	// disagree. Only populated when the target runs in this process —
+	// the chaos-serve -loadgen arrangement.
+	ServerP50      time.Duration
+	ServerP99      time.Duration
+	ServerRequests uint64  // histogram count delta over the run
+	SumAbsErr      float64 // |estimate - metered| summed over OK snapshots with meter
+	MeterOK        int     // OK snapshots that carried metered power
 
 	mu        sync.Mutex
 	latencies []time.Duration
@@ -135,6 +143,16 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadStats, error) {
 		MaxIdleConns:        cfg.Clients * 2,
 		MaxIdleConnsPerHost: cfg.Clients * 2,
 	}}
+
+	// Snapshot the server-side latency histogram so the delta over this
+	// run yields the server's own view of p50/p99 (valid when the target
+	// is in-process, which is how chaos-serve -loadgen runs).
+	endpoint := "estimate_batch"
+	if cfg.Batch == 1 {
+		endpoint = "estimate"
+	}
+	serverHist := RequestSeconds(endpoint)
+	histBefore := serverHist.State()
 
 	// Producer: builds snapshots in order (fault injection needs ordered
 	// seconds), throttled to Rate, grouped Batch per send.
@@ -213,6 +231,12 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadStats, error) {
 		stats.SamplesPerSec = float64(stats.Samples) / stats.Duration.Seconds()
 	}
 	stats.finishLatency()
+	delta := serverHist.State().Sub(histBefore)
+	stats.ServerRequests = delta.Count
+	if delta.Count > 0 {
+		stats.ServerP50 = time.Duration(delta.Quantile(0.5) * float64(time.Second))
+		stats.ServerP99 = time.Duration(delta.Quantile(0.99) * float64(time.Second))
+	}
 	return stats, nil
 }
 

@@ -73,6 +73,33 @@ type Config struct {
 	// shadow challenger's (computed in the shards, never returned to
 	// clients), and the metered cluster watts.
 	ShadowObserve func(champion, challenger, actual float64)
+	// Traces, when set, enables request-scoped tracing: sampled requests
+	// (and every request carrying a traceparent header) record queue /
+	// batch / predict / respond spans into this store, retrievable at
+	// /debug/traces.
+	Traces *obs.TraceStore
+	// TraceSample traces 1 in N requests that did not supply their own
+	// traceparent. 0 takes the default (16); negative disables sampling
+	// (caller-identified requests still trace).
+	TraceSample int
+	// Observer, when set, receives per-request latencies and per-machine
+	// labeled outcomes — the SLO tracker's feed. Calls happen on the
+	// request goroutine, so implementations must be cheap.
+	Observer Observer
+}
+
+// Observer is the serving engine's outcome feed: request latencies per
+// endpoint and fully-labeled snapshots with their per-machine estimates.
+// The slo package implements it; keeping it an interface here means serve
+// never imports slo.
+type Observer interface {
+	// ObserveRequest is called once per HTTP estimation request with the
+	// endpoint name ("estimate" or "estimate_batch"), the handler
+	// duration, and the HTTP status answered.
+	ObserveRequest(endpoint string, d time.Duration, status int)
+	// ObserveLabeled is called for every fully-served snapshot that
+	// carried complete meter readings, with aligned per-machine slices.
+	ObserveLabeled(machineIDs []string, estimated, metered []float64, clusterEst float64, version string)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -97,6 +124,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.DriftThreshold <= 0 {
 		c.DriftThreshold = 16
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 16
+	}
 	return c, nil
 }
 
@@ -120,12 +150,17 @@ type pending struct {
 	results []taskResult
 }
 
-// task is one sample queued on a shard.
+// task is one sample queued on a shard. enqueued/dequeued bound the queue
+// wait; at, when non-nil, is the request trace the worker records span
+// timings into.
 type task struct {
 	sample   online.Sample
 	deadline time.Time
 	idx      int
 	req      *pending
+	enqueued time.Time
+	dequeued time.Time
+	at       *obs.ActiveTrace
 }
 
 // shard is one worker's queue plus its per-version predictor cache. Each
@@ -233,13 +268,22 @@ func (s *Server) shardFor(machineID string) *shard {
 // used. Queue overflow surfaces as ErrOverloaded, an expired deadline as
 // ErrDeadline.
 func (s *Server) Estimate(samples []online.Sample, deadline time.Duration, metered []float64) (*Result, error) {
+	return s.EstimateTraced(samples, deadline, metered, nil)
+}
+
+// EstimateTraced is Estimate with a request trace riding along: each
+// queued task carries the trace, and the shard workers record
+// queue/batch/predict spans into it as the sample moves through the
+// pipeline. at may be nil (untraced).
+func (s *Server) EstimateTraced(samples []online.Sample, deadline time.Duration, metered []float64, at *obs.ActiveTrace) (*Result, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("serve: no samples")
 	}
 	if deadline <= 0 {
 		deadline = s.cfg.Deadline
 	}
-	due := time.Now().Add(deadline)
+	now := time.Now()
+	due := now.Add(deadline)
 	p := &pending{results: make([]taskResult, len(samples))}
 	p.wg.Add(len(samples))
 
@@ -249,7 +293,7 @@ func (s *Server) Estimate(samples []online.Sample, deadline time.Duration, meter
 		return nil, fmt.Errorf("serve: server closed")
 	}
 	for i := range samples {
-		t := &task{sample: samples[i], deadline: due, idx: i, req: p}
+		t := &task{sample: samples[i], deadline: due, idx: i, req: p, enqueued: now, at: at}
 		sh := s.shardFor(samples[i].MachineID)
 		select {
 		case sh.queue <- t:
@@ -257,6 +301,7 @@ func (s *Server) Estimate(samples []online.Sample, deadline time.Duration, meter
 		default:
 			// Bounded queue full: shed instead of queueing unboundedly.
 			shedTotal.Inc()
+			at.Span("shed", now, 0, obs.String("machine", samples[i].MachineID))
 			p.results[i] = taskResult{shed: true}
 			p.wg.Done()
 		}
@@ -331,6 +376,18 @@ func (s *Server) observe(res *Result, samples []online.Sample, metered []float64
 	}
 	if s.cfg.Labeled != nil {
 		s.cfg.Labeled(samples, metered, res.ClusterWatts, res.Version())
+	}
+	if s.cfg.Observer != nil {
+		// Same feed point as Labeled, but with the per-machine estimates
+		// broken out — the accuracy-SLO tracker scores machines
+		// individually.
+		ids := make([]string, len(samples))
+		est := make([]float64, len(samples))
+		for i := range samples {
+			ids[i] = samples[i].MachineID
+			est[i] = res.PerMachine[ids[i]]
+		}
+		s.cfg.Observer.ObserveLabeled(ids, est, metered, res.ClusterWatts, res.Version())
 	}
 }
 
@@ -419,6 +476,7 @@ func (s *Server) worker(sh *shard) {
 		if !ok {
 			return
 		}
+		t.dequeued = time.Now()
 		batch := []*task{t}
 		timer := time.NewTimer(s.cfg.BatchWindow)
 	fill:
@@ -428,6 +486,7 @@ func (s *Server) worker(sh *shard) {
 				if !ok {
 					break fill
 				}
+				t2.dequeued = time.Now()
 				batch = append(batch, t2)
 			case <-timer.C:
 				break fill
@@ -451,6 +510,9 @@ func (s *Server) process(sh *shard, batch []*task) {
 		switch {
 		case now.After(t.deadline):
 			deadlineTotal.Inc()
+			t.at.Span("queue", t.enqueued, t.dequeued.Sub(t.enqueued),
+				obs.String("machine", t.sample.MachineID), obs.Int("shard", sh.id),
+				obs.String("outcome", "late"))
 			t.req.results[t.idx] = taskResult{late: true}
 			t.req.wg.Done()
 		case entry == nil:
@@ -473,10 +535,33 @@ func (s *Server) process(sh *shard, batch []*task) {
 		return
 	}
 	samples := make([]online.Sample, len(live))
+	traced := false
 	for i, t := range live {
 		samples[i] = t.sample
+		if t.at != nil {
+			traced = true
+		}
 	}
+	predictStart := time.Now()
 	items := pred.PredictBatch(samples)
+	predictDur := time.Since(predictStart)
+	if traced {
+		// One queue/batch/predict span chain per traced machine-sample:
+		// queue is this task's own wait, batch the window it sat in while
+		// the worker widened the pickup, predict the shared batch predict.
+		for _, t := range live {
+			if t.at == nil {
+				continue
+			}
+			machine := obs.String("machine", t.sample.MachineID)
+			t.at.Span("queue", t.enqueued, t.dequeued.Sub(t.enqueued),
+				machine, obs.Int("shard", sh.id))
+			t.at.Span("batch", t.dequeued, predictStart.Sub(t.dequeued),
+				machine, obs.Int("batch_size", len(batch)))
+			t.at.Span("predict", predictStart, predictDur,
+				machine, obs.String("version", entry.Version))
+		}
+	}
 
 	// Mirror the batch against the shadow challenger, if one is active.
 	// Same samples, same shard goroutine, its own per-shard predictor (own

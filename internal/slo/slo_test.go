@@ -1,0 +1,231 @@
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fixedClock returns a deterministic obs event clock.
+func fixedClock() func() time.Time {
+	t0 := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Second)
+	}
+}
+
+// newTestTracker builds a tracker with small deterministic windows and a
+// buffered event sink.
+func newTestTracker(t *testing.T, cfg Config) (*Tracker, *bytes.Buffer, *obs.Registry) {
+	t.Helper()
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	cfg.Events = obs.NewEventSinkAt(&buf, fixedClock(), reg)
+	cfg.Reg = reg
+	return NewTracker(cfg), &buf, reg
+}
+
+// events decodes the sink buffer into one map per emitted event.
+func events(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// feedLabeled pushes n cluster snapshots of 3 machines whose metered
+// power walks a 90 W range; shift is added to every estimate, so shift=0
+// is a perfect model and shift=50 is a gross accuracy regression.
+func feedLabeled(tr *Tracker, n int, shift float64, version string) {
+	ids := []string{"m0", "m1", "m2"}
+	for i := 0; i < n; i++ {
+		met := []float64{100 + float64(i%10)*10, 80, 120}
+		est := []float64{met[0] + shift, met[1], met[2]}
+		cluster := est[0] + est[1] + est[2]
+		tr.ObserveLabeled(ids, est, met, cluster, version)
+	}
+}
+
+// TestSLOViolationAndRecovery is the acceptance scenario: a label shift
+// trips slo_violation within one evaluation window, and recovery after
+// the shift clears emits slo_recovered. Count-driven evaluation makes
+// the whole sequence deterministic.
+func TestSLOViolationAndRecovery(t *testing.T) {
+	tr, buf, reg := newTestTracker(t, Config{
+		DREObjective: 0.1,
+		FastWindow:   8,
+		SlowWindow:   16,
+		EvalEvery:    2,
+	})
+
+	// Healthy phase: perfect model over a full slow window. No events.
+	feedLabeled(tr, 16, 0, "v1")
+	if got := events(t, buf); len(got) != 0 {
+		t.Fatalf("healthy phase emitted %d events: %v", len(got), got)
+	}
+	if s := tr.Snapshot(); s.AccuracyViolated || s.ClusterDREFast > 1e-12 {
+		t.Fatalf("healthy snapshot wrong: %+v", s)
+	}
+
+	// Label shift: +50 W on one machine. DRE over the 90 W range jumps
+	// to ~0.55, far past the 0.1 objective, so both windows burn at the
+	// first evaluation — within one EvalEvery of the shift.
+	feedLabeled(tr, 2, 50, "v1")
+	got := events(t, buf)
+	if len(got) != 1 || got[0]["event"] != "slo_violation" {
+		t.Fatalf("want exactly one slo_violation after one eval window, got %v", got)
+	}
+	v := got[0]
+	if v["slo"] != "accuracy" || v["version"] != "v1" {
+		t.Fatalf("violation fields wrong: %v", v)
+	}
+	if v["machine"] != "m0" {
+		t.Fatalf("worst machine %v, want m0 (the shifted one)", v["machine"])
+	}
+	if bf := v["burn_fast"].(float64); bf < 1 {
+		t.Fatalf("burn_fast %v should exceed threshold", bf)
+	}
+	if s := tr.Snapshot(); !s.AccuracyViolated || s.AccuracyTrips != 1 {
+		t.Fatalf("snapshot after violation: %+v", s)
+	}
+	if g := reg.Snapshot()[`chaos_slo_violation{slo=accuracy}`]; g != 1 {
+		t.Fatalf("chaos_slo_violation gauge %v, want 1", g)
+	}
+
+	// Still violating: no duplicate events while the state holds.
+	feedLabeled(tr, 4, 50, "v1")
+	if got := events(t, buf); len(got) != 1 {
+		t.Fatalf("violation re-emitted: %v", got)
+	}
+
+	// Recovery: a full slow window of accurate labels flushes the bad
+	// observations out of both windows.
+	feedLabeled(tr, 16, 0, "v2")
+	got = events(t, buf)
+	if len(got) != 2 || got[1]["event"] != "slo_recovered" {
+		t.Fatalf("want slo_recovered after windows clear, got %v", got)
+	}
+	if got[1]["slo"] != "accuracy" {
+		t.Fatalf("recovery fields wrong: %v", got[1])
+	}
+	s := tr.Snapshot()
+	if s.AccuracyViolated || s.AccuracyRecovers != 1 || s.AccuracyTrips != 1 {
+		t.Fatalf("snapshot after recovery: %+v", s)
+	}
+	if g := reg.Snapshot()[`chaos_slo_violation{slo=accuracy}`]; g != 0 {
+		t.Fatalf("chaos_slo_violation gauge %v, want 0", g)
+	}
+}
+
+// TestSLOLatencyBurn checks the latency objective: slow (or failed)
+// requests burn the 1% budget in both windows and trip the latency SLO;
+// fast requests recover it.
+func TestSLOLatencyBurn(t *testing.T) {
+	tr, buf, reg := newTestTracker(t, Config{
+		P99Objective: 10 * time.Millisecond,
+		FastWindow:   8,
+		SlowWindow:   16,
+		EvalEvery:    2,
+	})
+	for i := 0; i < 16; i++ {
+		tr.ObserveRequest("estimate", time.Millisecond, 200)
+	}
+	if got := events(t, buf); len(got) != 0 {
+		t.Fatalf("fast traffic emitted events: %v", got)
+	}
+	// Two slow requests: fast-window bad fraction 2/8 = 25% vs the 1%
+	// budget — burn 25 — and slow-window 2/16 — burn 12.5.
+	tr.ObserveRequest("estimate", 100*time.Millisecond, 200)
+	tr.ObserveRequest("estimate", 100*time.Millisecond, 200)
+	got := events(t, buf)
+	if len(got) != 1 || got[0]["event"] != "slo_violation" || got[0]["slo"] != "latency" {
+		t.Fatalf("want latency slo_violation, got %v", got)
+	}
+	if p99 := reg.Snapshot()["chaos_slo_p99_seconds"]; p99 < 0.09 {
+		t.Fatalf("p99 gauge %v should reflect the slow requests", p99)
+	}
+	// A slow window of fast requests evicts the outliers.
+	for i := 0; i < 16; i++ {
+		tr.ObserveRequest("estimate", time.Millisecond, 200)
+	}
+	got = events(t, buf)
+	if len(got) != 2 || got[1]["event"] != "slo_recovered" {
+		t.Fatalf("want latency slo_recovered, got %v", got)
+	}
+}
+
+// TestSLOErrorStatusBurnsBudget: a non-2xx answer burns latency budget no
+// matter how quickly it failed.
+func TestSLOErrorStatusBurnsBudget(t *testing.T) {
+	tr, buf, _ := newTestTracker(t, Config{
+		P99Objective: 10 * time.Millisecond,
+		FastWindow:   4,
+		SlowWindow:   8,
+		EvalEvery:    1,
+	})
+	for i := 0; i < 8; i++ {
+		tr.ObserveRequest("estimate", time.Millisecond, 200)
+	}
+	tr.ObserveRequest("estimate", time.Microsecond, 429)
+	got := events(t, buf)
+	if len(got) != 1 || got[0]["event"] != "slo_violation" {
+		t.Fatalf("shed request did not burn budget: %v", got)
+	}
+}
+
+// TestSLOPerMachineDRE: per-machine gauges track each machine's own
+// window, and the cluster window scores the summed estimate.
+func TestSLOPerMachineDRE(t *testing.T) {
+	tr, _, reg := newTestTracker(t, Config{
+		DREObjective: 0.5,
+		FastWindow:   8,
+		SlowWindow:   16,
+		EvalEvery:    4,
+	})
+	feedLabeled(tr, 8, 20, "v1")
+	s := tr.Snapshot()
+	if len(s.MachineDRE) != 3 {
+		t.Fatalf("machine windows: %v", s.MachineDRE)
+	}
+	if s.MachineDRE["m0"] <= 0 {
+		t.Fatalf("shifted machine m0 has DRE %v", s.MachineDRE["m0"])
+	}
+	snap := reg.Snapshot()
+	if snap[`chaos_slo_machine_dre{machine=m0}`] <= 0 {
+		t.Fatalf("machine gauge missing: %v", snap)
+	}
+	if snap[`chaos_slo_objective{slo=accuracy}`] != 0.5 {
+		t.Fatalf("objective gauge: %v", snap)
+	}
+}
+
+// TestSLODisabledAndNil: zero objectives never evaluate (no events), and
+// a nil tracker absorbs observations, so serve can call unconditionally.
+func TestSLODisabledAndNil(t *testing.T) {
+	tr, buf, _ := newTestTracker(t, Config{})
+	feedLabeled(tr, 64, 1000, "v1")
+	for i := 0; i < 64; i++ {
+		tr.ObserveRequest("estimate", time.Hour, 500)
+	}
+	if got := events(t, buf); len(got) != 0 {
+		t.Fatalf("disabled tracker emitted: %v", got)
+	}
+	var nilTr *Tracker
+	nilTr.ObserveRequest("estimate", time.Second, 200)
+	nilTr.ObserveLabeled([]string{"m"}, []float64{1}, []float64{1}, 1, "v")
+}
