@@ -69,20 +69,24 @@ type Doc struct {
 
 // Cell is one (machines, batch) measurement.
 type Cell struct {
-	Machines          int     `json:"machines"`
-	Batch             int     `json:"batch"`
-	Endpoint          string  `json:"endpoint"`
-	Snapshots         int     `json:"snapshots"`
-	EstimatesPerSec   float64 `json:"estimates_per_sec"`
-	SnapshotsPerSec   float64 `json:"snapshots_per_sec"`
-	P50Ms             float64 `json:"p50_ms"`
-	P99Ms             float64 `json:"p99_ms"`
-	ServerP50Ms       float64 `json:"server_p50_ms"`
-	ServerP99Ms       float64 `json:"server_p99_ms"`
-	AllocsPerEstimate float64 `json:"allocs_per_estimate"`
-	Shed              int     `json:"shed"`
-	Late              int     `json:"late"`
-	Failed            int     `json:"failed"`
+	Machines        int     `json:"machines"`
+	Batch           int     `json:"batch"`
+	Endpoint        string  `json:"endpoint"`
+	Snapshots       int     `json:"snapshots"`
+	EstimatesPerSec float64 `json:"estimates_per_sec"`
+	SnapshotsPerSec float64 `json:"snapshots_per_sec"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	ServerP50Ms     float64 `json:"server_p50_ms"`
+	ServerP99Ms     float64 `json:"server_p99_ms"`
+	// ServerTailSaturated flags a ServerP99Ms that hit the latency
+	// histogram's +Inf bucket — the value is the top finite bound, a
+	// floor on the true p99 rather than an estimate.
+	ServerTailSaturated bool    `json:"server_tail_saturated,omitempty"`
+	AllocsPerEstimate   float64 `json:"allocs_per_estimate"`
+	Shed                int     `json:"shed"`
+	Late                int     `json:"late"`
+	Failed              int     `json:"failed"`
 }
 
 // Overhead is the paired tracing-cost measurement: the same cell run
@@ -305,8 +309,9 @@ func runBench(w io.Writer, out string, seed int64, ms, bs []int, snapshots int, 
 				SnapshotsPerSec: round1(stats.SnapshotsPerSec),
 				P50Ms:           roundMs(stats.LatencyP50), P99Ms: roundMs(stats.LatencyP99),
 				ServerP50Ms: roundMs(stats.ServerP50), ServerP99Ms: roundMs(stats.ServerP99),
-				AllocsPerEstimate: math.Round(allocs*10) / 10,
-				Shed:              stats.Shed, Late: stats.Late, Failed: stats.Failed,
+				ServerTailSaturated: stats.ServerTailSaturated,
+				AllocsPerEstimate:   math.Round(allocs*10) / 10,
+				Shed:                stats.Shed, Late: stats.Late, Failed: stats.Failed,
 			}
 			doc.Cells = append(doc.Cells, cell)
 			fmt.Fprintf(w, "machines=%-3d batch=%-3d %10.0f est/s  p99 %-8s allocs/est %.1f\n",

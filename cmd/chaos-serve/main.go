@@ -616,9 +616,13 @@ func runLoadgen(em *emitter, addr string, reg *registry.Registry, traces []*trac
 	if err != nil {
 		return err
 	}
+	satNote := ""
+	if stats.ServerTailSaturated {
+		satNote = ", p99 saturated: true tail exceeds the top histogram bucket"
+	}
 	return em.event("loadgen_complete",
 		fmt.Sprintf("loadgen: %d snapshots (%d samples) in %.2fs — %.0f snap/s, %.0f samples/s\n"+
-			"  latency p50 %s p99 %s (server-side %s / %s over %d requests)\n"+
+			"  latency p50 %s p99 %s (server-side %s / %s over %d requests"+satNote+")\n"+
 			"  ok %d  shed %d  late %d  failed %d  skipped rows %d  swaps %d\n"+
 			"  mean abs cluster err %.2f W over %d metered snapshots",
 			stats.Snapshots, stats.Samples, stats.Duration.Seconds(),
@@ -629,15 +633,16 @@ func runLoadgen(em *emitter, addr string, reg *registry.Registry, traces []*trac
 			stats.MeanAbsErr(), stats.MeterOK),
 		map[string]any{
 			"snapshots": stats.Snapshots, "samples": stats.Samples,
-			"duration_s":      round2(stats.Duration.Seconds()),
-			"snapshots_per_s": round2(stats.SnapshotsPerSec),
-			"samples_per_s":   round2(stats.SamplesPerSec),
-			"latency_p50_ms":  round2(float64(stats.LatencyP50) / float64(time.Millisecond)),
-			"latency_p99_ms":  round2(float64(stats.LatencyP99) / float64(time.Millisecond)),
-			"server_p50_ms":   round2(float64(stats.ServerP50) / float64(time.Millisecond)),
-			"server_p99_ms":   round2(float64(stats.ServerP99) / float64(time.Millisecond)),
-			"server_requests": stats.ServerRequests,
-			"ok":              stats.OK, "shed": stats.Shed, "late": stats.Late, "failed": stats.Failed,
+			"duration_s":            round2(stats.Duration.Seconds()),
+			"snapshots_per_s":       round2(stats.SnapshotsPerSec),
+			"samples_per_s":         round2(stats.SamplesPerSec),
+			"latency_p50_ms":        round2(float64(stats.LatencyP50) / float64(time.Millisecond)),
+			"latency_p99_ms":        round2(float64(stats.LatencyP99) / float64(time.Millisecond)),
+			"server_p50_ms":         round2(float64(stats.ServerP50) / float64(time.Millisecond)),
+			"server_p99_ms":         round2(float64(stats.ServerP99) / float64(time.Millisecond)),
+			"server_tail_saturated": stats.ServerTailSaturated,
+			"server_requests":       stats.ServerRequests,
+			"ok":                    stats.OK, "shed": stats.Shed, "late": stats.Late, "failed": stats.Failed,
 			"skipped_rows": stats.SkippedRows, "swaps": stats.Swaps,
 			"mean_abs_err_w": round2(stats.MeanAbsErr()), "metered": stats.MeterOK,
 		})

@@ -5,17 +5,35 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
+// acceptsOpenMetrics reports whether the scraper's Accept header
+// negotiates the OpenMetrics exposition format. A substring check is
+// enough: we serve exactly two formats, and a scraper that lists
+// OpenMetrics at all (Prometheus puts its preferred format first) can
+// parse it — exemplars are only legal there.
+func acceptsOpenMetrics(accept string) bool {
+	return strings.Contains(strings.ToLower(accept), "application/openmetrics-text")
+}
+
 // NewMux returns an HTTP mux exposing the registry at /metrics
-// (Prometheus text format), a liveness probe at /healthz, and the
+// (classic Prometheus text format, or OpenMetrics with exemplars when
+// the Accept header asks for it), a liveness probe at /healthz, and the
 // standard pprof handlers under /debug/pprof/.
 func NewMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := reg.WritePrometheus(w); err != nil {
+		var err error
+		if acceptsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			err = reg.WriteOpenMetrics(w)
+		} else {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			err = reg.WritePrometheus(w)
+		}
+		if err != nil {
 			// Headers are gone; nothing to do but note it.
 			reg.Counter("chaos_metrics_write_errors_total", nil).Inc()
 		}

@@ -156,8 +156,11 @@ func (s HistState) Sub(prev HistState) HistState {
 
 // Quantile returns the bucket upper bound at or below which a q fraction
 // of observations fall — the histogram estimate of the q-quantile
-// (conservative: the true value is ≤ the returned bound). Observations in
-// the +Inf bucket return the last finite bound. Returns 0 when empty.
+// (conservative: the true value is ≤ the returned bound, quantized up to
+// one bucket's width). When the rank lands in the +Inf overflow bucket
+// there is no finite bound to report, so Quantile returns +Inf — the
+// caller can tell the estimate is saturated instead of silently reading
+// the last finite bound as if it covered the tail. Returns 0 when empty.
 func (s HistState) Quantile(q float64) float64 {
 	if s.Count == 0 || len(s.Bounds) == 0 {
 		return 0
@@ -179,10 +182,10 @@ func (s HistState) Quantile(q float64) float64 {
 			if i < len(s.Bounds) {
 				return s.Bounds[i]
 			}
-			return s.Bounds[len(s.Bounds)-1]
+			return math.Inf(1)
 		}
 	}
-	return s.Bounds[len(s.Bounds)-1]
+	return math.Inf(1)
 }
 
 // Quantile estimates the q-quantile over the histogram's full history.
@@ -423,13 +426,31 @@ func exemplarSuffix(h *Histogram, i int) string {
 	return fmt.Sprintf(` # {trace_id="%s"} %g`, escapeLabel(ex.TraceID), ex.Value)
 }
 
-// WritePrometheus renders every instrument in the Prometheus text
-// exposition format. Output order is fully deterministic: metric names
-// sorted, one # TYPE line per name, and within a name the series sorted
-// by their (already key-sorted) label sets — so consecutive scrapes diff
-// cleanly no matter what order series were registered or how the map
-// iterated.
+// WritePrometheus renders every instrument in the classic Prometheus
+// text exposition format (version 0.0.4). Exemplars are never rendered
+// here: the classic parser rejects a mid-line '#' after the sample
+// value, so they are only legal in OpenMetrics — use WriteOpenMetrics
+// (the /metrics handler negotiates via the Accept header). Output order
+// is fully deterministic: metric names sorted, one # TYPE line per name,
+// and within a name the series sorted by their (already key-sorted)
+// label sets — so consecutive scrapes diff cleanly no matter what order
+// series were registered or how the map iterated.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics renders every instrument in the OpenMetrics text
+// exposition format: the same deterministic ordering as WritePrometheus,
+// plus histogram bucket exemplars ('# {trace_id="..."} value') and the
+// terminating '# EOF' line. Counter families whose name carries the
+// conventional _total suffix advertise the suffix-less family name on
+// their TYPE line, as the OpenMetrics spec requires; sample lines keep
+// the full name so series names match the classic format.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.write(w, true)
+}
+
+func (r *Registry) write(w io.Writer, openMetrics bool) error {
 	r.mu.RLock()
 	byName := map[string][]*instrument{}
 	for _, in := range r.inst {
@@ -453,7 +474,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, in := range ordered {
 		if !typed[in.name] {
 			typed[in.name] = true
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", in.name, in.kind); err != nil {
+			family := in.name
+			if openMetrics && in.kind == "counter" {
+				family = strings.TrimSuffix(family, "_total")
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, in.kind); err != nil {
 				return err
 			}
 		}
@@ -471,12 +496,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			cum := uint64(0)
 			for i, b := range h.bounds {
 				cum += h.counts[i].Load()
-				if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", in.name, formatLabels(in.labels, "le", fmt.Sprintf("%g", b)), cum, exemplarSuffix(h, i)); err != nil {
+				var ex string
+				if openMetrics {
+					ex = exemplarSuffix(h, i)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", in.name, formatLabels(in.labels, "le", fmt.Sprintf("%g", b)), cum, ex); err != nil {
 					return err
 				}
 			}
 			cum += h.counts[len(h.bounds)].Load()
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", in.name, formatLabels(in.labels, "le", "+Inf"), cum, exemplarSuffix(h, len(h.bounds))); err != nil {
+			var ex string
+			if openMetrics {
+				ex = exemplarSuffix(h, len(h.bounds))
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", in.name, formatLabels(in.labels, "le", "+Inf"), cum, ex); err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", in.name, formatLabels(in.labels, "", ""), h.Sum()); err != nil {
@@ -485,6 +518,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", in.name, formatLabels(in.labels, "", ""), h.Count()); err != nil {
 				return err
 			}
+		}
+	}
+	if openMetrics {
+		if _, err := io.WriteString(w, "# EOF\n"); err != nil {
+			return err
 		}
 	}
 	return nil

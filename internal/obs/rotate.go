@@ -70,22 +70,29 @@ func (w *RotatingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// rotate closes the current file, shifts it to .1, and reopens fresh.
-// Caller holds the lock.
+// rotate shifts the current file to .1 and swaps in a fresh one. Caller
+// holds the lock. The steps are ordered so that a failure at any point
+// leaves w.f an open, usable handle — never a closed one that would wedge
+// every later Write: the rename happens before the open file is touched,
+// and the replacement is opened before the old handle is closed. A
+// missing current file (a previous rotation renamed it away and then
+// failed to reopen, or an operator deleted it) is tolerated: the rename
+// is skipped and the reopen heals the writer.
 func (w *RotatingWriter) rotate() error {
-	if err := w.f.Close(); err != nil {
-		return fmt.Errorf("obs: rotate %s: close: %w", w.path, err)
-	}
-	if err := os.Rename(w.path, w.path+".1"); err != nil {
+	if err := os.Rename(w.path, w.path+".1"); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("obs: rotate %s: %w", w.path, err)
 	}
 	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		// w.f still points at the renamed file; the next Write retries the
+		// rotation (the rename then no-ops on ENOENT) until reopen succeeds.
 		return fmt.Errorf("obs: rotate %s: reopen: %w", w.path, err)
 	}
+	old := w.f
 	w.f = f
 	w.size = 0
 	w.rotated.Inc()
+	old.Close() //nolint:errcheck // best effort: every append was already issued
 	return nil
 }
 

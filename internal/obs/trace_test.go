@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -247,12 +248,13 @@ func TestTraceExemplarRenderingDeterministic(t *testing.T) {
 	h.ObserveExemplar(0.002, "aaaa0000aaaa0000aaaa0000aaaa0000")
 	h.ObserveExemplar(0.5, "bbbb0000bbbb0000bbbb0000bbbb0000")
 	h.Observe(0.003) // untraced observation must not disturb the exemplar
+	reg.Counter("reqs_total", nil).Inc()
 
 	var a, b bytes.Buffer
-	if err := reg.WritePrometheus(&a); err != nil {
+	if err := reg.WriteOpenMetrics(&a); err != nil {
 		t.Fatal(err)
 	}
-	if err := reg.WritePrometheus(&b); err != nil {
+	if err := reg.WriteOpenMetrics(&b); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -268,6 +270,41 @@ func TestTraceExemplarRenderingDeterministic(t *testing.T) {
 		if strings.Contains(line, "aaaa0000") && !strings.Contains(line, "_bucket") {
 			t.Fatalf("exemplar on a non-bucket line: %s", line)
 		}
+	}
+	// OpenMetrics framing: terminating EOF, and the counter family's TYPE
+	// line drops the _total suffix while the sample line keeps it.
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("OpenMetrics output missing terminating # EOF:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE reqs counter\n") || !strings.Contains(out, "reqs_total 1\n") {
+		t.Fatalf("counter family not rendered per OpenMetrics:\n%s", out)
+	}
+}
+
+// TestTraceExemplarsAbsentFromClassicFormat locks the negotiation
+// contract: exemplar annotations are only legal in OpenMetrics, so the
+// classic text format (what a default Prometheus scrape parses) must
+// render plain bucket lines — a mid-line '#' after the value would make
+// the whole scrape unparseable.
+func TestTraceExemplarsAbsentFromClassicFormat(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", nil, ExpBuckets(1e-3, 4, 6))
+	h.ObserveExemplar(0.002, "aaaa0000aaaa0000aaaa0000aaaa0000")
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, "#") {
+			t.Fatalf("classic format line carries a mid-line '#': %s", line)
+		}
+	}
+	if strings.Contains(buf.String(), "# EOF") {
+		t.Fatalf("classic format must not emit the OpenMetrics EOF marker:\n%s", buf.String())
 	}
 }
 
@@ -298,10 +335,11 @@ func TestTraceHistogramQuantiles(t *testing.T) {
 	if got := delta.Quantile(0.5); got != 8 {
 		t.Errorf("delta p50 = %g, want 8", got)
 	}
-	// +Inf bucket clamps to the last finite bound; empty returns 0.
+	// A rank landing in the +Inf overflow bucket has no finite bound: the
+	// estimate is saturated and says so instead of understating the tail.
 	h.Observe(100)
-	if got := h.Quantile(1); got != 8 {
-		t.Errorf("+Inf quantile = %g, want 8", got)
+	if got := h.Quantile(1); !math.IsInf(got, 1) {
+		t.Errorf("+Inf quantile = %g, want +Inf", got)
 	}
 	var empty HistState
 	if got := empty.Quantile(0.5); got != 0 {
@@ -450,5 +488,44 @@ func TestTraceRotatingWriterOversizeRecord(t *testing.T) {
 	}
 	if !bytes.Equal(data, big) {
 		t.Fatalf("oversize record not written whole after rotation: %q", data)
+	}
+}
+
+// TestTraceRotatingWriterRecoversFromMissingFile exercises the failure
+// ordering contract of rotate(): a rotation interrupted after the rename
+// (or an operator deleting the live log) must not wedge the writer — the
+// next rotation skips the rename and heals by reopening a fresh file.
+func TestTraceRotatingWriterRecoversFromMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ev.log")
+	rw, err := NewRotatingWriter(path, 64, NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	// Fill past the cap so the next write must rotate, then yank the live
+	// file out from under the writer.
+	if _, err := rw.Write([]byte(strings.Repeat("x", 80) + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rw.Write([]byte("{\"after\":1}\n")); err != nil {
+		t.Fatalf("write after losing the live file: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("writer did not heal onto a fresh file: %v", err)
+	}
+	if string(data) != "{\"after\":1}\n" {
+		t.Fatalf("healed file content = %q", data)
+	}
+	if rw.Rotations() != 1 {
+		t.Fatalf("rotations = %g, want 1", rw.Rotations())
+	}
+	// Subsequent writes keep working.
+	if _, err := rw.Write([]byte("{\"more\":2}\n")); err != nil {
+		t.Fatalf("write after recovery: %v", err)
 	}
 }

@@ -313,20 +313,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
+	// The HTTP envelope is 200 whenever it parsed, but the SLO observer
+	// and the trace see the worst sub-result: an all-shed batch must burn
+	// the latency error budget exactly as the same overload would on
+	// /v1/estimate.
 	status = http.StatusOK
+	for _, res := range resp.Results {
+		if res.Status > status {
+			status = res.Status
+		}
+	}
 	if at != nil {
 		w.Header().Set("traceparent", obs.FormatTraceparent(at.TraceID(), at.SpanID()))
 	}
 	respondStart := time.Now()
 	writeJSON(w, http.StatusOK, resp)
 	at.Span("respond", respondStart, time.Since(respondStart))
-	worst := "ok"
-	for _, r := range resp.Results {
-		if st := traceStatus(r.Status); st != "ok" && worst == "ok" {
-			worst = st
-		}
-	}
-	at.End(worst)
+	at.End(traceStatus(status))
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -64,12 +66,21 @@ type LoadStats struct {
 	// exports at /metrics (chaos_serve_request_seconds, delta over this
 	// run), so the loadgen summary and a Prometheus scrape can never
 	// disagree. Only populated when the target runs in this process —
-	// the chaos-serve -loadgen arrangement.
-	ServerP50      time.Duration
-	ServerP99      time.Duration
-	ServerRequests uint64  // histogram count delta over the run
-	SumAbsErr      float64 // |estimate - metered| summed over OK snapshots with meter
-	MeterOK        int     // OK snapshots that carried metered power
+	// the chaos-serve -loadgen arrangement. Each value is a histogram
+	// bucket upper bound (ExpBuckets(1e-6, 4, 12): bounds 4x apart, top
+	// finite bound ~4.2s), i.e. a conservative estimate quantized up to
+	// one bucket above the true quantile; when the quantile lands in the
+	// +Inf overflow bucket it is clamped to the top finite bound and
+	// ServerTailSaturated is set.
+	ServerP50 time.Duration
+	ServerP99 time.Duration
+	// ServerTailSaturated means ServerP99 fell in the histogram's +Inf
+	// bucket: the true p99 exceeds the top finite bound and the reported
+	// value is a floor, not an estimate.
+	ServerTailSaturated bool
+	ServerRequests      uint64  // histogram count delta over the run
+	SumAbsErr           float64 // |estimate - metered| summed over OK snapshots with meter
+	MeterOK             int     // OK snapshots that carried metered power
 
 	mu        sync.Mutex
 	latencies []time.Duration
@@ -234,10 +245,25 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadStats, error) {
 	delta := serverHist.State().Sub(histBefore)
 	stats.ServerRequests = delta.Count
 	if delta.Count > 0 {
-		stats.ServerP50 = time.Duration(delta.Quantile(0.5) * float64(time.Second))
-		stats.ServerP99 = time.Duration(delta.Quantile(0.99) * float64(time.Second))
+		stats.ServerP50, _ = quantileDuration(delta, 0.5)
+		stats.ServerP99, stats.ServerTailSaturated = quantileDuration(delta, 0.99)
 	}
 	return stats, nil
+}
+
+// quantileDuration converts a histogram quantile (seconds) to a
+// duration. A quantile in the +Inf overflow bucket has no finite bound;
+// it is clamped to the top finite bound and reported as saturated so
+// callers can flag the value as a floor on the true latency.
+func quantileDuration(s obs.HistState, q float64) (time.Duration, bool) {
+	v := s.Quantile(q)
+	if math.IsInf(v, 1) {
+		if len(s.Bounds) == 0 {
+			return 0, true
+		}
+		return time.Duration(s.Bounds[len(s.Bounds)-1] * float64(time.Second)), true
+	}
+	return time.Duration(v * float64(time.Second)), false
 }
 
 // buildSnapshot assembles cluster second t (replay index i) into a wire

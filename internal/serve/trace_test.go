@@ -108,19 +108,117 @@ func TestTraceEndToEndPropagation(t *testing.T) {
 		}
 	}
 
-	// The latency histogram carries the trace ID as an exemplar.
-	resp2, err := http.Get(base + "/metrics")
+	// The latency histogram carries the trace ID as an exemplar — but
+	// only for scrapers that negotiate OpenMetrics, where exemplars are
+	// legal syntax.
+	omReq, err := http.NewRequest("GET", base+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omReq.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp2, err := http.DefaultClient.Do(omReq)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
-	var sb []byte
-	sb, err = io.ReadAll(resp2.Body)
+	if ct := resp2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("negotiated Content-Type %q, want OpenMetrics", ct)
+	}
+	sb, err := io.ReadAll(resp2.Body)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(string(sb), `# {trace_id="`+traceID+`"}`) {
-		t.Fatalf("histogram exemplar for trace %s missing from /metrics", traceID)
+		t.Fatalf("histogram exemplar for trace %s missing from OpenMetrics /metrics", traceID)
+	}
+	if !strings.HasSuffix(string(sb), "# EOF\n") {
+		t.Fatalf("OpenMetrics scrape missing # EOF trailer")
+	}
+
+	// A classic-format scrape (no Accept negotiation — what a default
+	// Prometheus text parser consumes) must stay free of exemplar
+	// annotations: a mid-line '#' after the value would fail the whole
+	// scrape.
+	resp3, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if ct := resp3.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("classic Content-Type %q, want text/plain", ct)
+	}
+	classic, err := io.ReadAll(resp3.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(classic), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, "#") {
+			t.Fatalf("classic /metrics line carries a mid-line '#': %s", line)
+		}
+	}
+}
+
+// recordingObserver captures ObserveRequest calls — a stand-in for the
+// SLO tracker.
+type recordingObserver struct {
+	mu       sync.Mutex
+	statuses map[string][]int
+}
+
+func (o *recordingObserver) ObserveRequest(endpoint string, d time.Duration, status int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.statuses == nil {
+		o.statuses = map[string][]int{}
+	}
+	o.statuses[endpoint] = append(o.statuses[endpoint], status)
+}
+
+func (o *recordingObserver) ObserveLabeled([]string, []float64, []float64, float64, string) {}
+
+// TestTraceBatchObserverSeesWorstStatus locks the SLO feed contract for
+// the batch endpoint: even though the HTTP envelope answers 200 whenever
+// it parses, the observer must see the worst sub-result status so that
+// degradation on /v1/estimate/batch burns the same error budget it would
+// on /v1/estimate.
+func TestTraceBatchObserverSeesWorstStatus(t *testing.T) {
+	obsr := &recordingObserver{}
+	_, base := newTestServer(t, Config{Observer: obsr})
+	client := &http.Client{}
+
+	// One valid snapshot plus one invalid (no samples → 400): the
+	// envelope is 200, the worst sub-result is not.
+	code, body := postJSON(t, client, base+"/v1/estimate/batch", BatchRequest{
+		Requests: []EstimateRequest{
+			{Samples: []SampleJSON{sample("m0", 1, 2)}},
+			{},
+		},
+	})
+	if code != 200 {
+		t.Fatalf("batch envelope status %d: %s", code, body)
+	}
+	obsr.mu.Lock()
+	got := append([]int(nil), obsr.statuses["estimate_batch"]...)
+	obsr.mu.Unlock()
+	if len(got) != 1 || got[0] != http.StatusBadRequest {
+		t.Fatalf("observer saw %v for estimate_batch, want [400]", got)
+	}
+
+	// An all-OK batch still reports 200.
+	code, body = postJSON(t, client, base+"/v1/estimate/batch", BatchRequest{
+		Requests: []EstimateRequest{{Samples: []SampleJSON{sample("m0", 1, 2)}}},
+	})
+	if code != 200 {
+		t.Fatalf("batch envelope status %d: %s", code, body)
+	}
+	obsr.mu.Lock()
+	got = append([]int(nil), obsr.statuses["estimate_batch"]...)
+	obsr.mu.Unlock()
+	if len(got) != 2 || got[1] != http.StatusOK {
+		t.Fatalf("observer saw %v for estimate_batch, want trailing 200", got)
 	}
 }
 
