@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/dist"
 	"repro/internal/faults"
 	"repro/internal/lifecycle"
 	"repro/internal/models"
@@ -91,6 +92,13 @@ type config struct {
 	LifecycleSamples  int
 	PromoteMargin     float64
 	Probation         int
+
+	// Distributed serving: a static peer fleet with rendezvous
+	// partitioning, a scatter-gather front door, and journal replication.
+	Peers         string
+	NodeID        string
+	ReplicateFrom string
+	PeerDeadline  time.Duration
 
 	// Durable state: when StateDir is set the registry journals to disk
 	// and the lifecycle checkpoints, so a crash or restart resumes the
@@ -156,6 +164,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		lcMargin   = fs.Float64("promote-margin", 0.05, "lifecycle: challenger must beat the champion's dynamic-range error by this fraction to promote")
 		lcProbe    = fs.Int("probation", 64, "lifecycle: labeled snapshots the promoted model is watched for before rollback is off the table (0 = no probation)")
 
+		peersArg      = fs.String("peers", "", "static fleet list id=host:port,... — enables distributed serving (requires -node-id naming this node)")
+		nodeIDArg     = fs.String("node-id", "", "this node's peer ID within -peers")
+		replicateFrom = fs.String("replicate-from", "", "leader base URL (http://host:port) to replicate the model registry from; requires -state-dir")
+		peerDeadline  = fs.Duration("peer-deadline", 500*time.Millisecond, "scatter-gather per-peer deadline (a slower peer's machines go missing from the merged answer)")
+
 		stateDir   = fs.String("state-dir", "", "durable state directory: journal model admissions/activations and checkpoint the lifecycle so restarts resume the pre-crash state")
 		ckInterval = fs.Duration("checkpoint-interval", 10*time.Second, "how often the lifecycle state checkpoints to -state-dir")
 
@@ -179,6 +192,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Platform: *platform, Machines: *machines, Workloads: strings.Split(*workloads, ","), Seed: *seed, Tech: *tech,
 		Loadgen: *loadgen, Rate: *rate, Snapshots: *snapshots, Clients: *clients, Batch: *batch,
 		SwapEvery: *swapEvery, Faults: *faultsArg,
+		Peers: *peersArg, NodeID: *nodeIDArg, ReplicateFrom: *replicateFrom, PeerDeadline: *peerDeadline,
 		Lifecycle: *lcEnable, LifecycleInterval: *lcInterval, LifecycleSamples: *lcSamples,
 		PromoteMargin: *lcMargin, Probation: *lcProbe,
 		StateDir: *stateDir, CheckpointInterval: *ckInterval,
@@ -218,6 +232,13 @@ func (e *emitter) event(name, text string, fields map[string]any) error {
 
 func run(w io.Writer, cfg config) error {
 	obs.RegisterBuildInfo(obs.Default())
+
+	if cfg.Peers != "" && cfg.NodeID == "" {
+		return fmt.Errorf("-peers requires -node-id naming this node in the fleet")
+	}
+	if cfg.ReplicateFrom != "" && cfg.StateDir == "" {
+		return fmt.Errorf("-replicate-from requires -state-dir: the follower journals replicated state locally")
+	}
 
 	// Events flow to the console (text or JSON) and, independently, to a
 	// size-capped rotating JSON log when -event-log is set.
@@ -315,6 +336,12 @@ func run(w io.Writer, cfg config) error {
 			}
 			names = traces[0].Names
 		}
+	case cfg.ReplicateFrom != "":
+		// Replica first boot: every model arrives through replication, so
+		// nothing is bootstrapped here. The counter order is the standard
+		// registry's — the same order the simulation substrate emits, so a
+		// sim-bootstrapped leader and its replicas interpret rows alike.
+		names = counters.StandardRegistry().Names()
 	default:
 		// Bootstrap: simulate the cluster, fit v1 with the chosen
 		// technique and v2 linear (the swap/rollback partner), admit both.
@@ -352,6 +379,23 @@ func run(w io.Writer, cfg config) error {
 		BatchWindow: cfg.BatchWindow, BatchMax: cfg.BatchMax, Deadline: cfg.Deadline,
 		Names: names, BaselineRMSE: baseline, Events: sink,
 		Traces: traceStore, TraceSample: cfg.TraceSample,
+	}
+	// Distributed mode: the partition decides which machines this node
+	// answers for; the engine rejects the rest with a 421 redirect hint.
+	var peers []dist.Peer
+	var part *dist.Partition
+	if cfg.Peers != "" {
+		var err error
+		if peers, err = dist.ParsePeers(cfg.Peers); err != nil {
+			return err
+		}
+		if part, err = dist.NewPartition(cfg.NodeID, peers); err != nil {
+			return err
+		}
+		scfg.Owner = func(machineID string) (string, string, bool) {
+			p := part.Owner(machineID)
+			return p.ID, p.Addr, p.ID == cfg.NodeID
+		}
 	}
 	// Live SLOs ride the serving path's own observation streams.
 	if cfg.SLODre > 0 || cfg.SLOP99 > 0 {
@@ -435,16 +479,63 @@ func run(w io.Writer, cfg config) error {
 		defer orch.Close()
 		srv.AttachLifecycle(orch)
 	}
-	httpSrv, err := serve.Serve(cfg.Listen, srv)
+	// One mux carries the whole node: the /v1 serving API plus, in
+	// distributed mode, the cluster front door and — on any persistent
+	// node — the replication endpoints (leadership is just being the node
+	// others point -replicate-from at).
+	mux := serve.NewMux(srv)
+	if part != nil {
+		scen := cfg.scenario
+		if scen == nil && cfg.Faults != "" && !cfg.Loadgen {
+			var err error
+			if scen, err = faults.LoadScenario(cfg.Faults); err != nil {
+				return err
+			}
+		}
+		var inj *faults.Injector
+		if scen != nil {
+			var err error
+			if inj, err = faults.NewInjector(scen, cfg.Seed); err != nil {
+				return err
+			}
+		}
+		node, err := dist.NewNode(dist.Config{
+			Self: cfg.NodeID, Peers: peers, Local: srv,
+			PeerDeadline: cfg.PeerDeadline, Events: sink, Injector: inj,
+		})
+		if err != nil {
+			return err
+		}
+		node.Mount(mux)
+	}
+	if reg.Persistent() {
+		dist.MountReplication(mux, reg)
+	}
+	httpSrv, err := serve.ServeHandler(cfg.Listen, mux)
 	if err != nil {
 		return err
 	}
 	defer httpSrv.Close()
+
+	if cfg.ReplicateFrom != "" {
+		fol, err := dist.StartFollower(dist.FollowerConfig{
+			LeaderURL: cfg.ReplicateFrom, Registry: reg,
+			CheckpointPath: filepath.Join(cfg.StateDir, "replication.ckpt"),
+			Seed:           cfg.Seed, NodeID: cfg.NodeID, Events: sink,
+		})
+		if err != nil {
+			return err
+		}
+		// Deferred before the registry's own deferred Close, so the tail
+		// loop stops applying before the journal is released.
+		defer fol.Close()
+	}
+
 	if err := em.event("serving",
 		fmt.Sprintf("serving /v1 API and /metrics on http://%s (active model %s)",
 			httpSrv.Addr(), reg.ActiveVersion()),
 		map[string]any{"addr": httpSrv.Addr(), "active": reg.ActiveVersion(),
-			"shards": cfg.Shards, "queue": cfg.Queue}); err != nil {
+			"shards": cfg.Shards, "queue": cfg.Queue, "node": cfg.NodeID}); err != nil {
 		return err
 	}
 

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a wall-clock circuit breaker guarding calls to one peer —
+// the same closed / open / half-open discipline faults.Collector applies
+// in simulation time. After FailThreshold consecutive failures the
+// breaker opens for Cooldown: every scatter-gather in that window skips
+// the peer outright, so a dead node costs the fleet one timeout, not one
+// per request. After the cooldown a single probe call decides between
+// closing and another cooldown.
+type Breaker struct {
+	failThreshold int
+	cooldown      time.Duration
+	now           func() time.Time
+
+	mu          sync.Mutex
+	consecFails int
+	open        bool
+	probeAt     time.Time
+	probing     bool
+}
+
+// NewBreaker builds a breaker; now may be nil (wall clock).
+func NewBreaker(failThreshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if failThreshold <= 0 {
+		failThreshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{failThreshold: failThreshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a call may proceed. While open it returns false
+// until the cooldown elapses, then admits exactly one half-open probe at
+// a time; the probe's Success or Failure decides the next state.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.now().Before(b.probeAt) || b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Success records a successful call and closes the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	b.open = false
+	b.probing = false
+}
+
+// Failure records a failed call, opening (or re-arming) the breaker once
+// the threshold is reached.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails++
+	b.probing = false
+	if b.open || b.consecFails >= b.failThreshold {
+		b.open = true
+		b.probeAt = b.now().Add(b.cooldown)
+	}
+}
+
+// State reports "closed", "open", or "half-open" (cooldown elapsed, next
+// call is the probe).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return "closed"
+	case !b.now().Before(b.probeAt):
+		return "half-open"
+	default:
+		return "open"
+	}
+}

@@ -1,0 +1,260 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/online"
+	"repro/internal/serve"
+)
+
+var errNilLocal = fmt.Errorf("dist: node needs a local serving engine")
+
+// ClusterResponse is the merged result of one scatter-gather. The
+// degradation contract: the response is 200 whenever at least one
+// requested machine was served; machines on dead, slow, or overloaded
+// peers are listed in missing_machines and excluded from cluster_watts,
+// and coverage reports the served fraction — the PR-2 coverage semantics
+// lifted from per-machine predictors to whole nodes. 503 only when
+// nothing at all could be served.
+type ClusterResponse struct {
+	Status          int                `json:"status"`
+	ClusterWatts    float64            `json:"cluster_watts"`
+	PerMachine      map[string]float64 `json:"per_machine,omitempty"`
+	Coverage        float64            `json:"coverage"`
+	MissingMachines []string           `json:"missing_machines,omitempty"`
+	ModelVersions   []string           `json:"model_versions,omitempty"`
+	// Peers maps each peer that was scattered to, to its outcome:
+	// "ok", "local", "open" (breaker), "down", "degraded: <why>".
+	Peers map[string]string `json:"peers"`
+	Error string            `json:"error,omitempty"`
+}
+
+// peerResult is one peer's slice of the gather.
+type peerResult struct {
+	peerID   string
+	outcome  string
+	perMach  map[string]float64
+	versions []string
+}
+
+// handleCluster is the /v1/estimate/cluster front door: split the
+// snapshot by owner, serve the local slice directly, scatter the rest
+// with per-peer deadlines, and merge whatever came back.
+func (n *Node) handleCluster(w http.ResponseWriter, r *http.Request) {
+	var req serve.EstimateRequest
+	body, err := readBody(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ClusterResponse{Status: http.StatusBadRequest, Error: err.Error()})
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ClusterResponse{Status: http.StatusBadRequest, Error: "parsing body: " + err.Error()})
+		return
+	}
+	if len(req.Samples) == 0 {
+		writeJSON(w, http.StatusBadRequest, ClusterResponse{Status: http.StatusBadRequest, Error: "no samples"})
+		return
+	}
+
+	// Split the snapshot by owning peer.
+	byPeer := map[string][]serve.SampleJSON{}
+	for _, s := range req.Samples {
+		owner := n.part.Owner(s.MachineID).ID
+		byPeer[owner] = append(byPeer[owner], s)
+	}
+
+	results := make(chan peerResult, len(byPeer))
+	var wg sync.WaitGroup
+	for peerID, samples := range byPeer {
+		wg.Add(1)
+		go func(peerID string, samples []serve.SampleJSON) {
+			defer wg.Done()
+			if peerID == n.part.Self() {
+				results <- n.gatherLocal(samples, req.DeadlineMS)
+				return
+			}
+			results <- n.gatherRemote(peerID, samples, req.DeadlineMS)
+		}(peerID, samples)
+	}
+	wg.Wait()
+	close(results)
+
+	resp := ClusterResponse{PerMachine: map[string]float64{}, Peers: map[string]string{}}
+	versions := map[string]bool{}
+	for pr := range results {
+		resp.Peers[pr.peerID] = pr.outcome
+		for m, watts := range pr.perMach {
+			resp.PerMachine[m] = watts
+			resp.ClusterWatts += watts
+		}
+		for _, v := range pr.versions {
+			if v != "" {
+				versions[v] = true
+			}
+		}
+	}
+	for v := range versions {
+		resp.ModelVersions = append(resp.ModelVersions, v)
+	}
+	sort.Strings(resp.ModelVersions)
+	for _, s := range req.Samples {
+		if _, ok := resp.PerMachine[s.MachineID]; !ok {
+			resp.MissingMachines = append(resp.MissingMachines, s.MachineID)
+		}
+	}
+	sort.Strings(resp.MissingMachines)
+	resp.Coverage = float64(len(resp.PerMachine)) / float64(len(req.Samples))
+	coverageGauge.Set(resp.Coverage)
+
+	if len(resp.PerMachine) == 0 {
+		resp.Status = http.StatusServiceUnavailable
+		resp.Error = "no peer could serve any requested machine"
+	} else {
+		resp.Status = http.StatusOK
+	}
+	writeJSON(w, resp.Status, resp)
+}
+
+// gatherLocal serves this node's own slice through the local engine.
+// Overload and deadline failures degrade exactly like a slow peer: the
+// machines go missing, the rest of the cluster answer survives.
+func (n *Node) gatherLocal(samples []serve.SampleJSON, deadlineMS float64) peerResult {
+	pr := peerResult{peerID: n.part.Self(), outcome: "local"}
+	in := make([]online.Sample, len(samples))
+	for i, s := range samples {
+		in[i] = online.Sample{MachineID: s.MachineID, Platform: s.Platform, Counters: s.Counters}
+	}
+	deadline := time.Duration(deadlineMS * float64(time.Millisecond))
+	res, err := n.cfg.Local.Estimate(in, deadline, nil)
+	if res != nil {
+		pr.perMach = res.PerMachine
+		pr.versions = res.Versions
+	}
+	if err != nil {
+		pr.outcome = "degraded: " + err.Error()
+	}
+	return pr
+}
+
+// gatherRemote calls one owning peer, guarded by its breaker and subject
+// to injected node-level chaos. Failure taxonomy: transport errors and
+// 5xx trip the breaker (the peer itself is sick); 429/503/504 do not
+// (the peer answered — it is overloaded, not dead).
+func (n *Node) gatherRemote(peerID string, samples []serve.SampleJSON, deadlineMS float64) peerResult {
+	pr := peerResult{peerID: peerID}
+	peer, _ := n.part.Peer(peerID)
+	brk := n.breaker(peerID)
+	if brk != nil && !brk.Allow() {
+		pr.outcome = "open"
+		return pr
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PeerDeadline)
+	defer cancel()
+
+	// Node-level chaos rides the same second index as machine faults.
+	if inj := n.cfg.Injector; inj != nil {
+		t := n.simSecond()
+		if inj.PeerDown(peerID, t) {
+			pr.outcome = "down"
+			n.fail(peerID, brk)
+			return pr
+		}
+		if inj.PeerPartitioned(peerID, t) {
+			<-ctx.Done() // partition: the call hangs until its deadline
+			pr.outcome = "down"
+			n.fail(peerID, brk)
+			return pr
+		}
+		if ms := inj.PeerLatencyMS(peerID, t, 0); ms > 0 {
+			select {
+			case <-time.After(time.Duration(ms) * time.Millisecond):
+			case <-ctx.Done():
+				pr.outcome = "down"
+				n.fail(peerID, brk)
+				return pr
+			}
+		}
+	}
+
+	reqBody, err := json.Marshal(serve.EstimateRequest{Samples: samples, DeadlineMS: deadlineMS})
+	if err != nil {
+		pr.outcome = "degraded: " + err.Error()
+		return pr
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+peer.Addr+"/v1/estimate", bytes.NewReader(reqBody))
+	if err != nil {
+		pr.outcome = "degraded: " + err.Error()
+		return pr
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := n.cfg.Client.Do(httpReq)
+	if err != nil {
+		pr.outcome = "down"
+		n.fail(peerID, brk)
+		return pr
+	}
+	defer httpResp.Body.Close()
+
+	var er serve.EstimateResponse
+	decodeErr := json.NewDecoder(httpResp.Body).Decode(&er)
+	switch {
+	case httpResp.StatusCode == http.StatusOK && decodeErr == nil:
+		pr.perMach = er.PerMachine
+		pr.versions = []string{er.ModelVersion}
+		pr.outcome = "ok"
+		n.ok(peerID, brk)
+	case httpResp.StatusCode >= http.StatusInternalServerError &&
+		httpResp.StatusCode != http.StatusServiceUnavailable &&
+		httpResp.StatusCode != http.StatusGatewayTimeout:
+		pr.outcome = "down"
+		n.fail(peerID, brk)
+	default:
+		// The peer answered: overloaded (429), model-less (503), late
+		// (504), or misdirected (421, stale partition view). Its machines
+		// are missing from this snapshot but the node is alive.
+		pr.outcome = fmt.Sprintf("degraded: peer status %d", httpResp.StatusCode)
+		n.ok(peerID, brk)
+	}
+	return pr
+}
+
+// ok and fail update breaker plus health gauge together.
+func (n *Node) ok(peerID string, brk *Breaker) {
+	if brk != nil {
+		brk.Success()
+	}
+	n.notePeer(peerID, true)
+}
+
+func (n *Node) fail(peerID string, brk *Breaker) {
+	if brk != nil {
+		brk.Failure()
+	}
+	n.notePeer(peerID, false)
+}
+
+// readBody caps and reads one request body.
+func readBody(r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	buf := &bytes.Buffer{}
+	if _, err := buf.ReadFrom(http.MaxBytesReader(nil, r.Body, 64<<20)); err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// writeJSON mirrors the serve package's response helper.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone
+}

@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// Replication wire protocol. The leader's registry journal is already a
+// replication log — append-only, CRC-framed, idempotent to replay — so
+// the tail endpoint ships its bytes verbatim and the follower reuses the
+// store package's frame decoder. Offsets are plain byte positions in the
+// journal file; the epoch (compaction count) invalidates them: when the
+// journal resets, every outstanding offset answers 410 Gone and the
+// follower re-bootstraps from a snapshot.
+const (
+	// tailChunkBytes caps one tail response, bounding follower memory no
+	// matter how far behind it is.
+	tailChunkBytes = 1 << 20
+	// tailPollInterval is the long-poll re-check cadence on the leader.
+	tailPollInterval = 25 * time.Millisecond
+	// tailMaxWait caps a long-poll wait regardless of the client's ask.
+	tailMaxWait = 30 * time.Second
+
+	// Replication response headers: the journal coordinates the body
+	// corresponds to.
+	HeaderEpoch   = "X-Chaos-Replication-Epoch"
+	HeaderRecords = "X-Chaos-Replication-Records"
+	HeaderSize    = "X-Chaos-Replication-Size"
+)
+
+// SnapshotResponse is the /v1/replicate/snapshot payload: the full
+// registry state plus the journal coordinates to resume tailing from.
+type SnapshotResponse struct {
+	Snapshot json.RawMessage `json:"snapshot"`
+	Offset   int64           `json:"offset"`
+	Records  int             `json:"records"`
+	Epoch    int             `json:"epoch"`
+}
+
+// MountReplication registers the leader-side replication endpoints for a
+// persistent registry.
+func MountReplication(mux *http.ServeMux, reg *registry.Registry) {
+	h := &replicationHandler{reg: reg}
+	mux.HandleFunc("/v1/replicate/tail", h.handleTail)
+	mux.HandleFunc("/v1/replicate/snapshot", h.handleSnapshot)
+}
+
+type replicationHandler struct{ reg *registry.Registry }
+
+// handleTail serves journal bytes from ?offset=N (long-polling via
+// ?wait_ms=W when caught up): 200 with raw CRC frames when bytes exist
+// past the offset, 204 when the wait expired with nothing new, 410 when
+// the offset or ?epoch=E no longer matches the journal (compaction or a
+// repaired torn tail shrank it) and the follower must resync.
+func (h *replicationHandler) handleTail(w http.ResponseWriter, r *http.Request) {
+	offset, err := strconv.ParseInt(r.URL.Query().Get("offset"), 10, 64)
+	if err != nil || offset < 0 {
+		http.Error(w, "offset must be a non-negative integer", http.StatusBadRequest)
+		return
+	}
+	wantEpoch := -1
+	if e := r.URL.Query().Get("epoch"); e != "" {
+		if wantEpoch, err = strconv.Atoi(e); err != nil {
+			http.Error(w, "epoch must be an integer", http.StatusBadRequest)
+			return
+		}
+	}
+	wait := time.Second
+	if ms := r.URL.Query().Get("wait_ms"); ms != "" {
+		n, err := strconv.Atoi(ms)
+		if err != nil || n < 0 {
+			http.Error(w, "wait_ms must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		wait = time.Duration(n) * time.Millisecond
+	}
+	if wait > tailMaxWait {
+		wait = tailMaxWait
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		path, size, records, epoch, ok := h.reg.ReplicationStatus()
+		if !ok {
+			http.Error(w, "registry is not persistent", http.StatusServiceUnavailable)
+			return
+		}
+		setCoords(w, size, records, epoch)
+		if (wantEpoch >= 0 && epoch != wantEpoch) || offset > size {
+			// The follower's offset points into a journal that no longer
+			// exists in that shape.
+			w.WriteHeader(http.StatusGone)
+			return
+		}
+		if size > offset {
+			h.serveChunk(w, r, path, offset, size, epoch)
+			return
+		}
+		if !time.Now().Before(deadline) {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(tailPollInterval):
+		}
+	}
+}
+
+// serveChunk reads journal bytes [offset, min(size, offset+chunk)) and
+// ships them verbatim. Compaction can reset the file between the status
+// check and the read; the post-read epoch check turns that race into the
+// 410 the follower already handles.
+func (h *replicationHandler) serveChunk(w http.ResponseWriter, r *http.Request, path string, offset, size int64, epoch int) {
+	end := size
+	if end > offset+tailChunkBytes {
+		end = offset + tailChunkBytes
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		http.Error(w, "opening journal: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	buf := make([]byte, end-offset)
+	read, err := io.ReadFull(io.NewSectionReader(f, offset, end-offset), buf)
+	_, _, _, nowEpoch, _ := h.reg.ReplicationStatus()
+	if nowEpoch != epoch {
+		w.WriteHeader(http.StatusGone)
+		return
+	}
+	if err != nil && read == 0 {
+		http.Error(w, "reading journal: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf[:read]) //nolint:errcheck // client gone
+}
+
+// handleSnapshot serves the bootstrap document.
+func (h *replicationHandler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap, size, records, epoch, err := h.reg.ReplicaSnapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	setCoords(w, size, records, epoch)
+	writeJSON(w, http.StatusOK, SnapshotResponse{Snapshot: snap, Offset: size, Records: records, Epoch: epoch})
+}
+
+func setCoords(w http.ResponseWriter, size int64, records, epoch int) {
+	w.Header().Set(HeaderEpoch, strconv.Itoa(epoch))
+	w.Header().Set(HeaderRecords, strconv.Itoa(records))
+	w.Header().Set(HeaderSize, strconv.FormatInt(size, 10))
+}

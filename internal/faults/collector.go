@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/counters"
+	"repro/internal/mathx"
 	"repro/internal/telemetry"
 )
 
@@ -36,12 +37,33 @@ type RetryPolicy struct {
 	BackoffMS     float64 // backoff before retry k is BackoffMS * 2^(k-1)
 	TimeoutMS     float64 // per-sample latency budget inside the 1 Hz tick
 	AttemptCostMS float64 // nominal cost of one clean attempt
+	// Jitter widens each backoff by a uniform factor in [1, 1+Jitter),
+	// drawn deterministically per (machine, attempt). Without it a shared
+	// outage synchronizes every machine's retry schedule and the fleet
+	// hammers the recovered dependency in lockstep.
+	Jitter float64
 }
 
 // DefaultRetry is the policy chaos-live uses: three attempts with 10 ms
-// doubling backoff inside a 250 ms budget.
+// doubling backoff (half-width decorrelation jitter) inside a 250 ms
+// budget.
 func DefaultRetry() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 3, BackoffMS: 10, TimeoutMS: 250, AttemptCostMS: 2}
+	return RetryPolicy{MaxAttempts: 3, BackoffMS: 10, TimeoutMS: 250, AttemptCostMS: 2, Jitter: 0.5}
+}
+
+// BackoffFor returns the backoff in milliseconds charged before retry
+// attempt k (1-based) for machine. The exponential base is scaled by a
+// jitter factor derived from (seed, machine, attempt) with the same
+// splitmix64 discipline the injector uses, so the schedule is fully
+// reproducible from the seed yet decorrelated across machines — retries
+// spread out instead of storming together.
+func (p RetryPolicy) BackoffFor(seed int64, machine string, attempt int) float64 {
+	base := p.BackoffMS * math.Pow(2, float64(attempt-1))
+	if p.Jitter <= 0 {
+		return base
+	}
+	r := splitmix{s: uint64(mathx.DeriveSeed(seed, fmt.Sprintf("retry:%s:%d", machine, attempt)))}
+	return base * (1 + p.Jitter*r.Float64())
 }
 
 // BreakerConfig is the circuit breaker guarding one machine's collector:
@@ -102,7 +124,7 @@ func NewCollector(machine string, inj *Injector, retry RetryPolicy, brk BreakerC
 	if retry.TimeoutMS <= 0 {
 		retry.TimeoutMS = DefaultRetry().TimeoutMS
 	}
-	if retry.BackoffMS < 0 || retry.AttemptCostMS < 0 {
+	if retry.BackoffMS < 0 || retry.AttemptCostMS < 0 || retry.Jitter < 0 {
 		return nil, fmt.Errorf("faults: negative retry costs %+v", retry)
 	}
 	if brk.FailThreshold <= 0 {
@@ -155,7 +177,7 @@ func (c *Collector) Collect(t int, fetch func() ([]float64, error)) (Result, err
 	}
 	for k := 0; k < maxAttempts; k++ {
 		if k > 0 {
-			res.LatencyMS += c.retry.BackoffMS * math.Pow(2, float64(k-1))
+			res.LatencyMS += c.retry.BackoffFor(c.inj.seed, c.machine, k)
 		}
 		res.Attempts++
 		ao := c.inj.Attempt(c.machine, t, k)

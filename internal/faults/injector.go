@@ -146,6 +146,47 @@ func (in *Injector) Attempt(machine string, t, attempt int) AttemptOutcome {
 	return out
 }
 
+// PeerDown reports whether the peer process is inside a crash window at
+// second t. A downed peer fails fast — the scatter-gather path records
+// one breaker failure and moves on.
+func (in *Injector) PeerDown(peer string, t int) bool {
+	for _, w := range in.sc.Peers[peer].Crashes {
+		if w.contains(t) {
+			injected("peer_crash")
+			return true
+		}
+	}
+	return false
+}
+
+// PeerPartitioned reports whether the peer is unreachable from this node
+// at second t: the process is up, but calls hang until their deadline.
+func (in *Injector) PeerPartitioned(peer string, t int) bool {
+	for _, w := range in.sc.Peers[peer].Partitions {
+		if w.contains(t) {
+			injected("peer_partition")
+			return true
+		}
+	}
+	return false
+}
+
+// PeerLatencyMS draws the injected latency for one call to peer at
+// second t: deterministic per (seed, peer, second, call index), so a
+// scatter-gather run replays identically from the seed.
+func (in *Injector) PeerLatencyMS(peer string, t, call int) float64 {
+	pf, ok := in.sc.Peers[peer]
+	if !ok || pf.SlowProb == 0 {
+		return 0
+	}
+	r := in.rng(fmt.Sprintf("peer:%s:%d:%d", peer, t, call))
+	if r.Float64() < pf.SlowProb {
+		injected("peer_slow")
+		return pf.SlowMS
+	}
+	return 0
+}
+
 // TransformOutcome reports the value-level faults applied to one row.
 type TransformOutcome struct {
 	// Stuck means the row was replaced with the frozen values of a wedged

@@ -1,0 +1,145 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultRetryBackoffJitterDeterministic locks the jittered backoff
+// contract: reproducible from (seed, machine, attempt), bounded by
+// [base, base*(1+Jitter)), exponential in the attempt, and decorrelated
+// across machines so fleet-wide retries do not synchronize.
+func TestFaultRetryBackoffJitterDeterministic(t *testing.T) {
+	p := RetryPolicy{BackoffMS: 10, Jitter: 0.5}
+	for attempt := 1; attempt <= 3; attempt++ {
+		base := 10.0
+		for k := 1; k < attempt; k++ {
+			base *= 2
+		}
+		got := p.BackoffFor(7, "m0", attempt)
+		if got < base || got >= base*1.5 {
+			t.Fatalf("attempt %d backoff %g outside [%g, %g)", attempt, got, base, base*1.5)
+		}
+		if again := p.BackoffFor(7, "m0", attempt); again != got {
+			t.Fatalf("attempt %d backoff not reproducible: %g then %g", attempt, got, again)
+		}
+	}
+
+	// Distinct machines must land on distinct schedules — identical
+	// backoffs across the fleet are exactly the storm jitter prevents.
+	distinct := map[float64]bool{}
+	for _, m := range []string{"m0", "m1", "m2", "m3"} {
+		distinct[p.BackoffFor(7, m, 1)] = true
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("only %d distinct backoffs across 4 machines", len(distinct))
+	}
+
+	// Zero jitter degrades to the plain exponential.
+	plain := RetryPolicy{BackoffMS: 10}
+	if got := plain.BackoffFor(7, "m0", 2); got != 20 {
+		t.Fatalf("jitterless backoff = %g, want 20", got)
+	}
+	// Negative jitter is rejected at construction.
+	inj, err := NewInjector(&Scenario{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCollector("m0", inj, RetryPolicy{Jitter: -0.1}, BreakerConfig{}); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+// TestDistPeerScenarioValidation covers the peer-fault schema: bad
+// probabilities, missing latency sizes, and overlapping windows all fail
+// loudly; a well-formed scenario round-trips through ParseScenario.
+func TestDistPeerScenarioValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		sc   Scenario
+		want string
+	}{
+		{"empty peer id", Scenario{Peers: map[string]PeerFaults{"": {}}}, "empty peer ID"},
+		{"slow_prob range", Scenario{Peers: map[string]PeerFaults{"n1": {SlowProb: 1.5, SlowMS: 10}}}, "slow_prob"},
+		{"slow_ms missing", Scenario{Peers: map[string]PeerFaults{"n1": {SlowProb: 0.5}}}, "needs slow_ms"},
+		{"negative slow_ms", Scenario{Peers: map[string]PeerFaults{"n1": {SlowMS: -1}}}, "negative slow_ms"},
+		{"overlapping crashes", Scenario{Peers: map[string]PeerFaults{"n1": {
+			Crashes: []Window{{StartS: 0, EndS: 10}, {StartS: 5, EndS: 15}},
+		}}}, "overlap"},
+		{"inverted partition", Scenario{Peers: map[string]PeerFaults{"n1": {
+			Partitions: []Window{{StartS: 10, EndS: 10}},
+		}}}, "empty or inverted"},
+	}
+	for _, tc := range bad {
+		err := tc.sc.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	sc, err := ParseScenario(strings.NewReader(`{
+		"name": "node-chaos",
+		"peers": {
+			"n2": {"crashes": [{"start_s": 5, "end_s": 15}], "slow_prob": 0.2, "slow_ms": 300},
+			"n3": {"partitions": [{"start_s": 0, "end_s": 4}]}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Peers) != 2 || len(sc.Peers["n2"].Crashes) != 1 {
+		t.Fatalf("peers did not round-trip: %+v", sc.Peers)
+	}
+}
+
+// TestDistPeerFaultInjection replays node-level faults: crash and
+// partition windows are honored second by second, and slow-peer latency
+// is deterministic per (seed, peer, second, call).
+func TestDistPeerFaultInjection(t *testing.T) {
+	sc := &Scenario{Peers: map[string]PeerFaults{
+		"n2": {Crashes: []Window{{StartS: 3, EndS: 6}}, SlowProb: 0.5, SlowMS: 250},
+		"n3": {Partitions: []Window{{StartS: 1, EndS: 2}}},
+	}}
+	in, err := NewInjector(sc, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		t    int
+		down bool
+	}{{2, false}, {3, true}, {5, true}, {6, false}} {
+		if got := in.PeerDown("n2", tc.t); got != tc.down {
+			t.Errorf("PeerDown(n2, %d) = %v, want %v", tc.t, got, tc.down)
+		}
+	}
+	if in.PeerDown("n3", 4) || !in.PeerPartitioned("n3", 1) || in.PeerPartitioned("n3", 2) {
+		t.Error("partition windows not honored")
+	}
+	if in.PeerPartitioned("unlisted", 0) || in.PeerDown("unlisted", 0) {
+		t.Error("faults injected for a peer with no scenario entry")
+	}
+
+	slowed, zeros := 0, 0
+	for call := 0; call < 200; call++ {
+		ms := in.PeerLatencyMS("n2", 10, call)
+		again := in.PeerLatencyMS("n2", 10, call)
+		if ms != again {
+			t.Fatalf("call %d latency not deterministic: %g then %g", call, ms, again)
+		}
+		switch ms {
+		case 250:
+			slowed++
+		case 0:
+			zeros++
+		default:
+			t.Fatalf("call %d latency %g, want 0 or 250", call, ms)
+		}
+	}
+	// SlowProb 0.5 over 200 draws: both outcomes must appear in bulk.
+	if slowed < 50 || zeros < 50 {
+		t.Fatalf("latency draws skewed: %d slow, %d clean", slowed, zeros)
+	}
+	if in.PeerLatencyMS("n3", 0, 0) != 0 {
+		t.Error("latency injected for a peer without slow faults")
+	}
+}

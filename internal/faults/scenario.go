@@ -63,6 +63,24 @@ type Crash struct {
 // window returns the crash's downtime as a Window.
 func (c Crash) window() Window { return Window{StartS: c.AtS, EndS: c.AtS + c.DowntimeS} }
 
+// PeerFaults are node-level faults applied to one serving peer in a
+// distributed deployment: whole-process outages and network-level
+// degradation, as seen from the node doing the scatter-gather.
+type PeerFaults struct {
+	// Crashes are windows when the peer process is down entirely (killed,
+	// rebooting): every call to it fails fast.
+	Crashes []Window `json:"crashes,omitempty"`
+	// Partitions are windows when the peer is up but unreachable from
+	// this node (network partition): calls hang until deadline.
+	Partitions []Window `json:"partitions,omitempty"`
+	// SlowProb is the per-call probability of an injected latency of
+	// SlowMS milliseconds (overloaded peer, congested link).
+	SlowProb float64 `json:"slow_prob,omitempty"`
+	// SlowMS is the size of one injected peer latency in milliseconds.
+	// Required (> 0) when SlowProb > 0.
+	SlowMS float64 `json:"slow_ms,omitempty"`
+}
+
 // Scenario is a reproducible fault-injection plan for one streaming run.
 // Scenarios are plain JSON (see examples/faults-crashy.json); unknown
 // fields are rejected so schema typos fail loudly.
@@ -80,6 +98,9 @@ type Scenario struct {
 	// Crashes are machine outages. Windows for the same machine must not
 	// overlap.
 	Crashes []Crash `json:"crashes,omitempty"`
+	// Peers are node-level faults keyed by peer ID, injected into the
+	// scatter-gather path of a distributed deployment.
+	Peers map[string]PeerFaults `json:"peers,omitempty"`
 }
 
 // validateFaults checks one machine's fault rates.
@@ -164,6 +185,26 @@ func (s *Scenario) Validate() error {
 	}
 	for id, ws := range byMachine {
 		if err := checkWindows("crashes("+id+")", ws); err != nil {
+			return err
+		}
+	}
+	for id, pf := range s.Peers {
+		if id == "" {
+			return fmt.Errorf("faults: peers entry with empty peer ID")
+		}
+		if pf.SlowProb < 0 || pf.SlowProb > 1 {
+			return fmt.Errorf("faults: peer %s: slow_prob %g outside [0, 1]", id, pf.SlowProb)
+		}
+		if pf.SlowMS < 0 {
+			return fmt.Errorf("faults: peer %s: negative slow_ms %g", id, pf.SlowMS)
+		}
+		if pf.SlowProb > 0 && pf.SlowMS == 0 {
+			return fmt.Errorf("faults: peer %s: slow_prob %g needs slow_ms > 0", id, pf.SlowProb)
+		}
+		if err := checkWindows("peer("+id+") crashes", pf.Crashes); err != nil {
+			return err
+		}
+		if err := checkWindows("peer("+id+") partitions", pf.Partitions); err != nil {
 			return err
 		}
 	}

@@ -54,6 +54,9 @@ type persister struct {
 	dir          string
 	compactBytes int64
 	compactions  int
+	// records counts the journal's current record frames — what a
+	// replication follower's applied count is measured against.
+	records int
 }
 
 // OpenOptions tunes Open. Zero values take defaults.
@@ -128,7 +131,7 @@ func Open(dir string, opts OpenOptions) (*Registry, *Recovery, error) {
 		return nil, nil, err
 	}
 	rec.Journal = jrec
-	r.persist = &persister{j: j, dir: dir, compactBytes: opts.CompactBytes}
+	r.persist = &persister{j: j, dir: dir, compactBytes: opts.CompactBytes, records: jrec.Records}
 	rec.Versions = len(r.versions)
 	rec.Active = r.ActiveVersion()
 	return r, rec, nil
@@ -242,6 +245,7 @@ func (r *Registry) appendLocked(rc record) error {
 	if err := r.persist.j.Append(b); err != nil {
 		return err
 	}
+	r.persist.records++
 	if r.persist.j.Size() > r.persist.compactBytes {
 		return r.compactLocked()
 	}
@@ -253,6 +257,25 @@ func (r *Registry) appendLocked(rc record) error {
 // lands (atomically) while the journal still holds everything, so a crash
 // before the reset merely replays duplicates, which applyAdmit skips.
 func (r *Registry) compactLocked() error {
+	data, err := r.snapshotLocked()
+	if err != nil {
+		return err
+	}
+	if err := store.WriteFileAtomic(filepath.Join(r.persist.dir, snapshotName), data, 0o644); err != nil {
+		return err
+	}
+	r.persist.compactions++
+	if err := r.persist.j.Reset(); err != nil {
+		return err
+	}
+	r.persist.records = 0
+	return nil
+}
+
+// snapshotLocked marshals the full registry state — the compaction file
+// and the replication bootstrap document are the same bytes. Caller holds
+// r.mu.
+func (r *Registry) snapshotLocked() ([]byte, error) {
 	entries := make([]*Entry, 0, len(r.versions))
 	for _, e := range r.versions {
 		entries = append(entries, e)
@@ -265,7 +288,7 @@ func (r *Registry) compactLocked() error {
 	for _, e := range entries {
 		model, err := json.Marshal(e.Model)
 		if err != nil {
-			return fmt.Errorf("registry: marshaling %s for snapshot: %w", e.Version, err)
+			return nil, fmt.Errorf("registry: marshaling %s for snapshot: %w", e.Version, err)
 		}
 		snap.Admits = append(snap.Admits, record{
 			Op: "admit", Version: e.Version, Meta: e.Meta,
@@ -274,13 +297,9 @@ func (r *Registry) compactLocked() error {
 	}
 	data, err := json.Marshal(snap)
 	if err != nil {
-		return fmt.Errorf("registry: marshaling snapshot: %w", err)
+		return nil, fmt.Errorf("registry: marshaling snapshot: %w", err)
 	}
-	if err := store.WriteFileAtomic(filepath.Join(r.persist.dir, snapshotName), data, 0o644); err != nil {
-		return err
-	}
-	r.persist.compactions++
-	return r.persist.j.Reset()
+	return data, nil
 }
 
 // Compactions returns how many snapshot compactions have run (tests and

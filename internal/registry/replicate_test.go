@@ -1,0 +1,193 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// sameReplicatedState compares two registries through their serialized
+// listing plus rollback target — the wire-level contract replication
+// promises. (reflect.DeepEqual would trip over the leader's in-process
+// monotonic clock readings, which never cross the wire.)
+func sameReplicatedState(t *testing.T, got, want *Registry, context string) {
+	t.Helper()
+	gl, gp := stateOf(got)
+	wl, wp := stateOf(want)
+	gj, err := json.Marshal(gl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, err := json.Marshal(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("%s: List() diverged:\n got %s\nwant %s", context, gj, wj)
+	}
+	if gp != wp {
+		t.Fatalf("%s: rollback target %q, want %q", context, gp, wp)
+	}
+}
+
+// leaderJournalPayloads reads the leader's journal file and decodes its
+// record payloads — exactly what the replication tail endpoint ships.
+func leaderJournalPayloads(t *testing.T, r *Registry) [][]byte {
+	t.Helper()
+	path, _, _, _, ok := r.ReplicationStatus()
+	if !ok {
+		t.Fatal("leader registry is not persistent")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, consumed, err := store.DecodeFrames(data)
+	if err != nil || consumed != len(data) {
+		t.Fatalf("leader journal decode: consumed %d/%d, err %v", consumed, len(data), err)
+	}
+	out := make([][]byte, len(payloads))
+	for i, p := range payloads {
+		out[i] = append([]byte(nil), p...)
+	}
+	return out
+}
+
+// TestDistRegistryApplyReplicatedIdempotent replays a leader journal into
+// a follower twice over: the first pass converges the follower onto the
+// leader's exact state, the second pass (the post-restart re-fetch) must
+// be a clean no-op — no duplicate admissions, no state drift.
+func TestDistRegistryApplyReplicatedIdempotent(t *testing.T) {
+	leader, _ := mustOpen(t, t.TempDir(), OpenOptions{})
+	defer leader.Close()
+	if err := leader.Add("v1", mkCluster(t, "p", 1), Meta{Description: "first"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Add("v2", mkCluster(t, "p", 2), Meta{Source: "retrain"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Activate("v2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	follower, _ := mustOpen(t, t.TempDir(), OpenOptions{})
+	defer follower.Close()
+	payloads := leaderJournalPayloads(t, leader)
+	applied := 0
+	for _, p := range payloads {
+		what, err := follower.ApplyReplicated(p)
+		if err != nil {
+			t.Fatalf("apply %s: %v", p, err)
+		}
+		if what != "" {
+			applied++
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no records applied")
+	}
+	sameReplicatedState(t, follower, leader, "after first replay")
+
+	// The restart case: the whole batch arrives again. Re-admissions must
+	// dedupe to nothing; re-activations are last-writer-wins and converge,
+	// so the batch as a whole leaves the state untouched.
+	for _, p := range payloads {
+		what, err := follower.ApplyReplicated(p)
+		if err != nil {
+			t.Fatalf("re-apply: %v", err)
+		}
+		if strings.HasPrefix(what, "admit:") {
+			t.Fatalf("second replay duplicated admission %q", what)
+		}
+	}
+	sameReplicatedState(t, follower, leader, "after duplicate replay")
+	if follower.Len() != 2 {
+		t.Fatalf("follower has %d versions after duplicate replay, want 2", follower.Len())
+	}
+
+	// An activation for a version the follower never admitted signals
+	// divergence and must error (the follower resyncs from a snapshot).
+	if _, err := follower.ApplyReplicated([]byte(`{"op":"activate","version":"ghost"}`)); err == nil {
+		t.Fatal("activation of unknown version applied silently")
+	}
+	// The follower's own journal must recover the replicated state.
+	follower.Close()
+	reopened, rec := mustOpen(t, follower.persist.dir, OpenOptions{})
+	defer reopened.Close()
+	if !rec.Journal.Clean() {
+		t.Fatalf("follower journal not clean after replication: %+v", rec.Journal)
+	}
+	sameReplicatedState(t, reopened, leader, "follower reopened from its own journal")
+}
+
+// TestDistRegistrySnapshotBootstrap bootstraps a follower from
+// ReplicaSnapshot and checks the returned offset coordinates line up
+// with the leader journal, so tailing can resume exactly where the
+// snapshot left off.
+func TestDistRegistrySnapshotBootstrap(t *testing.T) {
+	leader, _ := mustOpen(t, t.TempDir(), OpenOptions{})
+	defer leader.Close()
+	for _, v := range []string{"v1", "v2", "v3"} {
+		if err := leader.Add(v, mkCluster(t, "p", 1), Meta{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Activate("v3"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, size, records, epoch, err := leader.ReplicaSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, wantSize, wantRecords, wantEpoch, _ := leader.ReplicationStatus()
+	if size != wantSize || records != wantRecords || epoch != wantEpoch {
+		t.Fatalf("snapshot coordinates (%d, %d, %d) disagree with status (%d, %d, %d)",
+			size, records, epoch, wantSize, wantRecords, wantEpoch)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() != size {
+		t.Fatalf("journal file is %v/%v bytes, snapshot says %d", st, err, size)
+	}
+
+	follower, _ := mustOpen(t, t.TempDir(), OpenOptions{})
+	defer follower.Close()
+	if err := follower.ApplySnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	sameReplicatedState(t, follower, leader, "after snapshot bootstrap")
+	// Applying the same snapshot again is the resync path — idempotent.
+	if err := follower.ApplySnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	sameReplicatedState(t, follower, leader, "after snapshot re-apply")
+}
+
+// TestDistRegistryReplicationEpochAdvancesOnCompaction locks the offset
+// invalidation signal: compaction resets the journal, so the record
+// count drops to zero and the epoch advances — a follower holding a byte
+// offset into the old journal must notice and resync.
+func TestDistRegistryReplicationEpochAdvancesOnCompaction(t *testing.T) {
+	r, _ := mustOpen(t, t.TempDir(), OpenOptions{CompactBytes: 256})
+	defer r.Close()
+	if _, _, records, epoch, ok := r.ReplicationStatus(); !ok || records != 0 || epoch != 0 {
+		t.Fatalf("fresh registry status: records %d epoch %d ok %v", records, epoch, ok)
+	}
+	if err := r.Add("v1", mkCluster(t, "p", 1), Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	// One admission record overflows the tiny bound, so compaction has run.
+	_, size, records, epoch, _ := r.ReplicationStatus()
+	if epoch == 0 {
+		t.Fatalf("compaction did not advance epoch (journal %d bytes, %d records)", size, records)
+	}
+	if records != 0 || size != 0 {
+		t.Fatalf("post-compaction journal not reset: %d bytes, %d records", size, records)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -69,6 +70,10 @@ type EstimateResponse struct {
 	// TraceID is set when the request was traced; the full span breakdown
 	// is retrievable at /debug/traces/<id>.
 	TraceID string `json:"trace_id,omitempty"`
+	// Owner and OwnerAddr are the redirect hint on a 421 response: the
+	// peer that owns the rejected machine in a distributed deployment.
+	Owner     string `json:"owner,omitempty"`
+	OwnerAddr string `json:"owner_addr,omitempty"`
 }
 
 // BatchRequest carries many snapshots in one HTTP round trip.
@@ -205,6 +210,22 @@ func (s *Server) estimateOnce(req EstimateRequest, deadline time.Duration, at *o
 	if len(req.Samples) == 0 {
 		return EstimateResponse{Status: http.StatusBadRequest, Error: "no samples"}
 	}
+	if s.cfg.Owner != nil {
+		for _, sj := range req.Samples {
+			peer, addr, local := s.cfg.Owner(sj.MachineID)
+			if !local {
+				// 421 Misdirected Request: this node does not own the
+				// machine's predictors. The hint tells the client (or the
+				// scatter-gather front door) where to go.
+				return EstimateResponse{
+					Status:    http.StatusMisdirectedRequest,
+					Error:     fmt.Sprintf("machine %s is owned by peer %s", sj.MachineID, peer),
+					Owner:     peer,
+					OwnerAddr: addr,
+				}
+			}
+		}
+	}
 	if req.DeadlineMS > 0 {
 		deadline = time.Duration(req.DeadlineMS * float64(time.Millisecond))
 	}
@@ -264,6 +285,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := s.estimateOnce(req, 0, at)
 	status = resp.Status
+	s.setBackpressureHeaders(w, resp)
 	if at != nil {
 		resp.TraceID = at.TraceID()
 		w.Header().Set("traceparent", obs.FormatTraceparent(at.TraceID(), at.SpanID()))
@@ -322,6 +344,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if res.Status > status {
 			status = res.Status
 		}
+		if res.Status == http.StatusTooManyRequests {
+			// Any shed sub-result means the pool is backed up; give the
+			// whole batch the same backoff hint a single shed would get.
+			s.setBackpressureHeaders(w, res)
+		}
 	}
 	if at != nil {
 		w.Header().Set("traceparent", obs.FormatTraceparent(at.TraceID(), at.SpanID()))
@@ -330,6 +357,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 	at.Span("respond", respondStart, time.Since(respondStart))
 	at.End(traceStatus(status))
+}
+
+// setBackpressureHeaders annotates shed and misdirected responses: a 429
+// carries Retry-After derived from the live queue backlog (integer
+// seconds, floor 1 — the header's own granularity), a 421 carries the
+// owning peer so clients can redirect without re-parsing the body.
+func (s *Server) setBackpressureHeaders(w http.ResponseWriter, resp EstimateResponse) {
+	switch resp.Status {
+	case http.StatusTooManyRequests:
+		secs := int(s.RetryAfterHint().Seconds() + 0.999)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	case http.StatusMisdirectedRequest:
+		w.Header().Set("X-Chaos-Owner", resp.Owner)
+		w.Header().Set("X-Chaos-Owner-Addr", resp.OwnerAddr)
+	}
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -504,11 +549,18 @@ type HTTPServer struct {
 
 // Serve binds addr (":8080", "127.0.0.1:0") and serves the engine's API.
 func Serve(addr string, s *Server) (*HTTPServer, error) {
+	return ServeHandler(addr, NewMux(s))
+}
+
+// ServeHandler binds addr and serves an arbitrary handler — the
+// distributed mode mounts its cluster front door and replication
+// endpoints on top of NewMux before listening.
+func ServeHandler(addr string, h http.Handler) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: NewMux(s), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
 	return &HTTPServer{srv: srv, ln: ln}, nil
 }

@@ -86,6 +86,12 @@ type Config struct {
 	// labeled outcomes — the SLO tracker's feed. Calls happen on the
 	// request goroutine, so implementations must be cheap.
 	Observer Observer
+	// Owner, when set, is the distributed-mode partition check: it reports
+	// which peer owns a machine ID and whether that peer is this node.
+	// Direct estimates for non-owned machines are rejected with 421 and a
+	// redirect hint instead of being served from predictors whose lag
+	// history lives on another node.
+	Owner func(machineID string) (peer, addr string, local bool)
 }
 
 // Observer is the serving engine's outcome feed: request latencies per
@@ -253,6 +259,21 @@ func (s *Server) Drained() int {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	return s.drained
+}
+
+// RetryAfterHint estimates how long a shed client should wait before
+// retrying: the deepest shard queue, expressed in batch drains (each
+// drain clears up to BatchMax samples per BatchWindow). The hint tracks
+// actual backlog, so a briefly-full queue asks for a short pause while a
+// deep one spreads the retry storm out.
+func (s *Server) RetryAfterHint() time.Duration {
+	deepest := 0
+	for _, sh := range s.shards {
+		if d := len(sh.queue); d > deepest {
+			deepest = d
+		}
+	}
+	return time.Duration(deepest/s.cfg.BatchMax+1) * s.cfg.BatchWindow
 }
 
 // shardFor routes a machine ID to its shard.

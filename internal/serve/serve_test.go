@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -345,11 +346,28 @@ func TestServeBackpressure429(t *testing.T) {
 	go post() // these two occupy the depth-2 queue
 	waitQueued(t, base, 2)
 
-	// Queue full: the next requests must shed immediately with 429.
+	// Queue full: the next requests must shed immediately with 429, each
+	// carrying a Retry-After hint derived from the queue backlog so the
+	// client backs off instead of hammering.
 	for i := 0; i < 3; i++ {
-		status, body := postJSON(t, client, base+"/v1/estimate", EstimateRequest{Samples: []SampleJSON{sample("m1", 1, 1)}})
-		if status != http.StatusTooManyRequests {
-			t.Fatalf("overload request %d: status %d body %s, want 429", i, status, body)
+		data, err := json.Marshal(EstimateRequest{Samples: []SampleJSON{sample("m1", 1, 1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Post(base+"/v1/estimate", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("overload request %d: status %d, want 429", i, resp.StatusCode)
+		}
+		ra := resp.Header.Get("Retry-After")
+		if ra == "" {
+			t.Fatalf("overload request %d: 429 without Retry-After header", i)
+		}
+		if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+			t.Fatalf("overload request %d: Retry-After %q, want integer seconds >= 1", i, ra)
 		}
 	}
 
@@ -741,5 +759,56 @@ func TestLifecycleShadowMirrorUnderSwap(t *testing.T) {
 	}
 	if observations.Load() == 0 {
 		t.Error("mirror never produced an observation")
+	}
+}
+
+// TestDistServeOwnershipRejection: a node with a partition check rejects
+// estimates for machines it does not own with 421 and a redirect hint —
+// serving them locally would use predictors whose lag history lives on
+// the owning peer.
+func TestDistServeOwnershipRejection(t *testing.T) {
+	_, base := newTestServer(t, Config{
+		Owner: func(machineID string) (string, string, bool) {
+			if machineID == "m-local" {
+				return "n1", "127.0.0.1:1", true
+			}
+			return "n2", "10.0.0.2:8080", false
+		},
+	})
+	client := &http.Client{}
+
+	status, body := postJSON(t, client, base+"/v1/estimate", EstimateRequest{
+		Samples: []SampleJSON{sample("m-local", 1, 1)},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("owned machine: status %d body %s", status, body)
+	}
+
+	data, err := json.Marshal(EstimateRequest{
+		Samples: []SampleJSON{sample("m-local", 1, 1), sample("m-remote", 2, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(base+"/v1/estimate", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("non-owned machine: status %d, want 421", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Chaos-Owner"); got != "n2" {
+		t.Errorf("X-Chaos-Owner = %q, want n2", got)
+	}
+	if got := resp.Header.Get("X-Chaos-Owner-Addr"); got != "10.0.0.2:8080" {
+		t.Errorf("X-Chaos-Owner-Addr = %q, want 10.0.0.2:8080", got)
+	}
+	var er EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Owner != "n2" || er.OwnerAddr != "10.0.0.2:8080" {
+		t.Fatalf("redirect hint = %+v, want owner n2 at 10.0.0.2:8080", er)
 	}
 }

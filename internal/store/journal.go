@@ -78,9 +78,18 @@ func OpenJournal(path string, replay func(rec []byte) error) (*Journal, Recovery
 		}
 		n := int(binary.LittleEndian.Uint32(data[off:]))
 		end := off + frameHeader + n
-		if n > MaxRecord || end > len(data) {
-			// The frame claims to extend past EOF (or past any sane size):
-			// indistinguishable from a torn append.
+		if n > MaxRecord {
+			// A torn append leaves a prefix of a valid frame, so its length
+			// bytes are either missing or sane — a length beyond MaxRecord
+			// means the prefix itself is corrupt. Quarantine the suffix (it
+			// may hold valid records we can no longer find the boundaries
+			// of) rather than silently truncating it, and never size an
+			// allocation from the corrupt field.
+			corrupt, tornTail = off, false
+			break
+		}
+		if end > len(data) {
+			// The frame claims to extend past EOF: a torn append.
 			corrupt, tornTail = off, true
 			break
 		}
@@ -220,6 +229,40 @@ func (j *Journal) Reset() error {
 	fsyncsTotal.Inc()
 	j.size = 0
 	return nil
+}
+
+// ErrCorruptFrame reports that a frame prefix cannot be a valid record:
+// its length field exceeds MaxRecord or its checksum does not match. The
+// replication follower resynchronizes from a snapshot when it sees this.
+var ErrCorruptFrame = fmt.Errorf("store: corrupt frame")
+
+// DecodeFrames parses complete, checksum-valid frames from the front of
+// buf — the journal bytes a replication tail response carries verbatim.
+// It returns the record payloads (sub-slices of buf; copy before holding)
+// and the bytes consumed. A trailing partial frame is not an error: it is
+// simply left unconsumed for the caller to complete on the next read. The
+// length field is bounded against MaxRecord and the remaining buffer
+// before it can size anything, so a corrupted length prefix yields
+// ErrCorruptFrame, never a huge allocation.
+func DecodeFrames(buf []byte) (payloads [][]byte, consumed int, err error) {
+	off := 0
+	for len(buf)-off >= frameHeader {
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		if n > MaxRecord {
+			return payloads, off, fmt.Errorf("%w: length %d exceeds MaxRecord at offset %d", ErrCorruptFrame, n, off)
+		}
+		end := off + frameHeader + n
+		if end > len(buf) {
+			break // partial tail frame: wait for more bytes
+		}
+		payload := buf[off+frameHeader : end]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[off+4:]) {
+			return payloads, off, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorruptFrame, off)
+		}
+		payloads = append(payloads, payload)
+		off = end
+	}
+	return payloads, off, nil
 }
 
 // Path returns the journal's file path.

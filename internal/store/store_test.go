@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -309,5 +310,168 @@ func TestStoreCheckpointer(t *testing.T) {
 	}
 	if _, err := NewCheckpointer(path, time.Second, nil); err == nil {
 		t.Error("nil source accepted")
+	}
+}
+
+// frameFor builds one valid journal frame around payload.
+func frameFor(payload []byte) []byte {
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeader:], payload)
+	return frame
+}
+
+// TestStoreOversizedLengthPrefixQuarantined is the regression test for a
+// corrupted LE length prefix mid-file: a flipped length field must be
+// treated as corruption — the unreachable suffix preserved in a
+// quarantine sidecar, never silently truncated away and never used to
+// size an allocation — while every record before it still replays.
+func TestStoreOversizedLengthPrefixQuarantined(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	good := frameFor([]byte("first"))
+	bad := make([]byte, frameHeader+32)
+	binary.LittleEndian.PutUint32(bad, uint32(MaxRecord+4096))
+	copy(bad[frameHeader:], bytes.Repeat([]byte{0xab}, 32))
+	suffix := frameFor([]byte("unreachable-but-valid"))
+	if err := os.WriteFile(path, append(append(append([]byte(nil), good...), bad...), suffix...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, rec, recs := openCollect(t, path)
+	defer j.Close()
+	if len(recs) != 1 || string(recs[0]) != "first" {
+		t.Fatalf("replayed %d records (%q), want just the one before the corruption", len(recs), recs)
+	}
+	if rec.QuarantineFile == "" {
+		t.Fatalf("oversized length prefix not quarantined: %+v", rec)
+	}
+	if want := int64(len(bad) + len(suffix)); rec.QuarantinedBytes != want {
+		t.Errorf("quarantined %d bytes, want the whole %d-byte suffix", rec.QuarantinedBytes, want)
+	}
+	qdata, err := os.ReadFile(rec.QuarantineFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(qdata, append(append([]byte(nil), bad...), suffix...)) {
+		t.Error("quarantine sidecar does not preserve the dropped bytes")
+	}
+	// The repaired journal accepts appends and reopens clean.
+	if err := j.Append([]byte("after-repair")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, rec2, recs2 := openCollect(t, path)
+	defer j2.Close()
+	if !rec2.Clean() || len(recs2) != 2 {
+		t.Fatalf("post-repair open = %+v with %d records", rec2, len(recs2))
+	}
+}
+
+// TestStoreDecodeFramesBounds locks the streaming decoder the replication
+// follower feeds tail responses through: complete frames decode, a
+// partial tail frame is left unconsumed, and a corrupt length prefix
+// errors before any allocation could be sized from it.
+func TestStoreDecodeFramesBounds(t *testing.T) {
+	a, b := frameFor([]byte("alpha")), frameFor([]byte("beta"))
+	buf := append(append([]byte(nil), a...), b...)
+
+	payloads, consumed, err := DecodeFrames(buf)
+	if err != nil || consumed != len(buf) || len(payloads) != 2 ||
+		string(payloads[0]) != "alpha" || string(payloads[1]) != "beta" {
+		t.Fatalf("DecodeFrames = %q consumed %d err %v", payloads, consumed, err)
+	}
+
+	// A partial trailing frame is not corruption: it is simply not consumed.
+	partial := append(append([]byte(nil), buf...), b[:frameHeader+2]...)
+	payloads, consumed, err = DecodeFrames(partial)
+	if err != nil || consumed != len(buf) || len(payloads) != 2 {
+		t.Fatalf("partial tail: %d payloads consumed %d err %v, want 2 consumed %d", len(payloads), consumed, err, len(buf))
+	}
+
+	// An oversized length claim is corruption, reported before allocating.
+	huge := make([]byte, frameHeader+8)
+	binary.LittleEndian.PutUint32(huge, uint32(MaxRecord+1))
+	payloads, consumed, err = DecodeFrames(append(append([]byte(nil), a...), huge...))
+	if err == nil || consumed != len(a) || len(payloads) != 1 {
+		t.Fatalf("oversized length: %d payloads consumed %d err %v, want error after first frame", len(payloads), consumed, err)
+	}
+
+	// A flipped payload bit fails the checksum.
+	flipped := append([]byte(nil), a...)
+	flipped[frameHeader] ^= 0x01
+	if _, _, err := DecodeFrames(flipped); err == nil {
+		t.Error("checksum mismatch not reported")
+	}
+}
+
+// TestDistJournalAppendResetSizeRace locks the compaction/append
+// interleaving the replication tailer depends on: Append after Reset with
+// a concurrent Size reader must be race-free, Size must never go
+// negative, and whatever survives the interleaving must reopen clean.
+func TestDistJournalAppendResetSizeRace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	j, rec, _ := openCollect(t, path)
+	if !rec.Clean() {
+		t.Fatalf("fresh journal not clean: %+v", rec)
+	}
+
+	stop := make(chan struct{})
+	var sizeErr error
+	done := make(chan struct{})
+	go func() { // the tailer's view: poll Size while writers churn
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s := j.Size(); s < 0 && sizeErr == nil {
+				sizeErr = fmt.Errorf("Size() = %d", s)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if w == 0 && i%50 == 49 { // the compactor's reset
+					if err := j.Reset(); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				if err := j.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-done
+	if sizeErr != nil {
+		t.Fatal(sizeErr)
+	}
+
+	// Append still works after the final Reset/append interleaving, and
+	// the journal's surviving contents replay without repair.
+	if err := j.Append([]byte("marker")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, rec2, recs := openCollect(t, path)
+	defer j2.Close()
+	if !rec2.Clean() {
+		t.Fatalf("journal after churn not clean: %+v", rec2)
+	}
+	if len(recs) == 0 || string(recs[len(recs)-1]) != "marker" {
+		t.Fatalf("last record = %q over %d records, want marker", recs, len(recs))
 	}
 }
