@@ -117,12 +117,38 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		snapshots = fs.Int("snapshots", 1500, "snapshots replayed per cell (after warmup)")
 		platform  = fs.String("platform", "Core2", "simulated platform class")
 		workloads = fs.String("workloads", "Prime,Sort", "workload sequence to replay")
+
+		clusterMode = fs.Bool("cluster", false, "benchmark the event-driven datacenter simulator instead of the serving path")
+		clusterMs   = fs.String("cluster-machines", "100,1000,20000", "comma-separated fleet sizes for -cluster")
+		simSeconds  = fs.Int64("sim-seconds", 3600, "simulated seconds per -cluster cell")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *check != "" {
 		if err := checkDoc(*check, stdout); err != nil {
+			fmt.Fprintln(stderr, "chaos-bench:", err)
+			return 1
+		}
+		return 0
+	}
+	if *clusterMode {
+		sizes, err := parseInts(*clusterMs)
+		if err == nil {
+			if *quick {
+				if len(sizes) > 2 {
+					sizes = sizes[:2]
+				}
+				if *simSeconds > 300 {
+					*simSeconds = 300
+				}
+			}
+			if *out == "BENCH_serve.json" {
+				*out = "BENCH_cluster.json"
+			}
+			err = runClusterBench(stdout, *out, *seed, sizes, *simSeconds)
+		}
+		if err != nil {
 			fmt.Fprintln(stderr, "chaos-bench:", err)
 			return 1
 		}
@@ -381,11 +407,22 @@ func roundMs(d time.Duration) float64 { return math.Round(d.Seconds()*1e5) / 100
 
 // checkDoc validates a benchmark document: schema version, grid
 // coverage, and sane measurements. CI runs it against both the committed
-// file and fresh -quick output.
+// file and fresh -quick output. The document's schema field picks the
+// validator: serving documents here, cluster documents in
+// checkClusterDoc.
 func checkDoc(path string, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if probe.Schema == ClusterSchema {
+		return checkClusterDoc(path, data, w)
 	}
 	var doc Doc
 	if err := json.Unmarshal(data, &doc); err != nil {

@@ -1,0 +1,325 @@
+// chaos-dc simulates a datacenter-scale fleet event-drivenly and streams
+// its hierarchically composed power series: per-rack, per-row, and
+// whole-datacenter watts, each an incremental aggregate that recomputes
+// only the subtrees events actually touched (Eq. 5 composability at 20k
+// machines).
+//
+// The topology comes from a chaos-topology/v1 JSON document (see
+// examples/dc-20k.json): either an explicit tree (datacenter → row →
+// rack → machines) or a grid generator with weighted platform and
+// workload-profile mixes. The same document and seed always replay the
+// same fleet, burst for burst.
+//
+// With -feed, chaos-dc additionally samples a subset of machines at a
+// fixed cadence, expands their OS counter signals into full counter
+// vectors, and POSTs the snapshot to a running chaos-serve /
+// chaos-dist /v1/estimate/cluster endpoint — closing the loop from
+// simulated fleet to served estimates.
+//
+// Usage:
+//
+//	chaos-dc -topology examples/dc-20k.json -duration 1h
+//	chaos-dc -topology dc.json -interval 60 -levels rack -json
+//	chaos-dc -topology dc.json -feed http://localhost:8080 -feed-machines 50
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/counters"
+	"repro/internal/mathx"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := realMain(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos-dc:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	topology     string
+	duration     time.Duration
+	interval     int64
+	levels       string
+	jsonOut      bool
+	feed         string
+	feedMachines int
+	feedInterval int64
+	seed         int64
+}
+
+// tick is one streamed aggregate observation.
+type tick struct {
+	T     int64   `json:"t"`
+	Level string  `json:"level"` // "datacenter", "row", "rack"
+	Name  string  `json:"name"`
+	Watts float64 `json:"watts"`
+}
+
+// summary is the final line of a run.
+type summary struct {
+	Topology       string  `json:"topology"`
+	Machines       int     `json:"machines"`
+	SimSeconds     int64   `json:"sim_seconds"`
+	Events         int64   `json:"events"`
+	Steps          int64   `json:"steps"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	SimSecPerSec   float64 `json:"sim_seconds_per_sec"`
+	ActiveEnd      int     `json:"active_machines_end"`
+	DatacenterW    float64 `json:"datacenter_watts_end"`
+	Digest         string  `json:"digest"`
+	FedSnapshots   int     `json:"fed_snapshots,omitempty"`
+	FeedClusterW   float64 `json:"feed_cluster_watts_last,omitempty"`
+	FeedSimW       float64 `json:"feed_sim_watts_last,omitempty"`
+	FeedRelErrLast float64 `json:"feed_rel_err_last,omitempty"`
+}
+
+func realMain(argv []string, out io.Writer) error {
+	fs := flag.NewFlagSet("chaos-dc", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.topology, "topology", "", "chaos-topology/v1 JSON document (required)")
+	fs.DurationVar(&o.duration, "duration", time.Hour, "simulated duration")
+	fs.Int64Var(&o.interval, "interval", 300, "reporting interval in simulated seconds")
+	fs.StringVar(&o.levels, "levels", "datacenter,row", "comma-separated levels to stream: datacenter,row,rack")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit JSON lines instead of text")
+	fs.StringVar(&o.feed, "feed", "", "base URL of a /v1/estimate/cluster endpoint to feed sampled snapshots")
+	fs.IntVar(&o.feedMachines, "feed-machines", 20, "machines per fed snapshot (evenly spread over the fleet)")
+	fs.Int64Var(&o.feedInterval, "feed-interval", 600, "simulated seconds between fed snapshots")
+	fs.Int64Var(&o.seed, "seed", 0, "override the topology document's seed (0 keeps it)")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if o.topology == "" {
+		return fmt.Errorf("-topology is required")
+	}
+	if o.interval < 1 || o.duration < time.Second {
+		return fmt.Errorf("-interval and -duration must cover at least one simulated second")
+	}
+
+	data, err := os.ReadFile(o.topology)
+	if err != nil {
+		return err
+	}
+	spec, err := cluster.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	if o.seed != 0 {
+		spec.Seed = o.seed
+	}
+	topo, err := cluster.Build(spec)
+	if err != nil {
+		return err
+	}
+	cs := cluster.NewSimulator(topo)
+
+	want := map[string]bool{}
+	for _, l := range strings.Split(o.levels, ",") {
+		l = strings.TrimSpace(l)
+		if l == "" {
+			continue
+		}
+		if l != "datacenter" && l != "row" && l != "rack" {
+			return fmt.Errorf("unknown level %q (want datacenter, row, or rack)", l)
+		}
+		want[l] = true
+	}
+
+	var feeder *feeder
+	if o.feed != "" {
+		feeder, err = newFeeder(cs, o)
+		if err != nil {
+			return err
+		}
+	}
+
+	end := int64(o.duration / time.Second)
+	start := time.Now()
+	var fed summary
+	for now := int64(0); now < end; {
+		next := now + o.interval
+		if next > end {
+			next = end
+		}
+		if feeder != nil {
+			// Feed snapshots on their own cadence inside the interval.
+			for ft := feeder.next; ft <= next; ft += o.feedInterval {
+				cs.RunUntil(ft)
+				if err := feeder.snapshot(&fed); err != nil {
+					return fmt.Errorf("feeding %s at t=%d: %w", o.feed, ft, err)
+				}
+				feeder.next = ft + o.feedInterval
+			}
+		}
+		cs.RunUntil(next)
+		now = next
+		emit(out, o.jsonOut, now, topo, want)
+	}
+	wall := time.Since(start).Seconds()
+
+	s := summary{
+		Topology:     spec.Name,
+		Machines:     len(topo.Machines),
+		SimSeconds:   end,
+		Events:       cs.Events(),
+		Steps:        cs.Steps(),
+		ActiveEnd:    cs.ActiveMachines(),
+		DatacenterW:  topo.Root.Watts(),
+		Digest:       cs.Digest(),
+		FedSnapshots: fed.FedSnapshots,
+	}
+	if wall > 0 {
+		s.EventsPerSec = float64(cs.Events()) / wall
+		s.SimSecPerSec = float64(end) / wall
+	}
+	if fed.FedSnapshots > 0 {
+		s.FeedClusterW = fed.FeedClusterW
+		s.FeedSimW = fed.FeedSimW
+		s.FeedRelErrLast = fed.FeedRelErrLast
+	}
+	if o.jsonOut {
+		return json.NewEncoder(out).Encode(map[string]any{"summary": s})
+	}
+	fmt.Fprintf(out, "done: %s, %d machines, %ds simulated, %d events (%d steps), %.0f events/s, %.0f sim-s/s, %.0fW, digest %s\n",
+		s.Topology, s.Machines, s.SimSeconds, s.Events, s.Steps, s.EventsPerSec, s.SimSecPerSec, s.DatacenterW, s.Digest[:16])
+	if fed.FedSnapshots > 0 {
+		fmt.Fprintf(out, "fed %d snapshots: served %.0fW vs simulated %.0fW on sampled machines (rel err %.3f)\n",
+			fed.FedSnapshots, s.FeedClusterW, s.FeedSimW, s.FeedRelErrLast)
+	}
+	return nil
+}
+
+func emit(out io.Writer, jsonOut bool, now int64, topo *cluster.Topology, want map[string]bool) {
+	for _, l := range topo.Levels {
+		name := levelKind(l)
+		if !want[name] {
+			continue
+		}
+		t := tick{T: now, Level: name, Name: l.Name, Watts: l.Watts()}
+		if jsonOut {
+			b, _ := json.Marshal(t)
+			fmt.Fprintln(out, string(b))
+		} else {
+			fmt.Fprintf(out, "t=%-7d %-10s %-18s %10.1f W\n", t.T, t.Level, t.Name, t.Watts)
+		}
+	}
+}
+
+// levelKind names a level for streaming filters: the root is the
+// datacenter, any level holding machines is a rack, everything between
+// is a row — which also does the right thing for trees shallower than
+// the full four levels.
+func levelKind(l *cluster.Level) string {
+	if l.Depth == 1 {
+		return "datacenter"
+	}
+	if len(l.Machines) > 0 {
+		return "rack"
+	}
+	return "row"
+}
+
+// feeder POSTs sampled machine snapshots to a /v1/estimate/cluster
+// endpoint. Each sampled machine gets its own counter Expander (the
+// expander is stateful), seeded off the topology seed and machine id.
+type feeder struct {
+	cs        *cluster.ClusterSimulator
+	url       string
+	client    *http.Client
+	indices   []int
+	expanders []*counters.Expander
+	next      int64
+}
+
+func newFeeder(cs *cluster.ClusterSimulator, o options) (*feeder, error) {
+	topo := cs.Topology()
+	n := o.feedMachines
+	if n < 1 {
+		return nil, fmt.Errorf("-feed-machines must be ≥ 1")
+	}
+	if n > len(topo.Machines) {
+		n = len(topo.Machines)
+	}
+	if o.feedInterval < 1 {
+		return nil, fmt.Errorf("-feed-interval must be ≥ 1")
+	}
+	f := &feeder{
+		cs:     cs,
+		url:    strings.TrimRight(o.feed, "/") + "/v1/estimate/cluster",
+		client: &http.Client{Timeout: 30 * time.Second},
+		next:   o.feedInterval,
+	}
+	reg := counters.StandardRegistry()
+	stride := len(topo.Machines) / n
+	for i := 0; i < n; i++ {
+		idx := i * stride
+		cs.SetCapture(idx)
+		f.indices = append(f.indices, idx)
+		f.expanders = append(f.expanders,
+			counters.NewExpander(reg, mathx.DeriveSeed(topo.Seed, "exp:"+topo.Machines[idx].ID)))
+	}
+	return f, nil
+}
+
+func (f *feeder) snapshot(fed *summary) error {
+	topo := f.cs.Topology()
+	req := serve.EstimateRequest{}
+	var simWatts float64
+	for i, idx := range f.indices {
+		sig, watts := f.cs.SampleSignals(idx)
+		vec, err := f.expanders[i].Sample(sig)
+		if err != nil {
+			return fmt.Errorf("expanding machine %s: %w", topo.Machines[idx].ID, err)
+		}
+		w := watts
+		simWatts += w
+		req.Samples = append(req.Samples, serve.SampleJSON{
+			MachineID:    topo.Machines[idx].ID,
+			Platform:     topo.Machines[idx].Machine.Spec.Name,
+			Counters:     vec,
+			MeteredWatts: &w,
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Post(f.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var cr struct {
+		Status       int     `json:"status"`
+		ClusterWatts float64 `json:"cluster_watts"`
+		Error        string  `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, cr.Error)
+	}
+	fed.FedSnapshots++
+	fed.FeedClusterW = cr.ClusterWatts
+	fed.FeedSimW = simWatts
+	if simWatts > 0 {
+		rel := (cr.ClusterWatts - simWatts) / simWatts
+		if rel < 0 {
+			rel = -rel
+		}
+		fed.FeedRelErrLast = rel
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func writeTopology(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const smallGrid = `{
+  "version": "chaos-topology/v1",
+  "name": "mini-dc",
+  "seed": 7,
+  "grid": {
+    "rows": 2, "racks_per_row": 2, "machines_per_rack": 5,
+    "platforms": [{"name": "Opteron", "weight": 1}],
+    "profiles": [{"name": "bursty", "weight": 0.7}, {"name": "idle", "weight": 0.3}]
+  }
+}`
+
+// TestClusterDCStreamsSeries: the driver streams per-level series and a
+// summary, and the run is deterministic (same digest twice).
+func TestClusterDCStreamsSeries(t *testing.T) {
+	path := writeTopology(t, smallGrid)
+	run := func() (lines []map[string]any, digest string) {
+		var out bytes.Buffer
+		err := realMain([]string{
+			"-topology", path, "-duration", "10m", "-interval", "120",
+			"-levels", "datacenter,row,rack", "-json",
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ln := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+			var m map[string]any
+			if err := json.Unmarshal([]byte(ln), &m); err != nil {
+				t.Fatalf("non-JSON line %q: %v", ln, err)
+			}
+			lines = append(lines, m)
+		}
+		last := lines[len(lines)-1]
+		sum, ok := last["summary"].(map[string]any)
+		if !ok {
+			t.Fatalf("last line is not a summary: %v", last)
+		}
+		if sum["machines"].(float64) != 20 || sum["sim_seconds"].(float64) != 600 {
+			t.Fatalf("summary = %v", sum)
+		}
+		if sum["events"].(float64) <= 0 || sum["datacenter_watts_end"].(float64) <= 0 {
+			t.Fatalf("empty run: %v", sum)
+		}
+		return lines, sum["digest"].(string)
+	}
+	lines, d1 := run()
+	_, d2 := run()
+	if d1 != d2 || len(d1) != 64 {
+		t.Fatalf("digests differ or malformed: %s vs %s", d1, d2)
+	}
+	byLevel := map[string]int{}
+	for _, m := range lines[:len(lines)-1] {
+		byLevel[m["level"].(string)]++
+		if m["watts"].(float64) <= 0 {
+			t.Fatalf("non-positive watts in %v", m)
+		}
+	}
+	// 5 ticks × (1 datacenter + 2 rows + 4 racks).
+	if byLevel["datacenter"] != 5 || byLevel["row"] != 10 || byLevel["rack"] != 20 {
+		t.Fatalf("series counts off: %v", byLevel)
+	}
+}
+
+// TestClusterDCFeedsEstimateEndpoint: with -feed, sampled machine
+// snapshots arrive at /v1/estimate/cluster as well-formed
+// serve.EstimateRequest documents with full counter vectors.
+func TestClusterDCFeedsEstimateEndpoint(t *testing.T) {
+	path := writeTopology(t, smallGrid)
+	var (
+		requests  int
+		samples   int
+		lastWatts float64
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/estimate/cluster" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		var req serve.EstimateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad request body: %v", err)
+		}
+		requests++
+		var sum float64
+		for _, s := range req.Samples {
+			samples++
+			if s.MachineID == "" || s.Platform == "" || len(s.Counters) == 0 {
+				t.Errorf("malformed sample: %+v", s)
+			}
+			if s.MeteredWatts == nil || *s.MeteredWatts <= 0 {
+				t.Errorf("sample %s missing metered watts", s.MachineID)
+			} else {
+				sum += *s.MeteredWatts
+			}
+		}
+		lastWatts = sum
+		json.NewEncoder(w).Encode(map[string]any{"status": 200, "cluster_watts": sum * 1.02})
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := realMain([]string{
+		"-topology", path, "-duration", "10m", "-interval", "300", "-levels", "datacenter",
+		"-feed", srv.URL, "-feed-machines", "4", "-feed-interval", "150", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requests != 4 { // t = 150, 300, 450, 600
+		t.Fatalf("requests = %d, want 4", requests)
+	}
+	if samples != 4*4 {
+		t.Fatalf("samples = %d, want 16", samples)
+	}
+	if lastWatts <= 0 {
+		t.Fatal("no metered watts fed")
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var last map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	sum := last["summary"].(map[string]any)
+	if sum["fed_snapshots"].(float64) != 4 {
+		t.Fatalf("summary fed_snapshots = %v", sum["fed_snapshots"])
+	}
+	if rel := sum["feed_rel_err_last"].(float64); rel < 0.015 || rel > 0.025 {
+		t.Fatalf("feed_rel_err_last = %v, want ~0.02 (fake server inflates by 2%%)", rel)
+	}
+}
+
+// TestClusterDCRejectsBadInput: flag and document errors surface instead
+// of running a wrong fleet.
+func TestClusterDCRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := realMain([]string{"-duration", "1m"}, &out); err == nil {
+		t.Error("missing -topology accepted")
+	}
+	bad := writeTopology(t, `{"version":"chaos-topology/v1","name":"x","grid":{"rows":1}}`)
+	if err := realMain([]string{"-topology", bad}, &out); err == nil {
+		t.Error("invalid topology accepted")
+	}
+	good := writeTopology(t, smallGrid)
+	if err := realMain([]string{"-topology", good, "-levels", "continent"}, &out); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if err := realMain([]string{"-topology", good, "-feed", "http://x", "-feed-machines", "0"}, &out); err == nil {
+		t.Error("zero feed machines accepted")
+	}
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// event is one scheduled machine state change. Each machine has at most
+// one pending event, so (at, idx) is unique and the heap order — time,
+// then machine index — is a total, deterministic order.
+type event struct {
+	at  int64
+	idx int32
+}
+
+func (e event) less(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.idx < o.idx
+}
+
+// Evaluator maps a machine's step outcome to the watts recorded in the
+// hierarchy. The default records the simulated power meter's reading
+// (MeterWatts); drivers can substitute a model prediction to compose
+// estimated rather than metered power.
+type Evaluator func(m *MachineNode, served sim.Served, p sim.PowerSample) float64
+
+// ClusterSimulator advances a Topology through simulated time
+// event-drivenly: machines schedule their next state change (burst
+// start, per-second step while active, burst end) on a shared clock, and
+// nothing at all happens for idle machines. The exported primitives —
+// HasPendingEvents, PeekNextEventTime, ProcessNextEvent — expose the
+// loop one event at a time so tests can interleave invariant checks, and
+// RunUntil drives them in bulk.
+type ClusterSimulator struct {
+	topo *Topology
+	eval Evaluator
+
+	heap  []event
+	clock int64
+
+	events int64 // processed events
+	steps  int64 // machine-seconds actually simulated
+	active int   // machines currently inside a burst
+
+	digest hash.Hash
+	dbuf   [20]byte
+}
+
+// NewSimulator readies a built topology for simulation from t=0: every
+// non-idle machine's first burst is scheduled, idle-profile machines are
+// parked at their idle watts and never wake.
+func NewSimulator(topo *Topology) *ClusterSimulator {
+	cs := &ClusterSimulator{
+		topo:   topo,
+		digest: sha256.New(),
+	}
+	cs.eval = func(_ *MachineNode, _ sim.Served, p sim.PowerSample) float64 {
+		return p.MeterWatts
+	}
+	for _, mn := range topo.Machines {
+		cs.scheduleNextBurst(mn, 0)
+	}
+	return cs
+}
+
+// SetEvaluator replaces the leaf evaluator. Call before processing any
+// events so the digest reflects one evaluator throughout.
+func (cs *ClusterSimulator) SetEvaluator(ev Evaluator) { cs.eval = ev }
+
+// Topology returns the simulated topology.
+func (cs *ClusterSimulator) Topology() *Topology { return cs.topo }
+
+// Clock returns the current simulated second.
+func (cs *ClusterSimulator) Clock() int64 { return cs.clock }
+
+// Events returns the number of processed events.
+func (cs *ClusterSimulator) Events() int64 { return cs.events }
+
+// Steps returns the number of machine-seconds actually simulated — the
+// work a per-second lockstep loop would have multiplied by the fleet's
+// idle fraction.
+func (cs *ClusterSimulator) Steps() int64 { return cs.steps }
+
+// ActiveMachines returns how many machines are currently inside a burst.
+func (cs *ClusterSimulator) ActiveMachines() int { return cs.active }
+
+// Digest returns the hex SHA-256 over every (time, machine, wattsBits)
+// update processed so far. Two runs of the same topology and duration
+// must produce identical digests; the cluster benchmark asserts it.
+func (cs *ClusterSimulator) Digest() string {
+	return hex.EncodeToString(cs.digest.Sum(nil))
+}
+
+// HasPendingEvents reports whether any machine has a scheduled state
+// change. A fleet of only idle-profile machines has none.
+func (cs *ClusterSimulator) HasPendingEvents() bool { return len(cs.heap) > 0 }
+
+// PeekNextEventTime returns the simulated second of the earliest pending
+// event. It panics if no events are pending.
+func (cs *ClusterSimulator) PeekNextEventTime() int64 {
+	if len(cs.heap) == 0 {
+		panic("cluster: PeekNextEventTime on empty event heap")
+	}
+	return cs.heap[0].at
+}
+
+// ProcessNextEvent pops and applies the earliest event: it advances the
+// clock to the event's time, steps or parks the event's machine, dirties
+// that machine's path to the root, and schedules the machine's next
+// event. It reports false when no events remain.
+func (cs *ClusterSimulator) ProcessNextEvent() bool {
+	if len(cs.heap) == 0 {
+		return false
+	}
+	ev := cs.pop()
+	if ev.at > cs.clock {
+		cs.clock = ev.at
+	}
+	cs.events++
+	mn := cs.topo.Machines[ev.idx]
+
+	if !mn.active {
+		// Wake: the pending burst begins now, with its per-second demand
+		// computed once for the whole burst.
+		mn.active = true
+		mn.burstEnd = ev.at + mn.pendingDur
+		mn.demand = mn.Profile.Demand(mn.Machine.Spec, mn.pendingLevel)
+		cs.active++
+	} else if ev.at >= mn.burstEnd {
+		// Burst over: park the machine at idle watts and schedule its
+		// next wake. No machine step happens at this boundary.
+		mn.active = false
+		cs.active--
+		cs.record(mn, ev.at, mn.Machine.IdleWatts())
+		cs.scheduleNextBurst(mn, ev.at)
+		return true
+	}
+
+	// Step one simulated second of the burst's demand.
+	var (
+		served sim.Served
+		p      sim.PowerSample
+	)
+	if mn.capture {
+		served, mn.lastSig, p = mn.Machine.Step(mn.demand)
+	} else {
+		served, p = mn.Machine.StepPower(mn.demand)
+	}
+	cs.steps++
+	cs.record(mn, ev.at, cs.eval(mn, served, p))
+	cs.push(event{at: ev.at + 1, idx: ev.idx})
+	return true
+}
+
+// RunUntil processes every event scheduled at or before end, then
+// advances the clock to end. Idle stretches cost nothing: the clock
+// jumps straight over them.
+func (cs *ClusterSimulator) RunUntil(end int64) {
+	for cs.HasPendingEvents() && cs.PeekNextEventTime() <= end {
+		cs.ProcessNextEvent()
+	}
+	if end > cs.clock {
+		cs.clock = end
+	}
+}
+
+// SetCapture switches a machine to the full-signals step path so
+// SampleSignals can export its counter state. Enable before the machine's
+// first event.
+func (cs *ClusterSimulator) SetCapture(idx int) { cs.topo.Machines[idx].capture = true }
+
+// SampleSignals returns the machine's most recent OS counter signals and
+// current watts. An idle machine has no recent step, so one out-of-band
+// idle second is simulated for it (and recorded in the hierarchy, keeping
+// the aggregate faithful to every step taken).
+func (cs *ClusterSimulator) SampleSignals(idx int) (map[string]float64, float64) {
+	mn := cs.topo.Machines[idx]
+	if mn.active && mn.lastSig != nil {
+		return mn.lastSig, mn.watts
+	}
+	_, sig, p := mn.Machine.Step(sim.Demand{})
+	mn.lastSig = sig
+	cs.record(mn, cs.clock, cs.eval(mn, sim.Served{}, p))
+	return sig, mn.watts
+}
+
+// record writes a machine's new watts into the hierarchy: the leaf value,
+// the dirty path to the root, and the reproducibility digest.
+func (cs *ClusterSimulator) record(mn *MachineNode, at int64, watts float64) {
+	mn.watts = watts
+	mn.parent.markDirty()
+	binary.LittleEndian.PutUint64(cs.dbuf[0:8], uint64(at))
+	binary.LittleEndian.PutUint32(cs.dbuf[8:12], uint32(mn.Index))
+	binary.LittleEndian.PutUint64(cs.dbuf[12:20], math.Float64bits(watts))
+	cs.digest.Write(cs.dbuf[:])
+}
+
+func (cs *ClusterSimulator) scheduleNextBurst(mn *MachineNode, now int64) {
+	start, dur, level, ok := mn.Profile.NextBurst(mn.rng, now)
+	if !ok {
+		return // idle profile: parked at idle watts forever
+	}
+	mn.pendingDur = dur
+	mn.pendingLevel = level
+	cs.push(event{at: start, idx: int32(mn.Index)})
+}
+
+// push/pop implement a plain binary min-heap over the event slice;
+// container/heap's interface would cost an allocation per operation.
+func (cs *ClusterSimulator) push(e event) {
+	cs.heap = append(cs.heap, e)
+	i := len(cs.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !cs.heap[i].less(cs.heap[parent]) {
+			break
+		}
+		cs.heap[i], cs.heap[parent] = cs.heap[parent], cs.heap[i]
+		i = parent
+	}
+}
+
+func (cs *ClusterSimulator) pop() event {
+	top := cs.heap[0]
+	n := len(cs.heap) - 1
+	cs.heap[0] = cs.heap[n]
+	cs.heap = cs.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && cs.heap[l].less(cs.heap[min]) {
+			min = l
+		}
+		if r < n && cs.heap[r].less(cs.heap[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		cs.heap[i], cs.heap[min] = cs.heap[min], cs.heap[i]
+		i = min
+	}
+	return top
+}

@@ -26,10 +26,16 @@ func DeriveSeed(parent int64, name string) int64 {
 	return int64(h.Sum64())
 }
 
+// NormSource is any generator of standard normal draws; both *rand.Rand
+// and *SplitMix64 satisfy it.
+type NormSource interface {
+	NormFloat64() float64
+}
+
 // TruncatedNormal draws from a normal distribution with the given mean and
 // standard deviation, rejecting samples more than 3σ from the mean. It is
 // used for bounded physical quantities such as manufacturing variation.
-func TruncatedNormal(r *rand.Rand, mean, stddev float64) float64 {
+func TruncatedNormal(r NormSource, mean, stddev float64) float64 {
 	if stddev <= 0 {
 		return mean
 	}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestClusterServedConservation: for any demand, every Served field is at
+// most its (sanitized) demand, never negative, and never NaN — the
+// invariant the dryad scheduler and the cluster event loop both lean on
+// when they decrement task work by what was served.
+func TestClusterServedConservation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 16, Rand: rand.New(rand.NewSource(123))}
+	platforms := PlatformNames()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec, _ := Platform(platforms[int(uint64(seed)%uint64(len(platforms)))])
+		m, err := NewMachine(spec, "conserve", seed)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 150; step++ {
+			d := Demand{
+				CPU:            (r.Float64() - 0.1) * float64(spec.Cores) * 4, // sometimes negative
+				DiskReadBytes:  (r.Float64() - 0.1) * 2e9,
+				DiskWriteBytes: (r.Float64() - 0.1) * 2e9,
+				DiskReadOps:    r.Float64() * 5e4,
+				DiskWriteOps:   r.Float64() * 5e4,
+				NetSendBytes:   r.Float64() * 5e8,
+				NetRecvBytes:   r.Float64() * 5e8,
+				MemTouchBytes:  r.Float64() * 4e10,
+				WorkingSet:     r.Float64() * 1e10,
+				RunningTasks:   r.Intn(30) - 2,
+			}
+			switch step % 10 {
+			case 7:
+				d = Demand{} // idle
+			case 8:
+				d.CPU, d.MemTouchBytes = math.NaN(), math.NaN() // hostile
+			case 9:
+				d.DiskReadBytes, d.NetSendBytes = math.Inf(1), math.Inf(1)
+			}
+			served, _, p := m.Step(d)
+			want := d.sanitize()
+			checks := []struct {
+				name       string
+				got, limit float64
+			}{
+				{"cpu", served.CPU, want.CPU},
+				{"disk_read_bytes", served.DiskReadBytes, want.DiskReadBytes},
+				{"disk_write_bytes", served.DiskWriteBytes, want.DiskWriteBytes},
+				{"disk_read_ops", served.DiskReadOps, want.DiskReadOps},
+				{"disk_write_ops", served.DiskWriteOps, want.DiskWriteOps},
+				{"net_send_bytes", served.NetSendBytes, want.NetSendBytes},
+				{"net_recv_bytes", served.NetRecvBytes, want.NetRecvBytes},
+				{"mem_touch_bytes", served.MemTouchBytes, want.MemTouchBytes},
+			}
+			for _, c := range checks {
+				if math.IsNaN(c.got) || c.got < 0 || c.got > c.limit {
+					t.Logf("seed %d step %d: served %s = %v, demand %v", seed, step, c.name, c.got, c.limit)
+					return false
+				}
+			}
+			if math.IsNaN(p.TrueWatts) || math.IsNaN(p.MeterWatts) {
+				t.Logf("seed %d step %d: NaN power %+v", seed, step, p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClusterMachineStreamsDecorrelated: per-machine RNG streams derived
+// from one parent seed must not correlate across machines. Drive a fleet
+// of machines through identical demand and check that their idle-power
+// wander sequences (pure functions of each machine's private stream) are
+// pairwise uncorrelated — with math/rand's lagged-Fibonacci source this
+// test fails, which is why sim uses splitmix64 streams.
+func TestClusterMachineStreamsDecorrelated(t *testing.T) {
+	const (
+		nMachines = 6
+		seconds   = 1200
+	)
+	spec, err := Platform("Athlon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := make([][]float64, nMachines)
+	for i := range series {
+		m, err := NewMachine(spec, "m"+string(rune('0'+i)), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := make([]float64, seconds)
+		for sec := 0; sec < seconds; sec++ {
+			_, p := m.StepPower(Demand{})
+			s[sec] = p.TrueWatts
+		}
+		// First-difference the power series: the wander is AR(1), whose
+		// slow swings inflate sample correlations between even
+		// independent machines; the differences isolate each stream's
+		// per-second innovations.
+		d := make([]float64, seconds-1)
+		for j := range d {
+			d[j] = s[j+1] - s[j]
+		}
+		series[i] = d
+	}
+	for i := 0; i < nMachines; i++ {
+		for j := i + 1; j < nMachines; j++ {
+			if rho := corr(series[i], series[j]); math.Abs(rho) > 0.12 {
+				t.Errorf("machines %d and %d wander together: rho=%.3f", i, j, rho)
+			}
+		}
+	}
+}
+
+// TestClusterStepPowerMatchesStep: StepPower must walk the exact same
+// state trajectory as Step — same RNG draws, same governor decisions,
+// same power — so the cluster loop can mix the two freely.
+func TestClusterStepPowerMatchesStep(t *testing.T) {
+	for _, name := range PlatformNames() {
+		spec, _ := Platform(name)
+		full, err := NewMachine(spec, "twin", 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lite, err := NewMachine(spec, "twin", 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(5))
+		for sec := 0; sec < 300; sec++ {
+			d := Demand{
+				CPU:           r.Float64() * float64(spec.Cores),
+				DiskReadBytes: r.Float64() * 1e8,
+				NetSendBytes:  r.Float64() * 1e8,
+				MemTouchBytes: r.Float64() * 1e9,
+				WorkingSet:    r.Float64() * 1e9,
+				RunningTasks:  r.Intn(4),
+			}
+			if sec%5 == 0 {
+				d = Demand{} // let C1 platforms sleep
+			}
+			sFull, _, pFull := full.Step(d)
+			sLite, pLite := lite.StepPower(d)
+			if sFull != sLite {
+				t.Fatalf("%s second %d: served diverged: %+v vs %+v", name, sec, sFull, sLite)
+			}
+			if math.Float64bits(pFull.TrueWatts) != math.Float64bits(pLite.TrueWatts) ||
+				math.Float64bits(pFull.MeterWatts) != math.Float64bits(pLite.MeterWatts) {
+				t.Fatalf("%s second %d: power diverged: %+v vs %+v", name, sec, pFull, pLite)
+			}
+		}
+		// After a mixed history the full-signals path still agrees.
+		sigA := func() float64 {
+			_, sig, _ := full.Step(Demand{CPU: 1})
+			return sig["pagefile_peak"]
+		}()
+		sigB := func() float64 {
+			_, sig, _ := lite.Step(Demand{CPU: 1})
+			return sig["pagefile_peak"]
+		}()
+		if math.Float64bits(sigA) != math.Float64bits(sigB) {
+			t.Fatalf("%s: pagefile_peak diverged across Step/StepPower histories: %v vs %v", name, sigA, sigB)
+		}
+	}
+}
+
+func corr(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	cov := sxy/n - sx/n*sy/n
+	vx := sxx/n - sx/n*sx/n
+	vy := syy/n - sy/n*sy/n
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/counters"
 	"repro/internal/mathx"
@@ -25,8 +24,37 @@ type Demand struct {
 	RunningTasks   int
 }
 
+// sanitize clamps a demand to physically meaningful values: negative and
+// NaN fields become zero, and unbounded fields are capped so downstream
+// arithmetic stays finite. Step's conservation contract (Served ≤ Demand,
+// never negative or NaN) is stated against the sanitized demand.
+func (d Demand) sanitize() Demand {
+	clean := func(v *float64) {
+		if math.IsNaN(*v) || *v < 0 {
+			*v = 0
+		} else if *v > 1e18 {
+			*v = 1e18
+		}
+	}
+	clean(&d.CPU)
+	clean(&d.DiskReadBytes)
+	clean(&d.DiskWriteBytes)
+	clean(&d.DiskReadOps)
+	clean(&d.DiskWriteOps)
+	clean(&d.NetSendBytes)
+	clean(&d.NetRecvBytes)
+	clean(&d.MemTouchBytes)
+	clean(&d.WorkingSet)
+	if d.RunningTasks < 0 {
+		d.RunningTasks = 0
+	}
+	return d
+}
+
 // Served reports how much of the demand the machine completed this second;
-// the scheduler uses it to decrement remaining task work.
+// the scheduler uses it to decrement remaining task work. Every field is
+// at most the corresponding (sanitized) demand field: background OS
+// activity the machine adds on its own is never credited to the workload.
 type Served struct {
 	CPU            float64
 	DiskReadBytes  float64
@@ -65,13 +93,23 @@ type Machine struct {
 	ID   string
 	Var  Variability
 
-	rng      *rand.Rand
-	meterRNG *rand.Rand
+	// Per-machine splitmix64 streams (derived via mathx.DeriveSeed).
+	// math/rand's lagged-Fibonacci source correlates across derived
+	// seeds, which at fleet scale would synchronize governor hysteresis
+	// and wander across thousands of machines.
+	rng      *mathx.SplitMix64
+	meterRNG *mathx.SplitMix64
 
 	freqIdx []int // per-core P-state index
 	inC1    bool
 	// prevCoreUtil drives the governor (it reacts to last second's load).
 	prevCoreUtil []float64
+
+	// Step scratch buffers, reused across calls so the event-driven
+	// cluster loop stays allocation-free on its hot path. A Machine is
+	// not safe for concurrent Steps, so sharing these is fine.
+	scratchFreq []float64
+	scratchBusy []float64
 
 	// Power calibration (DC side), derived from the spec's wall range and
 	// the PSU curve.
@@ -123,7 +161,7 @@ func NewMachineNoisy(spec *PlatformSpec, id string, seed int64, np NoiseProfile)
 	if np.MeterSD < 0 || np.WanderSD < 0 {
 		return nil, fmt.Errorf("sim: negative noise profile %+v", np)
 	}
-	rng := mathx.NewRand(mathx.DeriveSeed(seed, "machine:"+id))
+	rng := mathx.NewSplitMix(mathx.DeriveSeed(seed, "machine:"+id))
 	v := Variability{
 		IdleMul: mathx.TruncatedNormal(rng, 1, 0.025),
 		MaxMul:  mathx.TruncatedNormal(rng, 1, 0.03),
@@ -137,21 +175,20 @@ func NewMachineNoisy(spec *PlatformSpec, id string, seed int64, np NoiseProfile)
 		ID:       id,
 		Var:      v,
 		rng:      rng,
-		meterRNG: mathx.NewRand(mathx.DeriveSeed(seed, "meter:"+id)),
+		meterRNG: mathx.NewSplitMix(mathx.DeriveSeed(seed, "meter:"+id)),
 
 		freqIdx:      make([]int, spec.Cores),
 		prevCoreUtil: make([]float64, spec.Cores),
+		scratchFreq:  make([]float64, spec.Cores),
+		scratchBusy:  make([]float64, spec.Cores),
 		osWorkingSet: 1.2e9 + rng.Float64()*2e8,
-		memBandwidth: 2.0e9 * math.Sqrt(float64(spec.MemGB)),
+		memBandwidth: spec.MemBandwidthBytesPerSec(),
 		meterSD:      np.MeterSD,
 		wanderSD:     np.WanderSD,
 	}
-	for _, d := range spec.Disks {
-		p := diskTable[d.Type]
-		m.totalDiskBytes += p.maxBytesSec * float64(d.Count)
-		m.totalDiskOps += p.maxOpsSec * float64(d.Count)
-	}
-	m.netBytesPerSec = spec.NetMbps / 8 * 1e6
+	m.totalDiskBytes = spec.DiskBytesPerSec()
+	m.totalDiskOps = spec.DiskOpsPerSec()
+	m.netBytesPerSec = spec.NetBytesPerSec()
 	m.interruptBase = 250 + rng.Float64()*100
 
 	// Calibrate the DC-side power range to the spec's wall range through
@@ -271,8 +308,24 @@ func (m *Machine) governor(anyDemand bool) {
 // Step advances the machine by one second under the given demand. It
 // returns what was served, the counter base signals, and the power sample.
 func (m *Machine) Step(d Demand) (Served, counters.Signals, PowerSample) {
+	return m.step(d, true)
+}
+
+// StepPower is Step without deriving the counter base signals. The state
+// trajectory (governor, RNG streams, power) is bit-identical to Step's —
+// signal derivation is a pure function of the step — so the event-driven
+// cluster simulator can use it as its allocation-free leaf evaluator and
+// still switch any machine to full Step when its counters are sampled.
+func (m *Machine) StepPower(d Demand) (Served, PowerSample) {
+	served, _, p := m.step(d, false)
+	return served, p
+}
+
+func (m *Machine) step(orig Demand, wantSignals bool) (Served, counters.Signals, PowerSample) {
 	s := m.Spec
 	m.seconds++
+	orig = orig.sanitize()
+	d := orig
 
 	// Workload demand (before background noise) decides whether the
 	// package may sleep: any outstanding task work keeps it awake.
@@ -290,7 +343,7 @@ func (m *Machine) Step(d Demand) (Served, counters.Signals, PowerSample) {
 	// --- CPU service -------------------------------------------------
 	nc := s.Cores
 	fmax := s.MaxFreqMHz()
-	freqRatio := make([]float64, nc)
+	freqRatio := m.scratchFreq
 	for c := 0; c < nc; c++ {
 		if m.inC1 {
 			freqRatio[c] = 0
@@ -301,7 +354,10 @@ func (m *Machine) Step(d Demand) (Served, counters.Signals, PowerSample) {
 	// Distribute the requested work across cores: an even share first,
 	// then spill leftovers onto the fastest cores. Per-core jitter makes
 	// core utilizations diverge the way a real scheduler's do.
-	coreBusy := make([]float64, nc)
+	coreBusy := m.scratchBusy
+	for c := 0; c < nc; c++ {
+		coreBusy[c] = 0
+	}
 	capacity := 0.0
 	for c := 0; c < nc; c++ {
 		capacity += freqRatio[c]
@@ -394,19 +450,36 @@ func (m *Machine) Step(d Demand) (Served, counters.Signals, PowerSample) {
 	wall := pdc / psuEfficiency(pdc/m.pdcMax)
 	meter := quantize(wall*(1+m.meterRNG.NormFloat64()*m.meterSD), 0.1)
 
-	sig := m.signals(d, coreBusy, freqRatio, cpuUtil, diskBusy,
-		servedRead, servedWrite, servedReadOps, servedWriteOps,
-		servedSend, servedRecv, servedTouch)
+	// Working-set / commit accounting advances on every step — even when
+	// signals are skipped — so Step and StepPower walk identical state.
+	ws := m.osWorkingSet + d.WorkingSet
+	committed := ws*1.25 + 0.6e9
+	if committed > m.pagefilePeak {
+		m.pagefilePeak = committed
+	}
+	// The peak decays very slowly between jobs so it tracks the current
+	// workload's footprint rather than the all-time machine maximum.
+	m.pagefilePeak *= 0.9995
 
+	var sig counters.Signals
+	if wantSignals {
+		sig = m.signals(d, coreBusy, freqRatio, cpuUtil, diskBusy,
+			servedRead, servedWrite, servedReadOps, servedWriteOps,
+			servedSend, servedRecv, servedTouch, ws, committed)
+	}
+
+	// Conservation: what the workload is credited with never exceeds what
+	// it asked for — the background OS share of the service stays with
+	// the OS (Served.X ≤ Demand.X, ≥ 0, finite; see the property test).
 	served := Served{
-		CPU:            servedCPU,
-		DiskReadBytes:  servedRead,
-		DiskWriteBytes: servedWrite,
-		DiskReadOps:    servedReadOps,
-		DiskWriteOps:   servedWriteOps,
-		NetSendBytes:   servedSend,
-		NetRecvBytes:   servedRecv,
-		MemTouchBytes:  servedTouch,
+		CPU:            math.Min(servedCPU, orig.CPU),
+		DiskReadBytes:  math.Min(servedRead, orig.DiskReadBytes),
+		DiskWriteBytes: math.Min(servedWrite, orig.DiskWriteBytes),
+		DiskReadOps:    math.Min(servedReadOps, orig.DiskReadOps),
+		DiskWriteOps:   math.Min(servedWriteOps, orig.DiskWriteOps),
+		NetSendBytes:   math.Min(servedSend, orig.NetSendBytes),
+		NetRecvBytes:   math.Min(servedRecv, orig.NetRecvBytes),
+		MemTouchBytes:  math.Min(servedTouch, orig.MemTouchBytes),
 	}
 	return served, sig, PowerSample{TrueWatts: wall, MeterWatts: meter}
 }

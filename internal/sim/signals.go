@@ -15,7 +15,7 @@ import (
 // as proxies for memory traffic.
 func (m *Machine) signals(d Demand, coreBusy, freqRatio []float64,
 	cpuUtil, diskBusy float64,
-	readB, writeB, readOps, writeOps, sendB, recvB, memTouch float64) counters.Signals {
+	readB, writeB, readOps, writeOps, sendB, recvB, memTouch, ws, committed float64) counters.Signals {
 
 	s := m.Spec
 	sig := counters.Signals{}
@@ -93,16 +93,9 @@ func (m *Machine) signals(d Demand, coreBusy, freqRatio []float64,
 	softFaults := memTouch / 4096 * 0.012
 	sig["page_faults"] = softFaults + pagesIn + 40*cpuUtil*float64(s.Cores)
 	sig["cache_faults"] = 0.55*softFaults + 0.8*pagesIn + memTouch/4096*0.004
-	ws := m.osWorkingSet + d.WorkingSet
 	sig["mem_working_set"] = ws
-	committed := ws*1.25 + 0.6e9
 	sig["mem_committed"] = committed
-	if committed > m.pagefilePeak {
-		m.pagefilePeak = committed
-	}
-	// The peak decays very slowly between jobs so it tracks the current
-	// workload's footprint rather than the all-time machine maximum.
-	m.pagefilePeak *= 0.9995
+	// pagefilePeak is advanced by step (for every step, signals or not).
 	sig["pagefile_peak"] = m.pagefilePeak
 	sig["pool_nonpaged"] = 85000 + 600*float64(d.RunningTasks) + 0.02*pkts + 0.5*(readOps+writeOps)
 

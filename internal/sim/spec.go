@@ -8,7 +8,10 @@
 // the black-box position the paper's framework is in.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // DVFSKind describes a platform's frequency-scaling capability.
 type DVFSKind int
@@ -98,6 +101,35 @@ func (p *PlatformSpec) TotalDisks() int {
 		n += d.Count
 	}
 	return n
+}
+
+// DiskBytesPerSec returns the platform's total sustained disk throughput
+// across all spindles, for sizing workload demand against capability.
+func (p *PlatformSpec) DiskBytesPerSec() float64 {
+	total := 0.0
+	for _, d := range p.Disks {
+		total += diskTable[d.Type].maxBytesSec * float64(d.Count)
+	}
+	return total
+}
+
+// DiskOpsPerSec returns the platform's total IOPS ceiling.
+func (p *PlatformSpec) DiskOpsPerSec() float64 {
+	total := 0.0
+	for _, d := range p.Disks {
+		total += diskTable[d.Type].maxOpsSec * float64(d.Count)
+	}
+	return total
+}
+
+// NetBytesPerSec returns the NIC's line rate in bytes per second.
+func (p *PlatformSpec) NetBytesPerSec() float64 { return p.NetMbps / 8 * 1e6 }
+
+// MemBandwidthBytesPerSec returns the modeled memory bandwidth (the same
+// sizing rule machines calibrate with: it grows with the square root of
+// installed memory, standing in for channel count).
+func (p *PlatformSpec) MemBandwidthBytesPerSec() float64 {
+	return 2.0e9 * math.Sqrt(float64(p.MemGB))
 }
 
 // Validate checks internal consistency of the spec.

@@ -1,0 +1,153 @@
+// Fleet profiles describe how one machine in a large simulated fleet
+// oscillates between idleness and activity, as opposed to the Dryad jobs,
+// which script a whole small cluster through one batch computation. A
+// profile is a stateless burst generator: given the machine's private RNG
+// stream and the current simulated second, it yields the next activity
+// burst (start, duration, intensity). The event-driven cluster simulator
+// turns those bursts into per-second demand with Demand, and schedules
+// nothing at all between them — which is what makes tens of thousands of
+// mostly-idle machines cheap to simulate.
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+)
+
+// Fleet profile kinds.
+const (
+	// ProfileIdle machines never run work: powered on, contributing idle
+	// watts, generating zero simulation events.
+	ProfileIdle = "idle"
+	// ProfileSteady machines run a constant moderate load (storage or
+	// database nodes): long bursts back to back.
+	ProfileSteady = "steady"
+	// ProfileBursty machines sit idle and periodically run short intense
+	// jobs (batch workers): exponential gaps, CPU/network-heavy bursts.
+	ProfileBursty = "bursty"
+	// ProfileDiurnal machines follow the shared datacenter day/night
+	// curve (web serving): busy fraction swings with simulated
+	// time-of-day, identical curve for every machine, desynchronized
+	// only by each machine's private stream.
+	ProfileDiurnal = "diurnal"
+)
+
+// FleetProfileKinds returns the supported kinds in canonical order.
+func FleetProfileKinds() []string {
+	return []string{ProfileIdle, ProfileSteady, ProfileBursty, ProfileDiurnal}
+}
+
+// FleetProfile generates a machine's activity bursts. Profiles hold no
+// per-machine state: everything machine-specific flows through the rng.
+type FleetProfile struct {
+	Kind string
+}
+
+// FleetProfileByName returns the named profile.
+func FleetProfileByName(kind string) (*FleetProfile, error) {
+	for _, k := range FleetProfileKinds() {
+		if k == kind {
+			return &FleetProfile{Kind: kind}, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown fleet profile %q (want one of %v)", kind, FleetProfileKinds())
+}
+
+// diurnalBusyFraction is the shared datacenter activity curve: the busy
+// probability by simulated time-of-day (86400-second period), lowest in
+// the simulated night, peaking mid-day.
+func diurnalBusyFraction(t int64) float64 {
+	phase := 2 * math.Pi * float64(t%86400) / 86400
+	return 0.12 + 0.38*(1+math.Sin(phase-math.Pi/2))/2
+}
+
+// NextBurst returns the machine's next activity burst starting at or
+// after now: the start second, a duration in seconds (≥ 1), and an
+// intensity level in (0, 1]. ok is false when the machine never becomes
+// active again (the idle profile). Bursts are sampled from the machine's
+// private stream, so the same (seed, profile) pair replays identically.
+func (p *FleetProfile) NextBurst(rng *mathx.SplitMix64, now int64) (start, dur int64, level float64, ok bool) {
+	switch p.Kind {
+	case ProfileIdle:
+		return 0, 0, 0, false
+	case ProfileSteady:
+		// Back-to-back long bursts; short gaps keep the governor honest.
+		gap := int64(rng.Intn(3))
+		dur = 240 + int64(rng.ExpFloat64()*120)
+		level = clampLevel(0.35 + 0.2*rng.NormFloat64()*0.25 + 0.15*rng.Float64())
+		return now + gap, dur, level, true
+	case ProfileBursty:
+		gap := int64(rng.ExpFloat64() * 600)
+		dur = 1 + int64(rng.ExpFloat64()*60)
+		level = clampLevel(0.55 + 0.4*rng.Float64())
+		return now + 1 + gap, dur, level, true
+	case ProfileDiurnal:
+		// Mean gap keeps the long-run busy fraction near the shared
+		// curve's value at the time the gap begins: with mean burst
+		// length L and busy fraction b, the mean gap is L·(1-b)/b.
+		const meanDur = 120.0
+		b := diurnalBusyFraction(now)
+		gap := int64(rng.ExpFloat64() * meanDur * (1 - b) / b)
+		dur = 1 + int64(rng.ExpFloat64()*meanDur)
+		level = clampLevel(b + 0.3*rng.Float64())
+		return now + 1 + gap, dur, level, true
+	default:
+		return 0, 0, 0, false
+	}
+}
+
+func clampLevel(v float64) float64 { return math.Min(1, math.Max(0.05, v)) }
+
+// Demand converts a burst intensity into one second of machine demand,
+// sized against the platform's capabilities so a level-1.0 burst drives
+// the machine near saturation on the profile's dominant resources.
+func (p *FleetProfile) Demand(spec *sim.PlatformSpec, level float64) sim.Demand {
+	cores := float64(spec.Cores)
+	diskB := spec.DiskBytesPerSec()
+	diskOps := spec.DiskOpsPerSec()
+	netB := spec.NetBytesPerSec()
+	memB := spec.MemBandwidthBytesPerSec()
+	var d sim.Demand
+	switch p.Kind {
+	case ProfileSteady:
+		// Storage/database shape: moderate CPU, sustained disk, some net.
+		d = sim.Demand{
+			CPU:            level * cores * 0.5,
+			DiskReadBytes:  level * diskB * 0.35,
+			DiskWriteBytes: level * diskB * 0.2,
+			NetSendBytes:   level * netB * 0.2,
+			NetRecvBytes:   level * netB * 0.15,
+			MemTouchBytes:  level * memB * 0.25,
+		}
+	case ProfileBursty:
+		// Batch-worker shape: CPU saturating, shuffle-style network.
+		d = sim.Demand{
+			CPU:           level * cores,
+			DiskReadBytes: level * diskB * 0.15,
+			NetSendBytes:  level * netB * 0.45,
+			NetRecvBytes:  level * netB * 0.45,
+			MemTouchBytes: level * memB * 0.5,
+		}
+	case ProfileDiurnal:
+		// Web-serving shape: request traffic in and out, read-mostly
+		// disk, fractional CPU per request.
+		d = sim.Demand{
+			CPU:           level * cores * 0.6,
+			DiskReadBytes: level * diskB * 0.25,
+			NetSendBytes:  level * netB * 0.5,
+			NetRecvBytes:  level * netB * 0.3,
+			MemTouchBytes: level * memB * 0.35,
+		}
+	default: // idle profile never produces demand
+		return sim.Demand{}
+	}
+	const avgIO = 128 * 1024
+	d.DiskReadOps = math.Min(d.DiskReadBytes/avgIO, diskOps*0.8)
+	d.DiskWriteOps = math.Min(d.DiskWriteBytes/avgIO, diskOps*0.8)
+	d.WorkingSet = level * float64(spec.MemGB) * 1e9 * 0.3
+	d.RunningTasks = 1 + int(level*cores)
+	return d
+}

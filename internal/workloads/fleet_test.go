@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+)
+
+// TestClusterFleetProfiles: burst generation is deterministic per stream,
+// idle machines never wake, and bursts are well-formed for every kind.
+func TestClusterFleetProfiles(t *testing.T) {
+	for _, kind := range FleetProfileKinds() {
+		p, err := FleetProfileByName(kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		a := mathx.NewSplitMix(mathx.DeriveSeed(9, "burst:"+kind))
+		b := mathx.NewSplitMix(mathx.DeriveSeed(9, "burst:"+kind))
+		var now int64
+		for i := 0; i < 200; i++ {
+			s1, d1, l1, ok1 := p.NextBurst(a, now)
+			s2, d2, l2, ok2 := p.NextBurst(b, now)
+			if s1 != s2 || d1 != d2 || l1 != l2 || ok1 != ok2 {
+				t.Fatalf("%s: burst %d not deterministic", kind, i)
+			}
+			if kind == ProfileIdle {
+				if ok1 {
+					t.Fatalf("idle profile produced a burst")
+				}
+				break
+			}
+			if !ok1 {
+				t.Fatalf("%s: burst %d not ok", kind, i)
+			}
+			if s1 < now || d1 < 1 || l1 <= 0 || l1 > 1 {
+				t.Fatalf("%s: malformed burst start=%d dur=%d level=%v (now=%d)", kind, s1, d1, l1, now)
+			}
+			now = s1 + d1
+		}
+	}
+	if _, err := FleetProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestClusterFleetDemandWithinCapability: demand stays non-negative and
+// within a small multiple of the platform's capabilities at any level, so
+// bursts saturate machines rather than request nonsense.
+func TestClusterFleetDemandWithinCapability(t *testing.T) {
+	for _, plat := range sim.PlatformNames() {
+		spec, err := sim.Platform(plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range FleetProfileKinds() {
+			p, _ := FleetProfileByName(kind)
+			for _, level := range []float64{0.05, 0.3, 0.7, 1.0} {
+				d := p.Demand(spec, level)
+				fields := map[string]struct{ got, cap float64 }{
+					"cpu":        {d.CPU, float64(spec.Cores)},
+					"disk_bytes": {d.DiskReadBytes + d.DiskWriteBytes, spec.DiskBytesPerSec()},
+					"disk_ops":   {d.DiskReadOps + d.DiskWriteOps, spec.DiskOpsPerSec() * 2},
+					"net":        {d.NetSendBytes + d.NetRecvBytes, spec.NetBytesPerSec()},
+					"mem":        {d.MemTouchBytes, spec.MemBandwidthBytesPerSec()},
+				}
+				for name, f := range fields {
+					if math.IsNaN(f.got) || f.got < 0 {
+						t.Fatalf("%s/%s level %v: %s = %v", plat, kind, level, name, f.got)
+					}
+					if f.got > f.cap*1.01 {
+						t.Fatalf("%s/%s level %v: %s demand %v exceeds capability %v", plat, kind, level, name, f.got, f.cap)
+					}
+				}
+				if kind == ProfileIdle && d != (sim.Demand{}) {
+					t.Fatalf("idle profile demands work: %+v", d)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterDiurnalCurveShape: the shared curve stays a probability and
+// actually swings between night and day.
+func TestClusterDiurnalCurveShape(t *testing.T) {
+	min, max := 1.0, 0.0
+	for tsec := int64(0); tsec < 86400; tsec += 600 {
+		b := diurnalBusyFraction(tsec)
+		if b <= 0 || b >= 1 {
+			t.Fatalf("busy fraction %v out of (0,1) at t=%d", b, tsec)
+		}
+		min, max = math.Min(min, b), math.Max(max, b)
+	}
+	if max-min < 0.2 {
+		t.Fatalf("diurnal curve too flat: [%v, %v]", min, max)
+	}
+}
