@@ -121,12 +121,38 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		clusterMode = fs.Bool("cluster", false, "benchmark the event-driven datacenter simulator instead of the serving path")
 		clusterMs   = fs.String("cluster-machines", "100,1000,20000", "comma-separated fleet sizes for -cluster")
 		simSeconds  = fs.Int64("sim-seconds", 3600, "simulated seconds per -cluster cell")
+
+		controlMode = fs.Bool("control", false, "benchmark the model-predictive power-capping loop instead of the serving path")
+		controlMs   = fs.String("control-machines", "100,1000,20000", "comma-separated fleet sizes for -control")
+		controlSecs = fs.Int64("control-seconds", 1200, "simulated seconds per -control cell")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *check != "" {
 		if err := checkDoc(*check, stdout); err != nil {
+			fmt.Fprintln(stderr, "chaos-bench:", err)
+			return 1
+		}
+		return 0
+	}
+	if *controlMode {
+		sizes, err := parseInts(*controlMs)
+		if err == nil {
+			if *quick {
+				if len(sizes) > 2 {
+					sizes = sizes[:2]
+				}
+				if *controlSecs > 300 {
+					*controlSecs = 300
+				}
+			}
+			if *out == "BENCH_serve.json" {
+				*out = "BENCH_control.json"
+			}
+			err = runControlBench(stdout, *out, *seed, sizes, *controlSecs)
+		}
+		if err != nil {
 			fmt.Fprintln(stderr, "chaos-bench:", err)
 			return 1
 		}
@@ -423,6 +449,9 @@ func checkDoc(path string, w io.Writer) error {
 	}
 	if probe.Schema == ClusterSchema {
 		return checkClusterDoc(path, data, w)
+	}
+	if probe.Schema == ControlSchema {
+		return checkControlDoc(path, data, w)
 	}
 	var doc Doc
 	if err := json.Unmarshal(data, &doc); err != nil {

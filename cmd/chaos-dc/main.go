@@ -16,11 +16,21 @@
 // chaos-dist /v1/estimate/cluster endpoint — closing the loop from
 // simulated fleet to served estimates.
 //
+// With -capping, chaos-dc closes the outer loop: it bootstraps Eq. 4
+// switching models for the fleet's platforms, admits them into a model
+// registry, and runs the internal/control model-predictive capping
+// controller against the simulation under the given chaos-capping/v1
+// policy. Budgeted levels stream cap/actual/headroom series alongside
+// the power series, cap_violation / cap_recovered events are emitted as
+// JSON lines, and the chaos_cap_{budget,actual,headroom}_watts gauges
+// plus chaos_actuations_total counters are served on -listen.
+//
 // Usage:
 //
 //	chaos-dc -topology examples/dc-20k.json -duration 1h
 //	chaos-dc -topology dc.json -interval 60 -levels rack -json
 //	chaos-dc -topology dc.json -feed http://localhost:8080 -feed-machines 50
+//	chaos-dc -topology examples/dc-20k.json -capping examples/capping-row0.json -listen :9090
 package main
 
 import (
@@ -31,12 +41,18 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/control"
 	"repro/internal/counters"
+	"repro/internal/faults"
 	"repro/internal/mathx"
+	"repro/internal/obs"
+	"repro/internal/registry"
 	"repro/internal/serve"
 )
 
@@ -57,6 +73,8 @@ type options struct {
 	feedMachines int
 	feedInterval int64
 	seed         int64
+	capping      string
+	listen       string
 }
 
 // tick is one streamed aggregate observation.
@@ -83,6 +101,17 @@ type summary struct {
 	FeedClusterW   float64 `json:"feed_cluster_watts_last,omitempty"`
 	FeedSimW       float64 `json:"feed_sim_watts_last,omitempty"`
 	FeedRelErrLast float64 `json:"feed_rel_err_last,omitempty"`
+
+	CapPolicy     string  `json:"cap_policy,omitempty"`
+	CapTicks      int64   `json:"cap_ticks,omitempty"`
+	CapDecisions  int64   `json:"cap_decisions,omitempty"`
+	CapFreqActs   int64   `json:"cap_freq_actuations,omitempty"`
+	CapMigrations int64   `json:"cap_migrations,omitempty"`
+	// CapCompliance is the fraction of budgeted (level, second) samples
+	// whose hidden ground-truth power stayed within budget × 1.015 (the
+	// meter-error allowance), outside a two-interval settling window.
+	CapCompliance float64 `json:"cap_compliance,omitempty"`
+	ServedCPU     float64 `json:"served_cpu_core_s,omitempty"`
 }
 
 func realMain(argv []string, out io.Writer) error {
@@ -97,6 +126,8 @@ func realMain(argv []string, out io.Writer) error {
 	fs.IntVar(&o.feedMachines, "feed-machines", 20, "machines per fed snapshot (evenly spread over the fleet)")
 	fs.Int64Var(&o.feedInterval, "feed-interval", 600, "simulated seconds between fed snapshots")
 	fs.Int64Var(&o.seed, "seed", 0, "override the topology document's seed (0 keeps it)")
+	fs.StringVar(&o.capping, "capping", "", "chaos-capping/v1 policy JSON enabling the power-capping control loop")
+	fs.StringVar(&o.listen, "listen", "", "serve /metrics, /healthz, and pprof on this address (e.g. :9090)")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -144,6 +175,22 @@ func realMain(argv []string, out io.Writer) error {
 		}
 	}
 
+	var capr *capper
+	if o.capping != "" {
+		capr, err = newCapper(cs, topo, o, out)
+		if err != nil {
+			return err
+		}
+	}
+
+	if o.listen != "" {
+		srv, err := obs.Serve(o.listen, obs.Default())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
+
 	end := int64(o.duration / time.Second)
 	start := time.Now()
 	var fed summary
@@ -162,9 +209,22 @@ func realMain(argv []string, out io.Writer) error {
 				feeder.next = ft + o.feedInterval
 			}
 		}
-		cs.RunUntil(next)
+		if capr != nil {
+			// Advance second by second so cap compliance is scored against
+			// ground truth at every simulated second, not just interval
+			// boundaries.
+			for ts := now + 1; ts <= next; ts++ {
+				cs.RunUntil(ts)
+				capr.score(ts)
+			}
+		} else {
+			cs.RunUntil(next)
+		}
 		now = next
 		emit(out, o.jsonOut, now, topo, want)
+		if capr != nil {
+			capr.emit(out, o.jsonOut, now)
+		}
 	}
 	wall := time.Since(start).Seconds()
 
@@ -188,6 +248,12 @@ func realMain(argv []string, out io.Writer) error {
 		s.FeedSimW = fed.FeedSimW
 		s.FeedRelErrLast = fed.FeedRelErrLast
 	}
+	if capr != nil {
+		s.CapPolicy = capr.pol.Name
+		s.CapTicks, s.CapDecisions, s.CapFreqActs, s.CapMigrations = capr.ctl.Stats()
+		s.CapCompliance = capr.compliance()
+		s.ServedCPU = cs.ServedCPU()
+	}
 	if o.jsonOut {
 		return json.NewEncoder(out).Encode(map[string]any{"summary": s})
 	}
@@ -196,6 +262,10 @@ func realMain(argv []string, out io.Writer) error {
 	if fed.FedSnapshots > 0 {
 		fmt.Fprintf(out, "fed %d snapshots: served %.0fW vs simulated %.0fW on sampled machines (rel err %.3f)\n",
 			fed.FedSnapshots, s.FeedClusterW, s.FeedSimW, s.FeedRelErrLast)
+	}
+	if capr != nil {
+		fmt.Fprintf(out, "capping %s: compliance %.4f over %d budget(s), %d ticks, %d decisions, %d freq caps, %d migrations\n",
+			s.CapPolicy, s.CapCompliance, len(capr.targets), s.CapTicks, s.CapDecisions, s.CapFreqActs, s.CapMigrations)
 	}
 	return nil
 }
@@ -228,6 +298,128 @@ func levelKind(l *cluster.Level) string {
 		return "rack"
 	}
 	return "row"
+}
+
+// capper wires the model-predictive capping controller into the driver:
+// bootstrapped Eq. 4 switching models for every platform in the fleet,
+// a dedicated model registry, the internal/control loop, and per-second
+// ground-truth compliance scoring (the verification side the controller
+// itself never sees).
+type capper struct {
+	ctl     *control.Controller
+	pol     *control.Policy
+	targets []capTarget
+	settle  int64
+}
+
+// capTarget tracks one budgeted level's compliance.
+type capTarget struct {
+	name                string
+	level               *cluster.Level
+	budget              float64
+	samples, violations int64
+}
+
+// capTick is one streamed cap observation for a budgeted level.
+type capTick struct {
+	T             int64   `json:"t"`
+	Level         string  `json:"level"` // always "cap"
+	Name          string  `json:"name"`
+	BudgetWatts   float64 `json:"budget_watts"`
+	ActualWatts   float64 `json:"actual_watts"` // metered aggregate (what the controller sees)
+	HeadroomWatts float64 `json:"headroom_watts"`
+}
+
+func newCapper(cs *cluster.ClusterSimulator, topo *cluster.Topology, o options, out io.Writer) (*capper, error) {
+	pdata, err := os.ReadFile(o.capping)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := control.ParsePolicy(pdata)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var platforms []string
+	for _, mn := range topo.Machines {
+		if p := mn.Machine.Spec.Name; !seen[p] {
+			seen[p] = true
+			platforms = append(platforms, p)
+		}
+	}
+	sort.Strings(platforms)
+	cm, err := control.Bootstrap(platforms, topo.Seed)
+	if err != nil {
+		return nil, err
+	}
+	reg := registry.New()
+	if err := reg.Add("boot-1", cm, registry.Meta{Description: "chaos-dc bootstrap switching model"}); err != nil {
+		return nil, err
+	}
+	// cap_violation / cap_recovered events stream as JSON lines among the
+	// series in either output mode.
+	ctl, err := control.New(cs, control.Config{Policy: pol, Registry: reg, Events: obs.NewEventSink(out)})
+	if err != nil {
+		return nil, err
+	}
+	cp := &capper{ctl: ctl, pol: pol, settle: 2 * pol.IntervalS}
+	for _, b := range pol.Budgets {
+		l, ok := topo.FindLevel(b.Level)
+		if !ok { // control.New already resolved these; belt and braces
+			return nil, fmt.Errorf("budget level %q not in topology", b.Level)
+		}
+		cp.targets = append(cp.targets, capTarget{name: b.Level, level: l, budget: b.Watts})
+	}
+	ctl.Start()
+	return cp, nil
+}
+
+// score samples ground truth against every budget at simulated second
+// ts, outside a two-interval settling window.
+func (cp *capper) score(ts int64) {
+	if ts <= cp.settle {
+		return
+	}
+	for i := range cp.targets {
+		t := &cp.targets[i]
+		t.samples++
+		if t.level.GroundTruthWatts() > t.budget*1.015 {
+			t.violations++
+		}
+	}
+}
+
+// compliance returns the fraction of scored (budget, second) samples
+// that stayed within budget × 1.015.
+func (cp *capper) compliance() float64 {
+	var samples, viols int64
+	for i := range cp.targets {
+		samples += cp.targets[i].samples
+		viols += cp.targets[i].violations
+	}
+	if samples == 0 {
+		return 1
+	}
+	return 1 - float64(viols)/float64(samples)
+}
+
+// emit streams one cap/actual/headroom observation per budgeted level.
+func (cp *capper) emit(out io.Writer, jsonOut bool, now int64) {
+	for i := range cp.targets {
+		t := &cp.targets[i]
+		actual := t.level.Watts()
+		ct := capTick{
+			T: now, Level: "cap", Name: t.name,
+			BudgetWatts: t.budget, ActualWatts: actual, HeadroomWatts: t.budget - actual,
+		}
+		if jsonOut {
+			b, _ := json.Marshal(ct)
+			fmt.Fprintln(out, string(b))
+		} else {
+			fmt.Fprintf(out, "t=%-7d %-10s %-18s budget %9.1f W actual %9.1f W headroom %8.1f W\n",
+				ct.T, ct.Level, ct.Name, ct.BudgetWatts, ct.ActualWatts, ct.HeadroomWatts)
+		}
+	}
 }
 
 // feeder POSTs sampled machine snapshots to a /v1/estimate/cluster
@@ -264,7 +456,9 @@ func newFeeder(cs *cluster.ClusterSimulator, o options) (*feeder, error) {
 	stride := len(topo.Machines) / n
 	for i := 0; i < n; i++ {
 		idx := i * stride
-		cs.SetCapture(idx)
+		if err := cs.SetCapture(idx); err != nil {
+			return nil, err
+		}
 		f.indices = append(f.indices, idx)
 		f.expanders = append(f.expanders,
 			counters.NewExpander(reg, mathx.DeriveSeed(topo.Seed, "exp:"+topo.Machines[idx].ID)))
@@ -277,7 +471,10 @@ func (f *feeder) snapshot(fed *summary) error {
 	req := serve.EstimateRequest{}
 	var simWatts float64
 	for i, idx := range f.indices {
-		sig, watts := f.cs.SampleSignals(idx)
+		sig, watts, err := f.cs.SampleSignals(idx)
+		if err != nil {
+			return err
+		}
 		vec, err := f.expanders[i].Sample(sig)
 		if err != nil {
 			return fmt.Errorf("expanding machine %s: %w", topo.Machines[idx].ID, err)
@@ -295,21 +492,30 @@ func (f *feeder) snapshot(fed *summary) error {
 	if err != nil {
 		return err
 	}
-	resp, err := f.client.Post(f.url, "application/json", bytes.NewReader(body))
+	cr, status, retryAfter, err := f.post(body)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	var cr struct {
-		Status       int     `json:"status"`
-		ClusterWatts float64 `json:"cluster_watts"`
-		Error        string  `json:"error"`
+	if status == http.StatusTooManyRequests {
+		// The server is shedding load and told us when to come back
+		// (Retry-After, in seconds). One bounded, jittered retry instead
+		// of dropping the snapshot on the floor.
+		base := 50.0 // ms floor when the hint is missing or zero
+		if s, aerr := strconv.Atoi(strings.TrimSpace(retryAfter)); aerr == nil && s > 0 {
+			base = float64(s) * 1000
+		}
+		if base > 5000 {
+			base = 5000
+		}
+		rp := faults.RetryPolicy{MaxAttempts: 2, BackoffMS: base, Jitter: 0.25}
+		time.Sleep(time.Duration(rp.BackoffFor(f.cs.Topology().Seed, "feed", 1) * float64(time.Millisecond)))
+		cr, status, _, err = f.post(body)
+		if err != nil {
+			return err
+		}
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
-		return fmt.Errorf("decoding response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d: %s", resp.StatusCode, cr.Error)
+	if status != http.StatusOK {
+		return fmt.Errorf("status %d: %s", status, cr.Error)
 	}
 	fed.FedSnapshots++
 	fed.FeedClusterW = cr.ClusterWatts
@@ -322,4 +528,27 @@ func (f *feeder) snapshot(fed *summary) error {
 		fed.FeedRelErrLast = rel
 	}
 	return nil
+}
+
+// clusterResp is the subset of the /v1/estimate/cluster response the
+// feeder reads.
+type clusterResp struct {
+	Status       int     `json:"status"`
+	ClusterWatts float64 `json:"cluster_watts"`
+	Error        string  `json:"error"`
+}
+
+// post performs one POST of the snapshot and decodes the JSON body
+// whatever the status, returning the Retry-After hint alongside.
+func (f *feeder) post(body []byte) (clusterResp, int, string, error) {
+	var cr clusterResp
+	resp, err := f.client.Post(f.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return cr, 0, "", err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return cr, resp.StatusCode, "", fmt.Errorf("decoding response: %w", err)
+	}
+	return cr, resp.StatusCode, resp.Header.Get("Retry-After"), nil
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -170,5 +171,143 @@ func TestClusterDCRejectsBadInput(t *testing.T) {
 	}
 	if err := realMain([]string{"-topology", good, "-feed", "http://x", "-feed-machines", "0"}, &out); err == nil {
 		t.Error("zero feed machines accepted")
+	}
+}
+
+const heavyGrid = `{
+  "version": "chaos-topology/v1",
+  "name": "cap-dc",
+  "seed": 11,
+  "grid": {
+    "rows": 1, "racks_per_row": 2, "machines_per_rack": 10,
+    "platforms": [{"name": "Core2", "weight": 1}],
+    "profiles": [{"name": "heavy", "weight": 0.6}, {"name": "idle", "weight": 0.4}]
+  }
+}`
+
+// TestControlDCCappingEndToEnd: -capping runs the model-predictive
+// control loop inside the driver — cap/actual/headroom series stream for
+// the budgeted rack, the summary reports compliance and actuations, and
+// the whole capped run (fleet + control actions) reproduces bit-for-bit.
+func TestControlDCCappingEndToEnd(t *testing.T) {
+	topoPath := writeTopology(t, heavyGrid)
+
+	// Find the rack's uncapped ground-truth peak so the policy is a real
+	// constraint (85% of peak) rather than a guess.
+	spec, err := cluster.ParseSpec([]byte(heavyGrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := cluster.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cluster.NewSimulator(topo)
+	rack, ok := topo.FindLevel("row-0/rack-0")
+	if !ok {
+		t.Fatal("rack not found")
+	}
+	peak := 0.0
+	for ts := int64(1); ts <= 900; ts++ {
+		cs.RunUntil(ts)
+		if gt := rack.GroundTruthWatts(); gt > peak {
+			peak = gt
+		}
+	}
+
+	budget := peak * 0.85
+	policy := map[string]any{
+		"version": "chaos-capping/v1", "name": "dc-test",
+		"interval_s": 15, "hysteresis_watts": budget * 0.04,
+		"max_actuations_per_tick": 12,
+		"budgets":                 []map[string]any{{"level": "row-0/rack-0", "watts": budget}},
+		"migration":               map[string]any{"enabled": true, "max_per_tick": 6},
+	}
+	pdata, err := json.Marshal(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polPath := filepath.Join(t.TempDir(), "policy.json")
+	if err := os.WriteFile(polPath, pdata, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() (capTicks int, sum map[string]any) {
+		var out bytes.Buffer
+		err := realMain([]string{
+			"-topology", topoPath, "-duration", "15m", "-interval", "100",
+			"-levels", "datacenter", "-capping", polPath, "-json",
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+		for _, ln := range lines {
+			var m map[string]any
+			if err := json.Unmarshal([]byte(ln), &m); err != nil {
+				t.Fatalf("non-JSON line %q: %v", ln, err)
+			}
+			if m["level"] == "cap" {
+				capTicks++
+				if m["name"] != "row-0/rack-0" || m["budget_watts"].(float64) != budget {
+					t.Fatalf("cap tick %v", m)
+				}
+				if m["actual_watts"].(float64) <= 0 {
+					t.Fatalf("cap tick without actual watts: %v", m)
+				}
+			}
+			if s, ok := m["summary"].(map[string]any); ok {
+				sum = s
+			}
+		}
+		return capTicks, sum
+	}
+
+	capTicks, sum := run()
+	if capTicks != 9 { // one per reporting interval
+		t.Fatalf("cap ticks = %d, want 9", capTicks)
+	}
+	if sum == nil {
+		t.Fatal("no summary line")
+	}
+	if sum["cap_policy"] != "dc-test" {
+		t.Fatalf("cap_policy = %v", sum["cap_policy"])
+	}
+	if c := sum["cap_compliance"].(float64); c < 0.95 {
+		t.Fatalf("cap_compliance = %v, want ≥ 0.95", c)
+	}
+	if sum["cap_ticks"].(float64) < 50 || sum["cap_freq_actuations"].(float64) <= 0 {
+		t.Fatalf("controller barely ran: %v", sum)
+	}
+	if sum["served_cpu_core_s"].(float64) <= 0 {
+		t.Fatal("no served throughput recorded")
+	}
+
+	_, sum2 := run()
+	if sum["digest"] != sum2["digest"] {
+		t.Fatalf("capped run not reproducible: %v vs %v", sum["digest"], sum2["digest"])
+	}
+}
+
+// TestControlDCCappingRejectsBadPolicy: malformed or unresolvable
+// policies fail fast before any simulation runs.
+func TestControlDCCappingRejectsBadPolicy(t *testing.T) {
+	topoPath := writeTopology(t, heavyGrid)
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":"chaos-capping/v1"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := realMain([]string{"-topology", topoPath, "-duration", "1m", "-capping", bad}, &out); err == nil {
+		t.Fatal("truncated policy accepted")
+	}
+	ghost := filepath.Join(dir, "ghost.json")
+	doc := `{"version":"chaos-capping/v1","name":"g","interval_s":15,"budgets":[{"level":"no-such-rack","watts":100}]}`
+	if err := os.WriteFile(ghost, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain([]string{"-topology", topoPath, "-duration", "1m", "-capping", ghost}, &out); err == nil {
+		t.Fatal("policy with unknown level accepted")
 	}
 }

@@ -393,9 +393,14 @@ func TestClusterCaptureAndSampling(t *testing.T) {
 		t.Fatal(err)
 	}
 	cs := NewSimulator(topo)
-	cs.SetCapture(0)
+	if err := cs.SetCapture(0); err != nil {
+		t.Fatal(err)
+	}
 	cs.RunUntil(600)
-	sig, watts := cs.SampleSignals(0)
+	sig, watts, err := cs.SampleSignals(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sig) == 0 {
 		t.Fatal("no signals captured")
 	}
@@ -406,7 +411,10 @@ func TestClusterCaptureAndSampling(t *testing.T) {
 		t.Fatalf("sampled watts = %v", watts)
 	}
 	// Sampling a never-captured idle machine works too (out-of-band step).
-	sig2, _ := cs.SampleSignals(4)
+	sig2, _, err := cs.SampleSignals(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sig2) == 0 {
 		t.Fatal("idle sample produced no signals")
 	}

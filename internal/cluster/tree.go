@@ -36,6 +36,27 @@ type Level struct {
 
 	watts float64
 	dirty bool
+
+	// budget is an optional power cap in watts for this subtree, set by a
+	// capping policy. Zero means unbudgeted. The tree only stores it; the
+	// control loop decides how to enforce it.
+	budget float64
+}
+
+// SetBudget installs (or clears, with 0) a power budget on this level.
+func (l *Level) SetBudget(watts float64) { l.budget = watts }
+
+// Budget returns the level's power budget in watts (0 = unbudgeted).
+func (l *Level) Budget() float64 { return l.budget }
+
+// Headroom returns budget minus current aggregate watts. It is negative
+// when the subtree is over budget and meaningless (0, false) when no
+// budget is set.
+func (l *Level) Headroom() (float64, bool) {
+	if l.budget <= 0 {
+		return 0, false
+	}
+	return l.budget - l.Watts(), true
 }
 
 // MachineNode is one simulated machine: the unchanged sim.Machine leaf
@@ -51,6 +72,11 @@ type MachineNode struct {
 	rng    *mathx.SplitMix64 // burst schedule stream
 	watts  float64
 
+	// trueWatts mirrors the sim's hidden ground-truth meter (TrueWatts on
+	// step, idle watts when parked). It exists so verification can close
+	// the loop against reality; the control plane must never read it.
+	trueWatts float64
+
 	// Burst state. A machine is either idle (no pending event beyond its
 	// next wake) or inside a burst with a precomputed per-second demand.
 	active       bool
@@ -58,6 +84,9 @@ type MachineNode struct {
 	demand       sim.Demand
 	pendingDur   int64
 	pendingLevel float64
+	// pendingWake is true while a wake event sits in the heap, so profile
+	// migration can tell "parked forever" from "parked until its wake".
+	pendingWake bool
 
 	// capture switches the machine's steps to the full-signals path so
 	// drivers can export its counter vector (for /v1/estimate/cluster).
@@ -67,6 +96,10 @@ type MachineNode struct {
 
 // Watts returns the machine's current power estimate in watts.
 func (m *MachineNode) Watts() float64 { return m.watts }
+
+// TrueWatts returns the machine's hidden ground-truth power. Verification
+// only: a controller reading this is cheating.
+func (m *MachineNode) TrueWatts() float64 { return m.trueWatts }
 
 // Active reports whether the machine is inside a burst.
 func (m *MachineNode) Active() bool { return m.active }
@@ -129,6 +162,7 @@ func (t *Topology) buildLevel(n *Node, parent *Level, depth int) (*Level, error)
 			rng:     mathx.NewSplitMix(mathx.DeriveSeed(t.Seed, "burst:"+ms.ID)),
 			watts:   m.IdleWatts(),
 		}
+		mn.trueWatts = m.IdleWatts()
 		l.Machines = append(l.Machines, mn)
 		t.Machines = append(t.Machines, mn)
 	}
@@ -164,6 +198,35 @@ func (l *Level) Watts() float64 {
 	l.watts = sum
 	l.dirty = false
 	return sum
+}
+
+// GroundTruthWatts re-sums the subtree over the hidden per-machine
+// TrueWatts. It bypasses the incremental cache on purpose: it is the
+// verification meter a capping run is judged against, never a control
+// input, so it does not need (or get) the dirty-bit fast path.
+func (l *Level) GroundTruthWatts() float64 {
+	var sum float64
+	if len(l.Machines) > 0 {
+		for _, m := range l.Machines {
+			sum += m.trueWatts
+		}
+	} else {
+		for _, c := range l.Children {
+			sum += c.GroundTruthWatts()
+		}
+	}
+	return sum
+}
+
+// FindLevel returns the first level (root first, depth-first) with the
+// given name. Capping policies address budget targets this way.
+func (t *Topology) FindLevel(name string) (*Level, bool) {
+	for _, l := range t.Levels {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return nil, false
 }
 
 // FullRecompute ignores every cache and dirty bit and re-sums the whole

@@ -1,0 +1,173 @@
+package control
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+)
+
+// TestControlCapHoldsUnderChaos is the PR acceptance run: a 1000-machine
+// fleet (5 rows × 5 racks × 40), every rack of row-0 budgeted to 80% of
+// its own uncapped ground-truth peak, under chaos — two meter-dropout
+// windows force model-based sensing, and the model itself is stale by
+// construction (trained on the uncapped regime the controller then
+// destroys). Closing the loop against the hidden meter:
+//
+//   - ground-truth rack power exceeds budget (beyond meter error, 1.5%)
+//     in < 1% of simulated rack-seconds outside a one-loop-interval
+//     settling window;
+//   - fleet throughput retention ≥ 90% of the uncapped twin;
+//   - the full run digest (machine records AND control records)
+//     reproduces bit-for-bit across two same-seed runs.
+func TestControlCapHoldsUnderChaos(t *testing.T) {
+	const (
+		seed     = int64(20260808)
+		duration = int64(1500)
+		interval = int64(15)
+		settle   = 2 * interval // one interval to first tick + one to act
+		tol      = 1.015        // meter error allowance on the budget
+	)
+	racks := []string{
+		"row-0/rack-0", "row-0/rack-1", "row-0/rack-2", "row-0/rack-3", "row-0/rack-4",
+	}
+
+	build := func() (*cluster.Topology, *cluster.ClusterSimulator) {
+		topo, err := cluster.Build(ctlSpec(5, 5, 40, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(topo.Machines) != 1000 {
+			t.Fatalf("fleet is %d machines, want 1000", len(topo.Machines))
+		}
+		return topo, cluster.NewSimulator(topo)
+	}
+
+	// Uncapped twin: per-rack ground-truth peaks and fleet throughput.
+	topoU, csU := build()
+	peaks := make(map[string]float64, len(racks))
+	levelsU := make(map[string]*cluster.Level, len(racks))
+	for _, r := range racks {
+		l, ok := topoU.FindLevel(r)
+		if !ok {
+			t.Fatalf("rack %s missing", r)
+		}
+		levelsU[r] = l
+	}
+	for ts := int64(1); ts <= duration; ts++ {
+		csU.RunUntil(ts)
+		for _, r := range racks {
+			if gt := levelsU[r].GroundTruthWatts(); gt > peaks[r] {
+				peaks[r] = gt
+			}
+		}
+	}
+	servedUncapped := csU.ServedCPU()
+	if servedUncapped <= 0 {
+		t.Fatal("uncapped run served nothing")
+	}
+
+	reg := bootReg(t)
+	pol := &Policy{
+		Version:              PolicyVersion,
+		Name:                 "e2e-80pct",
+		IntervalS:            interval,
+		MaxActuationsPerTick: 12,
+		Budgets:              make([]Budget, 0, len(racks)),
+		Migration:            MigrationPolicy{Enabled: true, MaxPerTick: 12},
+	}
+	minBudget := 0.0
+	for _, r := range racks {
+		b := peaks[r] * 0.80
+		pol.Budgets = append(pol.Budgets, Budget{Level: r, Watts: b})
+		if minBudget == 0 || b < minBudget {
+			minBudget = b
+		}
+	}
+	pol.HysteresisWatts = minBudget * 0.04
+	pol.applyDefaults()
+
+	capped := func() (digest string, served float64, violations, counted int) {
+		topo, cs := build()
+		sc := &faults.Scenario{Name: "cap-chaos", MeterDropouts: []faults.Window{
+			{StartS: 300, EndS: 450},
+			{StartS: 900, EndS: 1050},
+		}}
+		inj, err := faults.NewInjector(sc, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(cs, Config{Policy: pol, Registry: reg, Faults: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+		levels := make([]*cluster.Level, len(racks))
+		for i, r := range racks {
+			l, _ := topo.FindLevel(r)
+			levels[i] = l
+		}
+		for ts := int64(1); ts <= duration; ts++ {
+			cs.RunUntil(ts)
+			if ts <= settle {
+				continue
+			}
+			for i, r := range racks {
+				counted++
+				if levels[i].GroundTruthWatts() > pol.Budgets[i].Watts*tol {
+					violations++
+					_ = r
+				}
+			}
+		}
+		ticks, decisions, freqActs, _ := c.Stats()
+		if ticks < duration/interval-2 {
+			t.Fatalf("only %d ticks", ticks)
+		}
+		if freqActs == 0 || decisions == 0 {
+			t.Fatalf("controller idle: %d actuations, %d decisions", freqActs, decisions)
+		}
+		return cs.Digest(), cs.ServedCPU(), violations, counted
+	}
+
+	dig1, served1, viol, counted := capped()
+	if counted == 0 {
+		t.Fatal("no seconds counted")
+	}
+	frac := float64(viol) / float64(counted)
+	if frac >= 0.01 {
+		t.Fatalf("ground truth exceeded budget in %.2f%% of rack-seconds (want < 1%%)", frac*100)
+	}
+	retention := served1 / servedUncapped
+	if retention < 0.90 {
+		t.Fatalf("throughput retention %.3f, want ≥ 0.90", retention)
+	}
+	t.Logf("violations %.3f%% of %d rack-seconds, retention %.3f", frac*100, counted, retention)
+
+	dig2, served2, _, _ := capped()
+	if dig1 != dig2 {
+		t.Fatalf("capped run digest not reproducible:\n%s\n%s", dig1, dig2)
+	}
+	if served1 != served2 {
+		t.Fatalf("served throughput not reproducible: %v vs %v", served1, served2)
+	}
+}
+
+// TestControlRegistryDedicated ensures the e2e registry path matches what
+// the CLIs build: a bootstrap model admitted as the first (auto-active)
+// version.
+func TestControlRegistryDedicated(t *testing.T) {
+	reg := bootReg(t)
+	e := reg.Active()
+	if e == nil || e.Version != "boot-1" {
+		t.Fatalf("active %+v", e)
+	}
+	if _, ok := e.Model.ByPlatform["Core2"]; !ok {
+		t.Fatal("bootstrap model missing Core2")
+	}
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	_ = fmt.Sprintf("%v", e.Version)
+}

@@ -1,0 +1,141 @@
+// Package control closes the outer loop of the CHAOS pipeline: a
+// model-predictive power-capping and placement controller that runs a
+// deterministic sense→predict→decide→actuate cycle against the
+// event-driven cluster simulator.
+//
+// The controller never reads the sim's hidden ground truth. It senses
+// through the metered hierarchy (or, when the meter has dropped out,
+// through the registry's admitted models applied to control-plane
+// signals), ranks machines by predicted marginal watts per unit
+// throughput across DVFS P-states (the Eq. 4 switching models predict
+// per-frequency-state power), and actuates frequency caps and workload
+// migrations with hysteresis and per-tick rate limits. Verification
+// closes the loop against ground truth from the outside.
+package control
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// PolicyVersion is the schema tag of capping policy documents.
+const PolicyVersion = "chaos-capping/v1"
+
+// Budget caps one named level of the topology (datacenter, row, or rack).
+type Budget struct {
+	// Level is the topology level name (e.g. "row-0/rack-2", "row-1", or
+	// the datacenter name).
+	Level string `json:"level"`
+	// Watts is the power budget for the subtree. Must be positive.
+	Watts float64 `json:"watts"`
+}
+
+// MigrationPolicy bounds workload-migration actuations.
+type MigrationPolicy struct {
+	// Enabled allows the controller to recommend moving burst profiles
+	// off budgeted machines onto idle spares outside every budget.
+	Enabled bool `json:"enabled"`
+	// MaxPerTick bounds migrations per control tick (default 2).
+	MaxPerTick int `json:"max_per_tick,omitempty"`
+}
+
+// Policy is a chaos-capping/v1 document: what to cap, how hard, and how
+// aggressively the controller may act.
+type Policy struct {
+	Version string `json:"version"`
+	Name    string `json:"name"`
+
+	// IntervalS is the control loop period in simulated seconds (≥ 1).
+	IntervalS int64 `json:"interval_s"`
+	// HysteresisWatts is the dead band under each budget: the controller
+	// sheds when sensed power exceeds budget − hysteresis and only relaxes
+	// caps once sensed power falls below budget − 2·hysteresis. Prevents
+	// cap/uncap thrash at the boundary.
+	HysteresisWatts float64 `json:"hysteresis_watts"`
+	// MaxActuationsPerTick bounds frequency-cap changes per tick per
+	// budget target (default 8).
+	MaxActuationsPerTick int `json:"max_actuations_per_tick,omitempty"`
+	// CooldownTicks freezes a machine for this many ticks after any
+	// actuation touched it (default 2).
+	CooldownTicks int `json:"cooldown_ticks,omitempty"`
+
+	Budgets   []Budget        `json:"budgets"`
+	Migration MigrationPolicy `json:"migration,omitempty"`
+}
+
+// ParsePolicy decodes and validates a chaos-capping/v1 document. Unknown
+// fields and trailing garbage are rejected: a policy is an actuation
+// authorization, so a typo must fail loudly rather than silently default.
+func ParsePolicy(data []byte) (*Policy, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Policy
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("control: parsing policy: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("control: trailing data after policy document")
+	}
+	p.applyDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+func (p *Policy) applyDefaults() {
+	if p.MaxActuationsPerTick == 0 {
+		p.MaxActuationsPerTick = 8
+	}
+	if p.CooldownTicks == 0 {
+		p.CooldownTicks = 2
+	}
+	if p.Migration.Enabled && p.Migration.MaxPerTick == 0 {
+		p.Migration.MaxPerTick = 2
+	}
+}
+
+// Validate checks the policy document in isolation (budget level names
+// are resolved against a topology when the controller is built).
+func (p *Policy) Validate() error {
+	if p.Version != PolicyVersion {
+		return fmt.Errorf("control: policy version %q, want %q", p.Version, PolicyVersion)
+	}
+	if p.Name == "" {
+		return fmt.Errorf("control: policy needs a name")
+	}
+	if p.IntervalS < 1 {
+		return fmt.Errorf("control: interval_s %d must be ≥ 1", p.IntervalS)
+	}
+	if p.HysteresisWatts < 0 {
+		return fmt.Errorf("control: hysteresis_watts %v must be ≥ 0", p.HysteresisWatts)
+	}
+	if p.MaxActuationsPerTick < 1 {
+		return fmt.Errorf("control: max_actuations_per_tick %d must be ≥ 1", p.MaxActuationsPerTick)
+	}
+	if p.CooldownTicks < 0 {
+		return fmt.Errorf("control: cooldown_ticks %d must be ≥ 0", p.CooldownTicks)
+	}
+	if len(p.Budgets) == 0 {
+		return fmt.Errorf("control: policy has no budgets")
+	}
+	seen := map[string]bool{}
+	for i, b := range p.Budgets {
+		if b.Level == "" {
+			return fmt.Errorf("control: budget %d has no level name", i)
+		}
+		if seen[b.Level] {
+			return fmt.Errorf("control: duplicate budget for level %q", b.Level)
+		}
+		seen[b.Level] = true
+		if b.Watts <= 0 {
+			return fmt.Errorf("control: budget for %q is %v W, must be positive", b.Level, b.Watts)
+		}
+	}
+	if p.Migration.MaxPerTick < 0 {
+		return fmt.Errorf("control: migration.max_per_tick %d must be ≥ 0", p.Migration.MaxPerTick)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package control
+
+import (
+	"strings"
+	"testing"
+)
+
+func validPolicyJSON() string {
+	return `{
+		"version": "chaos-capping/v1",
+		"name": "test-cap",
+		"interval_s": 30,
+		"hysteresis_watts": 20,
+		"budgets": [
+			{"level": "row-0/rack-0", "watts": 1200},
+			{"level": "row-1", "watts": 5000}
+		],
+		"migration": {"enabled": true}
+	}`
+}
+
+func TestControlPolicyParseAndDefaults(t *testing.T) {
+	p, err := ParsePolicy([]byte(validPolicyJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "test-cap" || p.IntervalS != 30 || len(p.Budgets) != 2 {
+		t.Fatalf("parsed policy %+v", p)
+	}
+	if p.MaxActuationsPerTick != 8 {
+		t.Fatalf("MaxActuationsPerTick default = %d, want 8", p.MaxActuationsPerTick)
+	}
+	if p.CooldownTicks != 2 {
+		t.Fatalf("CooldownTicks default = %d, want 2", p.CooldownTicks)
+	}
+	if p.Migration.MaxPerTick != 2 {
+		t.Fatalf("Migration.MaxPerTick default = %d, want 2", p.Migration.MaxPerTick)
+	}
+}
+
+func TestControlPolicyRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":    `{"version":"chaos-capping/v1","name":"x","interval_s":1,"budgets":[{"level":"a","watts":1}],"oops":1}`,
+		"trailing garbage": validPolicyJSON() + `{"more": true}`,
+		"wrong version":    `{"version":"chaos-capping/v2","name":"x","interval_s":1,"budgets":[{"level":"a","watts":1}]}`,
+		"no name":          `{"version":"chaos-capping/v1","interval_s":1,"budgets":[{"level":"a","watts":1}]}`,
+		"zero interval":    `{"version":"chaos-capping/v1","name":"x","interval_s":0,"budgets":[{"level":"a","watts":1}]}`,
+		"no budgets":       `{"version":"chaos-capping/v1","name":"x","interval_s":1,"budgets":[]}`,
+		"duplicate budget": `{"version":"chaos-capping/v1","name":"x","interval_s":1,"budgets":[{"level":"a","watts":1},{"level":"a","watts":2}]}`,
+		"zero watts":       `{"version":"chaos-capping/v1","name":"x","interval_s":1,"budgets":[{"level":"a","watts":0}]}`,
+		"negative hyst":    `{"version":"chaos-capping/v1","name":"x","interval_s":1,"hysteresis_watts":-1,"budgets":[{"level":"a","watts":1}]}`,
+		"unnamed budget":   `{"version":"chaos-capping/v1","name":"x","interval_s":1,"budgets":[{"watts":1}]}`,
+		"not json":         `nope`,
+	}
+	for what, doc := range cases {
+		if _, err := ParsePolicy([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", what)
+		}
+	}
+}
+
+func TestControlPolicyErrorsAreDescriptive(t *testing.T) {
+	_, err := ParsePolicy([]byte(`{"version":"chaos-capping/v1","name":"x","interval_s":1,"budgets":[{"level":"rack-9","watts":-5}]}`))
+	if err == nil || !strings.Contains(err.Error(), "rack-9") {
+		t.Fatalf("error %v does not name the offending level", err)
+	}
+}

@@ -1,0 +1,87 @@
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/counters"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// rowBuilder turns the two control-plane signals a governor actually
+// exposes — mean core utilization and mean core frequency — into a model
+// input row for one platform's admitted model. The mapping is resolved
+// once per (model version, platform) and the row is reused, so the tick
+// loop predicts without allocating.
+//
+// Only counters derivable from (util, freq) are accepted: the controller
+// senses machines from outside, it does not run collectors on them. An
+// admitted model wanting any other counter is unusable for control and
+// is rejected up front rather than fed garbage.
+type rowBuilder struct {
+	row     []float64
+	utilIdx []int // slots receiving util × 100 (% Processor Time)
+	freqIdx []int // slots receiving the frequency in MHz, incl. lag slots
+}
+
+func newRowBuilder(spec models.FeatureSpec) (*rowBuilder, error) {
+	rb := &rowBuilder{row: make([]float64, spec.NumInputs())}
+	for i, c := range spec.Counters {
+		switch c {
+		case counters.CPUTotal:
+			rb.utilIdx = append(rb.utilIdx, i)
+		case counters.CPUFreqCore0:
+			rb.freqIdx = append(rb.freqIdx, i)
+		default:
+			return nil, fmt.Errorf("control: model input %q is not derivable from control-plane signals (util, freq)", c)
+		}
+	}
+	// Lagged-frequency slots get the current frequency: the controller's
+	// what-if question is about the settled state, not the transition.
+	for k := len(spec.Counters); k < spec.NumInputs(); k++ {
+		rb.freqIdx = append(rb.freqIdx, k)
+	}
+	return rb, nil
+}
+
+// predict evaluates the model at (util in [0,1], freq in MHz).
+func (rb *rowBuilder) predict(m models.Model, util, freqMHz float64) float64 {
+	for _, i := range rb.utilIdx {
+		rb.row[i] = util * 100
+	}
+	for _, i := range rb.freqIdx {
+		rb.row[i] = freqMHz
+	}
+	return m.Predict(rb.row)
+}
+
+// whatIf answers the ranking question for one machine: if its governor
+// were clamped to P-state k, what power does the admitted model predict
+// and how much served throughput (in core-units) would the clamp cost?
+//
+// The throughput proxy follows the sim's capacity law: a core at
+// frequency f serves work proportional to f/fTop, so current service is
+// util·(fNow/fTop)·cores and the clamped capacity ceiling is
+// (fK/fTop)·cores. Demand that no longer fits is lost.
+func whatIf(rb *rowBuilder, m models.Model, spec *sim.PlatformSpec, util, freqNow float64, k int) (watts, lossCores float64) {
+	states := spec.FreqStatesMHz
+	fTop := states[len(states)-1]
+	fK := states[k]
+	if freqNow <= 0 {
+		// Parked (C1): model the machine at its lowest state, zero load.
+		freqNow = states[0]
+		util = 0
+	}
+	// The same demand at a lower frequency fills more of each second.
+	utilK := util * freqNow / fK
+	if utilK > 1 {
+		utilK = 1
+	}
+	watts = rb.predict(m, utilK, fK)
+	cores := float64(spec.Cores)
+	servedNow := util * (freqNow / fTop) * cores
+	capacityK := (fK / fTop) * cores
+	lossCores = math.Max(0, servedNow-capacityK)
+	return watts, lossCores
+}

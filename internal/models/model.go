@@ -314,13 +314,37 @@ func fitSwitchBin(sub *mathx.Matrix, suby []float64, lo, hi float64) *SwitchBin 
 }
 
 // Predict implements Model.
+//
+// A frequency that lands inside a bin uses that bin's clamped linear
+// model. A frequency in a gap between kept bins — an actuated P-state the
+// training window never visited, or a bin dropped for too few rows —
+// falls back to the NEAREST bin by edge distance rather than the global
+// unclamped Linear: the global fit extrapolates along the raw frequency
+// axis and can leave the physical power range entirely (negative or wild
+// watts) exactly where a capping controller asks what-if questions. The
+// global fallback remains only for models with no bins at all (single
+// P-state platforms) and non-finite frequencies.
 func (s *Switching) Predict(row []float64) float64 {
 	f := row[s.FreqCol]
+	nearest, nearestDist := -1, math.MaxFloat64
 	for i := range s.Bins {
 		b := &s.Bins[i]
 		if f >= b.Lo && f < b.Hi {
 			return b.predict(row)
 		}
+		var d float64
+		switch {
+		case f < b.Lo:
+			d = b.Lo - f
+		default: // f >= b.Hi
+			d = f - b.Hi
+		}
+		if d < nearestDist {
+			nearest, nearestDist = i, d
+		}
+	}
+	if nearest >= 0 && !math.IsNaN(f) {
+		return s.Bins[nearest].predict(row)
 	}
 	return s.Fallback.Predict(row)
 }

@@ -1,0 +1,151 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/sim"
+)
+
+// synthDesign builds a [util%, freqMHz] design over the given P-states
+// with a physically shaped power response: idle floor plus dynamic power
+// scaling with frequency and utilization. rowsPerState controls bin
+// population (fitSwitching needs Cols*3+10 rows per bin).
+func synthDesign(states []float64, idle, max float64, rowsPerState int) (*mathx.Matrix, []float64) {
+	top := states[len(states)-1]
+	n := len(states) * rowsPerState
+	x := mathx.NewMatrix(n, 2)
+	y := make([]float64, n)
+	i := 0
+	for _, f := range states {
+		for r := 0; r < rowsPerState; r++ {
+			util := float64(r) / float64(rowsPerState-1) // 0..1
+			x.Set(i, 0, util*100)
+			x.Set(i, 1, f)
+			ratio := f / top
+			y[i] = idle + (max-idle)*ratio*(0.25+0.75*util)
+			i++
+		}
+	}
+	return x, y
+}
+
+// TestControlSwitchingUnseenStateStaysPhysical is the satellite property
+// test: fit Eq. 4 switching models with one or more P-states deliberately
+// missing from the training window (the state a capping controller will
+// actuate into), then predict at every P-state of the platform — seen or
+// not — across the whole utilization range. No prediction may be NaN,
+// infinite, negative, or outside a generous physical envelope. Before the
+// nearest-bin fallback, unseen states fell through to the global
+// unclamped linear fit, which extrapolates along the raw MHz axis.
+func TestControlSwitchingUnseenStateStaysPhysical(t *testing.T) {
+	for _, p := range sim.Platforms() {
+		states := make([]float64, len(p.FreqStatesMHz))
+		copy(states, p.FreqStatesMHz)
+		if len(states) < 2 {
+			continue // single-state platforms exercise the fallback test below
+		}
+		// Drop the lowest state, and for deeper ladders also a middle one.
+		drops := [][]int{{0}}
+		if len(states) >= 3 {
+			drops = append(drops, []int{1}, []int{0, 1})
+		}
+		for _, drop := range drops {
+			var train []float64
+			dropped := map[int]bool{}
+			for _, d := range drop {
+				dropped[d] = true
+			}
+			for i, f := range states {
+				if !dropped[i] {
+					train = append(train, f)
+				}
+			}
+			if len(train) < 1 {
+				continue
+			}
+			idle, max := p.IdlePowerW, p.MaxPowerW
+			x, y := synthDesign(train, idle, max, 40)
+			m, err := Fit(TechSwitching, x, y, FitOptions{FreqCol: 1})
+			if err != nil {
+				t.Fatalf("%s drop %v: fit: %v", p.Name, drop, err)
+			}
+			sw, ok := m.(*Switching)
+			if !ok {
+				t.Fatalf("%s: got %T", p.Name, m)
+			}
+			for _, f := range states {
+				for u := 0.0; u <= 1.0; u += 0.125 {
+					got := sw.Predict([]float64{u * 100, f})
+					if math.IsNaN(got) || math.IsInf(got, 0) {
+						t.Fatalf("%s drop %v: predict(util=%.2f, f=%.0f) = %v", p.Name, drop, u, f, got)
+					}
+					if got < 0 {
+						t.Fatalf("%s drop %v: negative watts %v at util=%.2f f=%.0f", p.Name, drop, got, u, f)
+					}
+					if got < idle*0.2 || got > max*3 {
+						t.Fatalf("%s drop %v: predict %v outside physical envelope [%.1f, %.1f] at util=%.2f f=%.0f",
+							p.Name, drop, got, idle*0.2, max*3, u, f)
+					}
+				}
+			}
+			// The unseen state must resolve to the nearest kept bin's
+			// clamped prediction, not the global fallback.
+			if len(sw.Bins) > 0 {
+				fUnseen := states[drop[0]]
+				row := []float64{50, fUnseen}
+				got := sw.Predict(row)
+				best, bestD := -1, math.MaxFloat64
+				for i := range sw.Bins {
+					b := &sw.Bins[i]
+					if fUnseen >= b.Lo && fUnseen < b.Hi {
+						best, bestD = i, 0
+						break
+					}
+					d := b.Lo - fUnseen
+					if fUnseen >= b.Hi {
+						d = fUnseen - b.Hi
+					}
+					if d < bestD {
+						best, bestD = i, d
+					}
+				}
+				if want := sw.Bins[best].predict(row); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s drop %v: unseen state used bin %d? got %v want %v", p.Name, drop, best, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestControlSwitchingNoBinsUsesFallback: a single-P-state platform fits
+// no bins, so the global fallback must still answer (finitely) — and a
+// NaN frequency must not select a bin.
+func TestControlSwitchingNoBinsUsesFallback(t *testing.T) {
+	x, y := synthDesign([]float64{1600}, 20, 45, 60)
+	m, err := Fit(TechSwitching, x, y, FitOptions{FreqCol: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := m.(*Switching)
+	if len(sw.Bins) != 0 {
+		t.Fatalf("single-state fit produced %d bins", len(sw.Bins))
+	}
+	if got := sw.Predict([]float64{50, 1600}); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("fallback predict = %v", got)
+	}
+
+	// Multi-state model: NaN frequency falls through to the fallback
+	// instead of matching or snapping to a bin.
+	x2, y2 := synthDesign([]float64{800, 1600, 2260}, 25, 46, 40)
+	m2, err := Fit(TechSwitching, x2, y2, FitOptions{FreqCol: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw2 := m2.(*Switching)
+	row := []float64{50, math.NaN()}
+	if got, want := sw2.Predict(row), sw2.Fallback.Predict(row); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("NaN freq: got %v, want fallback %v", got, want)
+	}
+}

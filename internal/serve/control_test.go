@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// stubControl implements the Control surface without dragging the
+// control package (and the simulator) into serve's tests — serve only
+// depends on the interface.
+type stubControl struct {
+	applied []string
+	fail    bool
+}
+
+func (c *stubControl) StatusJSON() any {
+	return map[string]any{"policy": "stub", "ticks": 7}
+}
+
+func (c *stubControl) ApplyPolicyJSON(doc []byte) error {
+	if c.fail {
+		return fmt.Errorf("control: bad policy")
+	}
+	c.applied = append(c.applied, string(doc))
+	return nil
+}
+
+// TestControlEndpointsDisabled: before AttachControl the control
+// endpoints answer 404, like the lifecycle surface.
+func TestControlEndpointsDisabled(t *testing.T) {
+	_, base := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/control/status", "/v1/control/policy"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s before attach: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestControlStatusAndPolicyEndpoints: attached controller serves status,
+// accepts policy POSTs, surfaces rejections as 422, and refuses other
+// methods.
+func TestControlStatusAndPolicyEndpoints(t *testing.T) {
+	s, base := newTestServer(t, Config{})
+	ctl := &stubControl{}
+	s.AttachControl(ctl)
+
+	resp, err := http.Get(base + "/v1/control/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st["policy"] != "stub" {
+		t.Fatalf("status %d body %v", resp.StatusCode, st)
+	}
+
+	doc := `{"version":"chaos-capping/v1"}`
+	resp, err = http.Post(base+"/v1/control/policy", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("policy POST status %d", resp.StatusCode)
+	}
+	if len(ctl.applied) != 1 || ctl.applied[0] != doc {
+		t.Fatalf("applied %v", ctl.applied)
+	}
+
+	// GET on /v1/control/policy answers the live status document.
+	resp, err = http.Get(base + "/v1/control/policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("policy GET status %d", resp.StatusCode)
+	}
+
+	ctl.fail = true
+	resp, err = http.Post(base+"/v1/control/policy", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity || e.Error == "" {
+		t.Fatalf("rejected policy: status %d error %q", resp.StatusCode, e.Error)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/control/policy", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE status %d, want 405", resp.StatusCode)
+	}
+}

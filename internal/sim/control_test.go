@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestControlFreqCapTopIsBitIdentical: capping at the platform's top
+// P-state must not perturb the trajectory at all — same served work, same
+// power bits, same RNG consumption — on every platform. This is the
+// contract that lets the controller install a no-op cap without touching
+// the digest.
+func TestControlFreqCapTopIsBitIdentical(t *testing.T) {
+	for _, p := range Platforms() {
+		a, err := NewMachine(p, "cap-a", 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewMachine(p, "cap-a", 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SetFreqCap(len(p.FreqStatesMHz) - 1); err != nil {
+			t.Fatalf("%s: top cap rejected: %v", p.Name, err)
+		}
+		d := Demand{CPU: float64(p.Cores) * 0.8, MemTouchBytes: 1e8, NetSendBytes: 1e6}
+		for i := 0; i < 400; i++ {
+			dem := d
+			if i%7 == 0 {
+				dem = Demand{} // idle seconds exercise C1 paths
+			}
+			sa, pa := a.StepPower(dem)
+			sb, pb := b.StepPower(dem)
+			if math.Float64bits(pa.TrueWatts) != math.Float64bits(pb.TrueWatts) ||
+				math.Float64bits(pa.MeterWatts) != math.Float64bits(pb.MeterWatts) ||
+				math.Float64bits(sa.CPU) != math.Float64bits(sb.CPU) {
+				t.Fatalf("%s: step %d diverged with top cap: %v/%v vs %v/%v",
+					p.Name, i, pa.TrueWatts, sa.CPU, pb.TrueWatts, sb.CPU)
+			}
+		}
+	}
+}
+
+// TestControlFreqCapClampsGovernor: under a cap below top, the governor
+// never exceeds the cap, cores already above it step down immediately,
+// and sustained saturated load draws measurably less power than the
+// uncapped twin.
+func TestControlFreqCapClampsGovernor(t *testing.T) {
+	p, err := Platform("Core2") // 3 shared-DVFS P-states
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, _ := NewMachine(p, "m", 5)
+	free, _ := NewMachine(p, "m", 5)
+	d := Demand{CPU: float64(p.Cores)} // saturating
+	// Drive both to the top state first.
+	for i := 0; i < 50; i++ {
+		capped.StepPower(d)
+		free.StepPower(d)
+	}
+	if _, f := free.LastCoreState(); f != p.MaxFreqMHz() {
+		t.Fatalf("uncapped machine not at top under saturation: %v MHz", f)
+	}
+	if err := capped.SetFreqCap(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := capped.FreqCap(); got != 0 {
+		t.Fatalf("FreqCap = %d, want 0", got)
+	}
+	// The clamp applies before the next step even runs.
+	if _, f := capped.LastCoreState(); f != p.FreqStatesMHz[0] {
+		t.Fatalf("cores not clamped to lowest state: %v MHz", f)
+	}
+	var cw, fw float64
+	for i := 0; i < 200; i++ {
+		_, pc := capped.StepPower(d)
+		_, pf := free.StepPower(d)
+		cw += pc.TrueWatts
+		fw += pf.TrueWatts
+		if _, f := capped.LastCoreState(); f > p.FreqStatesMHz[0] {
+			t.Fatalf("step %d: governor climbed past the cap to %v MHz", i, f)
+		}
+	}
+	if cw >= fw*0.97 {
+		t.Fatalf("capping to the lowest P-state saved no power: %0.f W-s capped vs %.0f uncapped", cw, fw)
+	}
+}
+
+// TestControlFreqCapValidation: out-of-range caps are rejected without
+// mutating state.
+func TestControlFreqCapValidation(t *testing.T) {
+	p, _ := Platform("Opteron")
+	m, _ := NewMachine(p, "m", 1)
+	for _, bad := range []int{-1, len(p.FreqStatesMHz), 99} {
+		if err := m.SetFreqCap(bad); err == nil {
+			t.Fatalf("cap %d accepted", bad)
+		}
+	}
+	if m.FreqCap() != len(p.FreqStatesMHz)-1 {
+		t.Fatalf("rejected cap mutated state: %d", m.FreqCap())
+	}
+}
+
+// TestControlLastCoreStateTracksLoad: the control-plane sensing hook
+// reflects what the machine just did.
+func TestControlLastCoreStateTracksLoad(t *testing.T) {
+	p, _ := Platform("Athlon")
+	m, _ := NewMachine(p, "m", 3)
+	for i := 0; i < 60; i++ {
+		m.StepPower(Demand{CPU: float64(p.Cores) * 0.9})
+	}
+	util, f := m.LastCoreState()
+	if util < 0.5 || util > 1 {
+		t.Fatalf("util %v after sustained 90%% demand", util)
+	}
+	if f != p.MaxFreqMHz() {
+		t.Fatalf("freq %v MHz, want top %v", f, p.MaxFreqMHz())
+	}
+	for i := 0; i < 60; i++ {
+		m.StepPower(Demand{})
+	}
+	util, f = m.LastCoreState()
+	if util > 0.2 {
+		t.Fatalf("util %v after idling", util)
+	}
+	if f != p.FreqStatesMHz[0] {
+		t.Fatalf("freq %v MHz at idle, want lowest state %v", f, p.FreqStatesMHz[0])
+	}
+}

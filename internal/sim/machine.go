@@ -101,6 +101,10 @@ type Machine struct {
 	meterRNG *mathx.SplitMix64
 
 	freqIdx []int // per-core P-state index
+	// freqCap clamps the governor's top P-state (power capping). It is
+	// initialized to the platform's top state, where the governor behaves
+	// bit-identically to an uncapped machine.
+	freqCap int
 	inC1    bool
 	// prevCoreUtil drives the governor (it reacts to last second's load).
 	prevCoreUtil []float64
@@ -178,6 +182,7 @@ func NewMachineNoisy(spec *PlatformSpec, id string, seed int64, np NoiseProfile)
 		meterRNG: mathx.NewSplitMix(mathx.DeriveSeed(seed, "meter:"+id)),
 
 		freqIdx:      make([]int, spec.Cores),
+		freqCap:      len(spec.FreqStatesMHz) - 1,
 		prevCoreUtil: make([]float64, spec.Cores),
 		scratchFreq:  make([]float64, spec.Cores),
 		scratchBusy:  make([]float64, spec.Cores),
@@ -262,12 +267,53 @@ func (m *Machine) IdleWatts() float64 { return m.idleMeasuredWatt }
 // MaxFreqMHz exposes the nominal frequency for the workload layer.
 func (m *Machine) MaxFreqMHz() float64 { return m.Spec.MaxFreqMHz() }
 
+// SetFreqCap clamps the governor's top P-state to capIdx, the DVFS
+// actuation hook the control loop uses. Cores already above the cap are
+// stepped down immediately; the governor never climbs past it afterwards.
+// Capping at the platform's top state is bit-identical to no cap at all:
+// the governor's comparisons and RNG draw order are unchanged, and no
+// core index moves.
+func (m *Machine) SetFreqCap(capIdx int) error {
+	if capIdx < 0 || capIdx >= len(m.Spec.FreqStatesMHz) {
+		return fmt.Errorf("sim: freq cap %d out of range for %s (%d P-states)",
+			capIdx, m.Spec.Name, len(m.Spec.FreqStatesMHz))
+	}
+	m.freqCap = capIdx
+	for c := range m.freqIdx {
+		if m.freqIdx[c] > capIdx {
+			m.freqIdx[c] = capIdx
+		}
+	}
+	return nil
+}
+
+// FreqCap returns the governor's current top P-state index.
+func (m *Machine) FreqCap() int { return m.freqCap }
+
+// LastCoreState summarizes the machine's core state after its most recent
+// step: mean core busy fraction over the last simulated second and the
+// mean current core frequency in MHz (0 when the package is in C1). It is
+// O(cores), allocation-free, and has no side effects — the control plane
+// senses through it without perturbing the trajectory.
+func (m *Machine) LastCoreState() (util, freqMHz float64) {
+	util = mathx.Mean(m.prevCoreUtil)
+	if m.inC1 {
+		return util, 0
+	}
+	var f float64
+	for _, idx := range m.freqIdx {
+		f += m.Spec.FreqStatesMHz[idx]
+	}
+	return util, f / float64(len(m.freqIdx))
+}
+
 // governor advances P-states based on the previous second's utilization
 // (ondemand-style, with a little hysteresis noise so transitions are not
-// perfectly deterministic functions of load).
+// perfectly deterministic functions of load). The top state is the freq
+// cap, not the platform maximum, so a capped machine saturates lower.
 func (m *Machine) governor(anyDemand bool) {
 	s := m.Spec
-	top := len(s.FreqStatesMHz) - 1
+	top := m.freqCap
 	switch s.DVFS {
 	case DVFSNone:
 		return

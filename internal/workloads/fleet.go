@@ -33,11 +33,16 @@ const (
 	// time-of-day, identical curve for every machine, desynchronized
 	// only by each machine's private stream.
 	ProfileDiurnal = "diurnal"
+	// ProfileHeavy machines run near-saturating CPU bursts back to back
+	// (HPC / dedicated batch nodes). They spend most wall-clock time far
+	// above the idle floor, which is what gives a power-capping
+	// controller real dynamic range to work with.
+	ProfileHeavy = "heavy"
 )
 
 // FleetProfileKinds returns the supported kinds in canonical order.
 func FleetProfileKinds() []string {
-	return []string{ProfileIdle, ProfileSteady, ProfileBursty, ProfileDiurnal}
+	return []string{ProfileIdle, ProfileSteady, ProfileBursty, ProfileDiurnal, ProfileHeavy}
 }
 
 // FleetProfile generates a machine's activity bursts. Profiles hold no
@@ -94,6 +99,12 @@ func (p *FleetProfile) NextBurst(rng *mathx.SplitMix64, now int64) (start, dur i
 		dur = 1 + int64(rng.ExpFloat64()*meanDur)
 		level = clampLevel(b + 0.3*rng.Float64())
 		return now + 1 + gap, dur, level, true
+	case ProfileHeavy:
+		// Nearly back-to-back hot bursts: ~97% duty cycle at high level.
+		gap := int64(rng.Intn(3))
+		dur = 120 + int64(rng.ExpFloat64()*90)
+		level = clampLevel(0.65 + 0.2*rng.Float64() + 0.05*rng.NormFloat64())
+		return now + gap, dur, level, true
 	default:
 		return 0, 0, 0, false
 	}
@@ -140,6 +151,17 @@ func (p *FleetProfile) Demand(spec *sim.PlatformSpec, level float64) sim.Demand 
 			NetSendBytes:  level * netB * 0.5,
 			NetRecvBytes:  level * netB * 0.3,
 			MemTouchBytes: level * memB * 0.35,
+		}
+	case ProfileHeavy:
+		// Compute-bound shape: CPU pinned near saturation, warm memory,
+		// light IO. The dominant knob is DVFS, so these machines respond
+		// strongly to frequency caps.
+		d = sim.Demand{
+			CPU:           level * cores,
+			DiskReadBytes: level * diskB * 0.1,
+			NetSendBytes:  level * netB * 0.15,
+			NetRecvBytes:  level * netB * 0.1,
+			MemTouchBytes: level * memB * 0.45,
 		}
 	default: // idle profile never produces demand
 		return sim.Demand{}

@@ -96,3 +96,44 @@ func TestClusterDiurnalCurveShape(t *testing.T) {
 		t.Fatalf("diurnal curve too flat: [%v, %v]", min, max)
 	}
 }
+
+// TestControlHeavyProfileShape: the heavy profile must keep machines hot
+// nearly all the time — that is what gives the capping controller
+// headroom between idle floor and peak to actually enforce.
+func TestControlHeavyProfileShape(t *testing.T) {
+	p, err := FleetProfileByName(ProfileHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewSplitMix(mathx.DeriveSeed(7, "burst:heavy"))
+	var busy, span int64
+	var now int64
+	var levels float64
+	n := 0
+	for now < 400000 {
+		s, d, l, ok := p.NextBurst(rng, now)
+		if !ok {
+			t.Fatal("heavy profile went permanently idle")
+		}
+		busy += d
+		span = s + d
+		levels += l
+		n++
+		now = s + d
+	}
+	duty := float64(busy) / float64(span)
+	if duty < 0.9 {
+		t.Fatalf("heavy duty cycle %.3f, want >= 0.9", duty)
+	}
+	if avg := levels / float64(n); avg < 0.6 || avg > 0.95 {
+		t.Fatalf("heavy mean level %.3f, want in [0.6, 0.95]", avg)
+	}
+	spec, err := sim.Platform("Core2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Demand(spec, 1)
+	if d.CPU < float64(spec.Cores)*0.95 {
+		t.Fatalf("level-1 heavy demand CPU %.2f does not saturate %d cores", d.CPU, spec.Cores)
+	}
+}
