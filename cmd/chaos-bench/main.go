@@ -125,12 +125,36 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		controlMode = fs.Bool("control", false, "benchmark the model-predictive power-capping loop instead of the serving path")
 		controlMs   = fs.String("control-machines", "100,1000,20000", "comma-separated fleet sizes for -control")
 		controlSecs = fs.Int64("control-seconds", 1200, "simulated seconds per -control cell")
+
+		overloadMode  = fs.Bool("overload", false, "benchmark priority goodput under overload instead of the serving path")
+		overloadLoads = fs.String("overload-loads", "1,2,5", "comma-separated load multiples of pinned capacity for -overload")
+		overloadSecs  = fs.Int("overload-seconds", 4, "seconds of offered load per -overload cell")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *check != "" {
 		if err := checkDoc(*check, stdout); err != nil {
+			fmt.Fprintln(stderr, "chaos-bench:", err)
+			return 1
+		}
+		return 0
+	}
+	if *overloadMode {
+		loads, err := parseInts(*overloadLoads)
+		if err == nil {
+			if *quick {
+				loads = firstTwo(loads)
+				if *overloadSecs > 2 {
+					*overloadSecs = 2
+				}
+			}
+			if *out == "BENCH_serve.json" {
+				*out = "BENCH_overload.json"
+			}
+			err = runOverloadBench(stdout, *out, *seed, loads, *overloadSecs)
+		}
+		if err != nil {
 			fmt.Fprintln(stderr, "chaos-bench:", err)
 			return 1
 		}
@@ -452,6 +476,9 @@ func checkDoc(path string, w io.Writer) error {
 	}
 	if probe.Schema == ControlSchema {
 		return checkControlDoc(path, data, w)
+	}
+	if probe.Schema == OverloadSchema {
+		return checkOverloadDoc(path, data, w)
 	}
 	var doc Doc
 	if err := json.Unmarshal(data, &doc); err != nil {

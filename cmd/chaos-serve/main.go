@@ -38,6 +38,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/lifecycle"
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/slo"
@@ -69,6 +71,9 @@ type config struct {
 	BatchWindow time.Duration
 	BatchMax    int
 	Deadline    time.Duration
+	// Overload turns on adaptive admission: per-shard AIMD concurrency
+	// limits, strict-priority shedding, and the brownout ladder.
+	Overload bool
 
 	// Bootstrap simulation (when no -model given) and loadgen substrate.
 	Platform  string
@@ -85,6 +90,9 @@ type config struct {
 	Batch     int
 	SwapEvery int
 	Faults    string
+	// Priorities is the loadgen tier mix "interactive,batch,background"
+	// (integer weights); empty sends everything interactive.
+	Priorities string
 
 	// Closed-loop model lifecycle.
 	Lifecycle         bool
@@ -99,6 +107,10 @@ type config struct {
 	NodeID        string
 	ReplicateFrom string
 	PeerDeadline  time.Duration
+	// Deadline-budget propagation and hedged scatter-gather.
+	ClusterDeadline time.Duration
+	BudgetMargin    time.Duration
+	HedgeRate       float64
 
 	// Durable state: when StateDir is set the registry journals to disk
 	// and the lifecycle checkpoints, so a crash or restart resumes the
@@ -157,6 +169,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		batch       = fs.Int("batch", 1, "loadgen snapshots per request (1 = /v1/estimate, >1 = /v1/estimate/batch)")
 		swapEvery   = fs.Int("swap-every", 0, "loadgen: hot-swap model versions every N snapshots (0 = off)")
 		faultsArg   = fs.String("faults", "", "loadgen: fault scenario JSON for the client-side feeder")
+		overloadOn  = fs.Bool("overload", false, "adaptive overload control: per-shard AIMD admission, strict-priority shedding, brownout ladder")
+		priorities  = fs.String("priorities", "", "loadgen tier mix as integer weights interactive,batch,background (e.g. 1,2,2); empty = all interactive")
 
 		lcEnable   = fs.Bool("lifecycle", false, "run the closed-loop model lifecycle: drift-triggered retraining, shadow evaluation, gated promotion")
 		lcInterval = fs.Duration("lifecycle-interval", 0, "lifecycle: also retrain every wall-clock period (0 = drift/samples/manual only)")
@@ -168,6 +182,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		nodeIDArg     = fs.String("node-id", "", "this node's peer ID within -peers")
 		replicateFrom = fs.String("replicate-from", "", "leader base URL (http://host:port) to replicate the model registry from; requires -state-dir")
 		peerDeadline  = fs.Duration("peer-deadline", 500*time.Millisecond, "scatter-gather per-peer deadline (a slower peer's machines go missing from the merged answer)")
+		clusterDL     = fs.Duration("cluster-deadline", 2*time.Second, "whole-request budget for /v1/estimate/cluster when the client sends no deadline_ms")
+		budgetMargin  = fs.Duration("budget-margin", 25*time.Millisecond, "per-hop deadline budget reserved for merging; withheld from every forwarded sub-deadline")
+		hedgeRate     = fs.Float64("hedge-rate", 0.1, "hedged scatter-gather: backup calls per primary call the token budget allows (negative disables hedging)")
 
 		stateDir   = fs.String("state-dir", "", "durable state directory: journal model admissions/activations and checkpoint the lifecycle so restarts resume the pre-crash state")
 		ckInterval = fs.Duration("checkpoint-interval", 10*time.Second, "how often the lifecycle state checkpoints to -state-dir")
@@ -191,8 +208,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Shards: *shards, Queue: *queue, BatchWindow: *batchWindow, BatchMax: *batchMax, Deadline: *deadline,
 		Platform: *platform, Machines: *machines, Workloads: strings.Split(*workloads, ","), Seed: *seed, Tech: *tech,
 		Loadgen: *loadgen, Rate: *rate, Snapshots: *snapshots, Clients: *clients, Batch: *batch,
-		SwapEvery: *swapEvery, Faults: *faultsArg,
+		SwapEvery: *swapEvery, Faults: *faultsArg, Overload: *overloadOn, Priorities: *priorities,
 		Peers: *peersArg, NodeID: *nodeIDArg, ReplicateFrom: *replicateFrom, PeerDeadline: *peerDeadline,
+		ClusterDeadline: *clusterDL, BudgetMargin: *budgetMargin, HedgeRate: *hedgeRate,
 		Lifecycle: *lcEnable, LifecycleInterval: *lcInterval, LifecycleSamples: *lcSamples,
 		PromoteMargin: *lcMargin, Probation: *lcProbe,
 		StateDir: *stateDir, CheckpointInterval: *ckInterval,
@@ -380,6 +398,9 @@ func run(w io.Writer, cfg config) error {
 		Names: names, BaselineRMSE: baseline, Events: sink,
 		Traces: traceStore, TraceSample: cfg.TraceSample,
 	}
+	if cfg.Overload {
+		scfg.Overload = &overload.Config{Events: sink}
+	}
 	// Distributed mode: the partition decides which machines this node
 	// answers for; the engine rejects the rest with a 421 redirect hint.
 	var peers []dist.Peer
@@ -501,7 +522,9 @@ func run(w io.Writer, cfg config) error {
 		}
 		node, err := dist.NewNode(dist.Config{
 			Self: cfg.NodeID, Peers: peers, Local: srv,
-			PeerDeadline: cfg.PeerDeadline, Events: sink, Injector: inj,
+			PeerDeadline: cfg.PeerDeadline, ClusterDeadline: cfg.ClusterDeadline,
+			BudgetMargin: cfg.BudgetMargin, HedgeRate: cfg.HedgeRate,
+			Level: srv.BrownoutLevel, Events: sink, Injector: inj,
 		})
 		if err != nil {
 			return err
@@ -686,17 +709,22 @@ func runLoadgen(em *emitter, addr string, reg *registry.Registry, traces []*trac
 			return err
 		}
 	}
+	weights, err := parsePriorities(cfg.Priorities)
+	if err != nil {
+		return err
+	}
 	lg := serve.LoadGenConfig{
-		TargetURL:    "http://" + addr,
-		Traces:       traces,
-		Snapshots:    cfg.Snapshots,
-		Rate:         cfg.Rate,
-		Clients:      cfg.Clients,
-		Batch:        cfg.Batch,
-		IncludeMeter: true,
-		SwapEvery:    cfg.SwapEvery,
-		Scenario:     scen,
-		Seed:         cfg.Seed,
+		TargetURL:       "http://" + addr,
+		Traces:          traces,
+		Snapshots:       cfg.Snapshots,
+		Rate:            cfg.Rate,
+		Clients:         cfg.Clients,
+		Batch:           cfg.Batch,
+		IncludeMeter:    true,
+		SwapEvery:       cfg.SwapEvery,
+		Scenario:        scen,
+		Seed:            cfg.Seed,
+		PriorityWeights: weights,
 	}
 	if cfg.SwapEvery > 0 {
 		for _, info := range reg.List() {
@@ -710,6 +738,24 @@ func runLoadgen(em *emitter, addr string, reg *registry.Registry, traces []*trac
 	satNote := ""
 	if stats.ServerTailSaturated {
 		satNote = ", p99 saturated: true tail exceeds the top histogram bucket"
+	}
+	// Per-status split: the JSON map keys statuses as strings ("200",
+	// "429", "0" for transport errors) so overload experiments can tell
+	// shed from timeout from breakage without re-deriving from rollups.
+	byStatus := make(map[string]int, len(stats.ByStatus))
+	for code, n := range stats.ByStatus {
+		byStatus[strconv.Itoa(code)] = n
+	}
+	tiers := make(map[string]any, len(stats.Tiers))
+	for i, t := range stats.Tiers {
+		if t.Sent == 0 {
+			continue
+		}
+		tiers[overload.Priority(i).String()] = map[string]any{
+			"sent": t.Sent, "ok": t.OK, "shed": t.Shed, "late": t.Late, "failed": t.Failed,
+			"latency_p50_ms": round2(float64(t.P50) / float64(time.Millisecond)),
+			"latency_p99_ms": round2(float64(t.P99) / float64(time.Millisecond)),
+		}
 	}
 	return em.event("loadgen_complete",
 		fmt.Sprintf("loadgen: %d snapshots (%d samples) in %.2fs — %.0f snap/s, %.0f samples/s\n"+
@@ -734,9 +780,31 @@ func runLoadgen(em *emitter, addr string, reg *registry.Registry, traces []*trac
 			"server_tail_saturated": stats.ServerTailSaturated,
 			"server_requests":       stats.ServerRequests,
 			"ok":                    stats.OK, "shed": stats.Shed, "late": stats.Late, "failed": stats.Failed,
+			"transport_errors": stats.TransportErrors, "by_status": byStatus, "tiers": tiers,
 			"skipped_rows": stats.SkippedRows, "swaps": stats.Swaps,
 			"mean_abs_err_w": round2(stats.MeanAbsErr()), "metered": stats.MeterOK,
 		})
+}
+
+// parsePriorities turns "-priorities 1,2,2" into the loadgen weight
+// vector {interactive, batch, background}.
+func parsePriorities(s string) ([overload.NumPriorities]int, error) {
+	var w [overload.NumPriorities]int
+	if s == "" {
+		return w, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != overload.NumPriorities {
+		return w, fmt.Errorf("-priorities wants %d comma-separated weights, got %q", overload.NumPriorities, s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return w, fmt.Errorf("-priorities weight %q must be a non-negative integer", p)
+		}
+		w[i] = v
+	}
+	return w, nil
 }
 
 func rmse(pred, actual []float64) float64 {

@@ -10,11 +10,21 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/online"
+	"repro/internal/overload"
 	"repro/internal/serve"
 )
 
 var errNilLocal = fmt.Errorf("dist: node needs a local serving engine")
+
+// Hedge outcome counters: won (hedge beat the primary), lost (primary
+// beat a launched hedge), denied (the rate budget refused a hedge).
+var (
+	hedgesWonCtr    = obs.Default().Counter("chaos_hedges_total", obs.Labels{"outcome": "won"})
+	hedgesLostCtr   = obs.Default().Counter("chaos_hedges_total", obs.Labels{"outcome": "lost"})
+	hedgesDeniedCtr = obs.Default().Counter("chaos_hedges_total", obs.Labels{"outcome": "denied"})
+)
 
 // ClusterResponse is the merged result of one scatter-gather. The
 // degradation contract: the response is 200 whenever at least one
@@ -31,9 +41,18 @@ type ClusterResponse struct {
 	MissingMachines []string           `json:"missing_machines,omitempty"`
 	ModelVersions   []string           `json:"model_versions,omitempty"`
 	// Peers maps each peer that was scattered to, to its outcome:
-	// "ok", "local", "open" (breaker), "down", "degraded: <why>".
+	// "ok", "local", "open" (breaker), "down", "degraded: <why>",
+	// "budget_exhausted" (no deadline budget left to call it), or
+	// "brownout" (the front door is at the local-only rung).
 	Peers map[string]string `json:"peers"`
-	Error string            `json:"error,omitempty"`
+	// PeerBudgetMS records the sub-deadline forwarded to each remote
+	// peer: min(remaining budget − margin, peer deadline), so the budget
+	// observably shrinks hop by hop.
+	PeerBudgetMS map[string]float64 `json:"peer_budget_ms,omitempty"`
+	// BrownoutLevel is the front door's brownout rung at answer time;
+	// at the partial rung the answer is local-only.
+	BrownoutLevel int    `json:"brownout_level,omitempty"`
+	Error         string `json:"error,omitempty"`
 }
 
 // peerResult is one peer's slice of the gather.
@@ -62,6 +81,23 @@ func (n *Node) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ClusterResponse{Status: http.StatusBadRequest, Error: "no samples"})
 		return
 	}
+	// The whole-request deadline budget every hop draws down. Each
+	// remote call gets min(remaining − margin, peer deadline); a peer the
+	// budget can no longer cover is refused up front instead of fanned
+	// out to and abandoned.
+	start := time.Now()
+	budget := time.Duration(req.DeadlineMS * float64(time.Millisecond))
+	if budget <= 0 {
+		budget = n.cfg.ClusterDeadline
+	}
+	prio := req.Priority
+	if prio == "" {
+		prio = r.Header.Get(serve.PriorityHeader)
+	}
+	level := overload.LevelNormal
+	if n.cfg.Level != nil {
+		level = n.cfg.Level()
+	}
 
 	// Split the snapshot by owning peer.
 	byPeer := map[string][]serve.SampleJSON{}
@@ -70,23 +106,48 @@ func (n *Node) handleCluster(w http.ResponseWriter, r *http.Request) {
 		byPeer[owner] = append(byPeer[owner], s)
 	}
 
+	peerBudget := map[string]float64{}
 	results := make(chan peerResult, len(byPeer))
 	var wg sync.WaitGroup
 	for peerID, samples := range byPeer {
-		wg.Add(1)
-		go func(peerID string, samples []serve.SampleJSON) {
-			defer wg.Done()
-			if peerID == n.part.Self() {
-				results <- n.gatherLocal(samples, req.DeadlineMS)
-				return
+		if peerID != n.part.Self() {
+			// Brownout partial rung: stop fanning out, serve the local
+			// slice only — a coverage-partial answer beats a timeout.
+			if level >= overload.LevelPartial {
+				results <- peerResult{peerID: peerID, outcome: "brownout"}
+				continue
 			}
-			results <- n.gatherRemote(peerID, samples, req.DeadlineMS)
-		}(peerID, samples)
+			remaining := budget - time.Since(start) - n.cfg.BudgetMargin
+			sub := remaining
+			if sub > n.cfg.PeerDeadline {
+				sub = n.cfg.PeerDeadline
+			}
+			if sub <= 0 {
+				peerBudget[peerID] = 0
+				results <- peerResult{peerID: peerID, outcome: "budget_exhausted"}
+				continue
+			}
+			peerBudget[peerID] = sub.Seconds() * 1e3
+			wg.Add(1)
+			go func(peerID string, samples []serve.SampleJSON, sub time.Duration) {
+				defer wg.Done()
+				results <- n.gatherRemote(peerID, samples, sub, prio)
+			}(peerID, samples, sub)
+			continue
+		}
+		wg.Add(1)
+		go func(samples []serve.SampleJSON) {
+			defer wg.Done()
+			results <- n.gatherLocal(samples, budget, prio)
+		}(samples)
 	}
 	wg.Wait()
 	close(results)
 
-	resp := ClusterResponse{PerMachine: map[string]float64{}, Peers: map[string]string{}}
+	resp := ClusterResponse{
+		PerMachine: map[string]float64{}, Peers: map[string]string{},
+		PeerBudgetMS: peerBudget, BrownoutLevel: level,
+	}
 	versions := map[string]bool{}
 	for pr := range results {
 		resp.Peers[pr.peerID] = pr.outcome
@@ -125,14 +186,13 @@ func (n *Node) handleCluster(w http.ResponseWriter, r *http.Request) {
 // gatherLocal serves this node's own slice through the local engine.
 // Overload and deadline failures degrade exactly like a slow peer: the
 // machines go missing, the rest of the cluster answer survives.
-func (n *Node) gatherLocal(samples []serve.SampleJSON, deadlineMS float64) peerResult {
+func (n *Node) gatherLocal(samples []serve.SampleJSON, budget time.Duration, prio string) peerResult {
 	pr := peerResult{peerID: n.part.Self(), outcome: "local"}
 	in := make([]online.Sample, len(samples))
 	for i, s := range samples {
 		in[i] = online.Sample{MachineID: s.MachineID, Platform: s.Platform, Counters: s.Counters}
 	}
-	deadline := time.Duration(deadlineMS * float64(time.Millisecond))
-	res, err := n.cfg.Local.Estimate(in, deadline, nil)
+	res, err := n.cfg.Local.EstimatePriority(in, budget, nil, nil, overload.ParsePriority(prio))
 	if res != nil {
 		pr.perMach = res.PerMachine
 		pr.versions = res.Versions
@@ -143,48 +203,162 @@ func (n *Node) gatherLocal(samples []serve.SampleJSON, deadlineMS float64) peerR
 	return pr
 }
 
-// gatherRemote calls one owning peer, guarded by its breaker and subject
-// to injected node-level chaos. Failure taxonomy: transport errors and
-// 5xx trip the breaker (the peer itself is sick); 429/503/504 do not
-// (the peer answered — it is overloaded, not dead).
-func (n *Node) gatherRemote(peerID string, samples []serve.SampleJSON, deadlineMS float64) peerResult {
-	pr := peerResult{peerID: peerID}
-	peer, _ := n.part.Peer(peerID)
+// attempt is one call's outcome plus what hedging needs to pick a winner.
+type attempt struct {
+	pr      peerResult
+	elapsed time.Duration
+	hedge   bool
+}
+
+// gatherRemote calls one owning peer within the sub-deadline the budget
+// allows, guarded by its breaker. When the primary call outlives the
+// peer's rolling HedgeQuantile latency and the hedge budget has a token,
+// a backup call races it; the first 200 wins and the loser is canceled.
+// Breaker and health accounting apply to the winning attempt only, so a
+// canceled loser never fakes a peer-down transition.
+func (n *Node) gatherRemote(peerID string, samples []serve.SampleJSON, sub time.Duration, prio string) peerResult {
 	brk := n.breaker(peerID)
 	if brk != nil && !brk.Allow() {
-		pr.outcome = "open"
-		return pr
+		return peerResult{peerID: peerID, outcome: "open"}
+	}
+	if n.hedge != nil {
+		n.hedge.NotePrimary()
+	}
+	// Arm the hedge at the rolling quantile, clamped into [1ms, sub/2]
+	// so a hedge always has at least half the sub-deadline to finish.
+	var hedgeDelay time.Duration
+	if n.hedge != nil {
+		if tr := n.trackers[peerID]; tr != nil {
+			if q := tr.Quantile(n.cfg.HedgeQuantile); q > 0 {
+				hedgeDelay = q
+				if hedgeDelay < time.Millisecond {
+					hedgeDelay = time.Millisecond
+				}
+				if hedgeDelay > sub/2 {
+					hedgeDelay = sub / 2
+				}
+			}
+		}
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PeerDeadline)
-	defer cancel()
+	resCh := make(chan attempt, 2) // buffered: a canceled loser never blocks
+	run := func(ctx context.Context, hedge bool) {
+		t0 := time.Now()
+		pr := n.callPeer(ctx, peerID, samples, sub, prio)
+		resCh <- attempt{pr: pr, elapsed: time.Since(t0), hedge: hedge}
+	}
+	primCtx, primCancel := context.WithTimeout(context.Background(), sub)
+	defer primCancel()
+	go run(primCtx, false)
 
-	// Node-level chaos rides the same second index as machine faults.
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if hedgeDelay > 0 {
+		hedgeTimer = time.NewTimer(hedgeDelay)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	var hedgeCancel context.CancelFunc
+	launched := false
+	pending := 1
+	var winner *attempt
+	var first *attempt
+	for pending > 0 {
+		select {
+		case a := <-resCh:
+			pending--
+			if first == nil {
+				cp := a
+				first = &cp
+			}
+			if a.pr.outcome == "ok" {
+				cp := a
+				winner = &cp
+				pending = 0 // the loser is canceled below and drains into the buffer
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if n.hedge.Allow() {
+				launched = true
+				pending++
+				var hctx context.Context
+				hctx, hedgeCancel = context.WithTimeout(context.Background(), sub)
+				go run(hctx, true)
+			} else {
+				n.hDenied.Add(1)
+				hedgesDeniedCtr.Inc()
+			}
+		}
+	}
+	primCancel()
+	if hedgeCancel != nil {
+		hedgeCancel()
+	}
+	if winner == nil {
+		winner = first // no attempt succeeded; report the first failure
+	}
+	if launched {
+		if winner.pr.outcome == "ok" && winner.hedge {
+			n.hWon.Add(1)
+			hedgesWonCtr.Inc()
+		} else {
+			n.hLost.Add(1)
+			hedgesLostCtr.Inc()
+		}
+	}
+
+	// Health and breaker accounting on the winning attempt only.
+	switch {
+	case winner.pr.outcome == "ok":
+		if tr := n.trackers[peerID]; tr != nil {
+			tr.Observe(winner.elapsed)
+		}
+		n.ok(peerID, brk)
+	case winner.pr.outcome == "down":
+		n.fail(peerID, brk)
+	default:
+		n.ok(peerID, brk) // degraded: the peer answered, it is alive
+	}
+	return winner.pr
+}
+
+// callPeer performs one HTTP attempt against a peer, subject to injected
+// node-level chaos, with no breaker or health side effects (the caller
+// accounts the winning attempt). Failure taxonomy: transport errors and
+// 5xx report "down" (the peer itself is sick); 429/503/504 report
+// "degraded" (the peer answered — overloaded, not dead).
+func (n *Node) callPeer(ctx context.Context, peerID string, samples []serve.SampleJSON, sub time.Duration, prio string) peerResult {
+	pr := peerResult{peerID: peerID}
+	peer, _ := n.part.Peer(peerID)
+
+	// Node-level chaos rides the same second index as machine faults;
+	// the call sequence decorrelates a hedge's latency draw from its
+	// primary's within the same second.
 	if inj := n.cfg.Injector; inj != nil {
 		t := n.simSecond()
+		call := int(n.callSeq.Add(1))
 		if inj.PeerDown(peerID, t) {
 			pr.outcome = "down"
-			n.fail(peerID, brk)
 			return pr
 		}
 		if inj.PeerPartitioned(peerID, t) {
 			<-ctx.Done() // partition: the call hangs until its deadline
 			pr.outcome = "down"
-			n.fail(peerID, brk)
 			return pr
 		}
-		if ms := inj.PeerLatencyMS(peerID, t, 0); ms > 0 {
+		if ms := inj.PeerLatencyMS(peerID, t, call); ms > 0 {
 			select {
 			case <-time.After(time.Duration(ms) * time.Millisecond):
 			case <-ctx.Done():
 				pr.outcome = "down"
-				n.fail(peerID, brk)
 				return pr
 			}
 		}
 	}
 
-	reqBody, err := json.Marshal(serve.EstimateRequest{Samples: samples, DeadlineMS: deadlineMS})
+	reqBody, err := json.Marshal(serve.EstimateRequest{
+		Samples: samples, DeadlineMS: sub.Seconds() * 1e3, Priority: prio,
+	})
 	if err != nil {
 		pr.outcome = "degraded: " + err.Error()
 		return pr
@@ -196,10 +370,12 @@ func (n *Node) gatherRemote(peerID string, samples []serve.SampleJSON, deadlineM
 		return pr
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if prio != "" {
+		httpReq.Header.Set(serve.PriorityHeader, prio)
+	}
 	httpResp, err := n.cfg.Client.Do(httpReq)
 	if err != nil {
 		pr.outcome = "down"
-		n.fail(peerID, brk)
 		return pr
 	}
 	defer httpResp.Body.Close()
@@ -211,18 +387,15 @@ func (n *Node) gatherRemote(peerID string, samples []serve.SampleJSON, deadlineM
 		pr.perMach = er.PerMachine
 		pr.versions = []string{er.ModelVersion}
 		pr.outcome = "ok"
-		n.ok(peerID, brk)
 	case httpResp.StatusCode >= http.StatusInternalServerError &&
 		httpResp.StatusCode != http.StatusServiceUnavailable &&
 		httpResp.StatusCode != http.StatusGatewayTimeout:
 		pr.outcome = "down"
-		n.fail(peerID, brk)
 	default:
 		// The peer answered: overloaded (429), model-less (503), late
 		// (504), or misdirected (421, stale partition view). Its machines
 		// are missing from this snapshot but the node is alive.
 		pr.outcome = fmt.Sprintf("degraded: peer status %d", httpResp.StatusCode)
-		n.ok(peerID, brk)
 	}
 	return pr
 }

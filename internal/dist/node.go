@@ -3,10 +3,12 @@ package dist
 import (
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/serve"
 )
 
@@ -28,6 +30,27 @@ type Config struct {
 	// The front door degrades past it: the peer's machines go missing
 	// from the merged response rather than stalling the whole request.
 	PeerDeadline time.Duration
+	// ClusterDeadline is the whole-request budget for
+	// /v1/estimate/cluster when the client sends no deadline_ms
+	// (default 2s). Each hop forwards min(remaining budget − margin,
+	// PeerDeadline) and refuses fan-out that cannot finish.
+	ClusterDeadline time.Duration
+	// BudgetMargin is the per-hop slice of budget reserved for merging
+	// and serialization, withheld from every forwarded sub-deadline
+	// (default 25ms).
+	BudgetMargin time.Duration
+	// HedgeQuantile arms a backup request to a slow peer once its
+	// primary call outlives this rolling latency quantile (default
+	// 0.95). Negative disables hedging.
+	HedgeQuantile float64
+	// HedgeRate bounds hedges to roughly this fraction of primary calls
+	// via a token bucket (default 0.1, burst 8). Negative disables
+	// hedging.
+	HedgeRate float64
+	// Level, when set, reports the local brownout rung
+	// (overload.Level*). At overload.LevelPartial the front door stops
+	// fanning out and serves coverage-partial local-only answers.
+	Level func() int
 	// FailThreshold and Cooldown tune the per-peer circuit breaker
 	// (defaults 3 failures, 5s cooldown).
 	FailThreshold int
@@ -48,9 +71,34 @@ type Node struct {
 	part  *Partition
 	start time.Time
 
+	// Hedging state: a rolling latency window per peer arms the hedge
+	// timer; one token bucket bounds total hedge volume; callSeq
+	// decorrelates injected latency draws between a primary and its
+	// hedge.
+	trackers map[string]*overload.LatencyTracker
+	hedge    *overload.HedgeBudget
+	callSeq  atomic.Uint64
+	hWon     atomic.Uint64
+	hLost    atomic.Uint64
+	hDenied  atomic.Uint64
+
 	mu       sync.Mutex
 	breakers map[string]*Breaker
 	lastUp   map[string]bool
+}
+
+// HedgeStats is the node's hedge ledger: launched hedges that beat the
+// primary (Won), launched hedges the primary beat (Lost), and hedges the
+// rate budget refused (Denied).
+type HedgeStats struct {
+	Won    uint64 `json:"won"`
+	Lost   uint64 `json:"lost"`
+	Denied uint64 `json:"denied"`
+}
+
+// HedgeStats reports the node's hedge outcomes so far.
+func (n *Node) HedgeStats() HedgeStats {
+	return HedgeStats{Won: n.hWon.Load(), Lost: n.hLost.Load(), Denied: n.hDenied.Load()}
 }
 
 // NewNode validates the config and builds the node.
@@ -65,6 +113,18 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.PeerDeadline <= 0 {
 		cfg.PeerDeadline = 500 * time.Millisecond
 	}
+	if cfg.ClusterDeadline <= 0 {
+		cfg.ClusterDeadline = 2 * time.Second
+	}
+	if cfg.BudgetMargin <= 0 {
+		cfg.BudgetMargin = 25 * time.Millisecond
+	}
+	if cfg.HedgeQuantile == 0 {
+		cfg.HedgeQuantile = 0.95
+	}
+	if cfg.HedgeRate == 0 {
+		cfg.HedgeRate = 0.1
+	}
 	if cfg.Client == nil {
 		cfg.Client = http.DefaultClient
 	}
@@ -72,8 +132,12 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg:      cfg,
 		part:     part,
 		start:    time.Now(),
+		trackers: map[string]*overload.LatencyTracker{},
 		breakers: map[string]*Breaker{},
 		lastUp:   map[string]bool{},
+	}
+	if cfg.HedgeQuantile > 0 && cfg.HedgeRate > 0 {
+		n.hedge = overload.NewHedgeBudget(cfg.HedgeRate, 0)
 	}
 	for _, p := range part.Peers() {
 		if p.ID == cfg.Self {
@@ -81,6 +145,7 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 		n.breakers[p.ID] = NewBreaker(cfg.FailThreshold, cfg.Cooldown, nil)
 		n.lastUp[p.ID] = true
+		n.trackers[p.ID] = overload.NewLatencyTracker(0)
 		peerUpGauge(p.ID).Set(1)
 	}
 	return n, nil
@@ -152,5 +217,7 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 		peers[p.ID] = ps
 	}
 	n.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"self": n.part.Self(), "peers": peers})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"self": n.part.Self(), "peers": peers, "hedges": n.HedgeStats(),
+	})
 }

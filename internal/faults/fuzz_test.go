@@ -22,7 +22,9 @@ func FuzzScenario(f *testing.F) {
 			"latency_prob": 0.2, "latency_ms": 40},
 		"machines": {"m1": {"drop_prob": 0.9}},
 		"meter_dropouts": [{"start_s": 10, "end_s": 20}],
-		"crashes": [{"machine": "m0", "at_s": 5, "downtime_s": 4}]
+		"crashes": [{"machine": "m0", "at_s": 5, "downtime_s": 4}],
+		"peers": {"n2": {"slow_prob": 0.2, "slow_ms": 250}},
+		"load": [{"start_s": 2, "end_s": 8, "multiplier": 5}]
 	}`)
 	f.Add(`{}`)
 	f.Add(``)
@@ -44,6 +46,11 @@ func FuzzScenario(f *testing.F) {
 	f.Add(`{"name": "` + strings.Repeat("x", 1000) + `"}`)
 	f.Add(strings.Repeat("{", 100))
 	f.Add(`{"defaults": {"drop_prob": 1e999}}`)
+	f.Add(`{"load": [{"start_s": 0, "end_s": 10, "multiplier": 0}]}`)
+	f.Add(`{"load": [{"start_s": 0, "end_s": 10, "multiplier": -2}]}`)
+	f.Add(`{"load": [{"start_s": 0, "end_s": 10, "multiplier": 1e999}]}`)
+	f.Add(`{"load": [{"start_s": 5, "end_s": 5, "multiplier": 2}]}`)
+	f.Add(`{"load": [{"start_s": 0, "end_s": 10, "multiplier": 2}, {"start_s": 5, "end_s": 15, "multiplier": 3}]}`)
 
 	f.Fuzz(func(t *testing.T, data string) {
 		s, err := ParseScenario(strings.NewReader(data))
@@ -69,7 +76,8 @@ func FuzzScenario(f *testing.F) {
 			t.Fatalf("round trip failed: %v\njson: %s", err, out)
 		}
 		if back.Name != s.Name || len(back.Machines) != len(s.Machines) ||
-			len(back.MeterDropouts) != len(s.MeterDropouts) || len(back.Crashes) != len(s.Crashes) {
+			len(back.MeterDropouts) != len(s.MeterDropouts) || len(back.Crashes) != len(s.Crashes) ||
+			len(back.Peers) != len(s.Peers) || len(back.Load) != len(s.Load) {
 			t.Fatalf("round trip changed shape: %+v vs %+v", back, s)
 		}
 	})

@@ -187,6 +187,19 @@ func (in *Injector) PeerLatencyMS(peer string, t, call int) float64 {
 	return 0
 }
 
+// LoadMultiplier returns the offered-load multiplier at second t: the
+// surge window's multiplier when t falls inside one, 1 otherwise. Each
+// query inside a surge window counts one injected fault.
+func (in *Injector) LoadMultiplier(t int) float64 {
+	for _, l := range in.sc.Load {
+		if l.window().contains(t) {
+			injected("load_surge")
+			return l.Multiplier
+		}
+	}
+	return 1
+}
+
 // TransformOutcome reports the value-level faults applied to one row.
 type TransformOutcome struct {
 	// Stuck means the row was replaced with the frozen values of a wedged

@@ -81,6 +81,21 @@ type PeerFaults struct {
 	SlowMS float64 `json:"slow_ms,omitempty"`
 }
 
+// LoadSurge is one offered-load window: inside [start_s, end_s) the load
+// generator multiplies its configured arrival rate by Multiplier, making
+// overload storms seedable and deterministic. Multipliers below 1 model
+// traffic dips the same way.
+type LoadSurge struct {
+	StartS int `json:"start_s"`
+	EndS   int `json:"end_s"`
+	// Multiplier scales the arrival rate inside the window. Must be
+	// positive and finite.
+	Multiplier float64 `json:"multiplier"`
+}
+
+// window returns the surge interval as a Window.
+func (l LoadSurge) window() Window { return Window{StartS: l.StartS, EndS: l.EndS} }
+
 // Scenario is a reproducible fault-injection plan for one streaming run.
 // Scenarios are plain JSON (see examples/faults-crashy.json); unknown
 // fields are rejected so schema typos fail loudly.
@@ -101,6 +116,9 @@ type Scenario struct {
 	// Peers are node-level faults keyed by peer ID, injected into the
 	// scatter-gather path of a distributed deployment.
 	Peers map[string]PeerFaults `json:"peers,omitempty"`
+	// Load are offered-load surge windows applied by the load generator.
+	// Windows must not overlap.
+	Load []LoadSurge `json:"load,omitempty"`
 }
 
 // validateFaults checks one machine's fault rates.
@@ -207,6 +225,18 @@ func (s *Scenario) Validate() error {
 		if err := checkWindows("peer("+id+") partitions", pf.Partitions); err != nil {
 			return err
 		}
+	}
+	loadWindows := make([]Window, 0, len(s.Load))
+	for _, l := range s.Load {
+		// NaN fails every comparison, so check the valid range directly.
+		if !(l.Multiplier > 0) || l.Multiplier > 1e6 {
+			return fmt.Errorf("faults: load window [%d, %d): multiplier %g outside (0, 1e6]",
+				l.StartS, l.EndS, l.Multiplier)
+		}
+		loadWindows = append(loadWindows, l.window())
+	}
+	if err := checkWindows("load", loadWindows); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,192 @@
+package overload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config tunes the overload controller threaded through a serving engine.
+// The zero value is usable; serve fills Events from its own sink when
+// unset.
+type Config struct {
+	// Limiter tunes the per-shard adaptive concurrency limiters.
+	Limiter LimiterConfig
+	// Ladder tunes brownout entry/exit.
+	Ladder LadderConfig
+	// Tick is the controller evaluation period (pressure aggregation and
+	// ladder stepping). Default 100ms.
+	Tick time.Duration
+	// Events receives brownout_enter / brownout_exit events (optional).
+	Events *obs.EventSink
+}
+
+// Controller owns one limiter per shard and the brownout ladder, and
+// periodically aggregates limiter pressure into ladder steps. The current
+// brownout level is exported lock-free via Level for the hot path.
+type Controller struct {
+	cfg      Config
+	limiters []*Limiter
+	ladder   *Ladder
+	level    atomic.Int32
+
+	mu           sync.Mutex // guards ladder stepping + prev counters
+	prevAdmitted uint64
+	prevShed     uint64
+
+	limitGauges []*obs.Gauge
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+var brownoutGauge = obs.Default().Gauge("chaos_brownout_level", nil)
+
+// NewController builds a controller with one limiter per shard.
+func NewController(shards int, cfg Config) *Controller {
+	if shards <= 0 {
+		shards = 1
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 100 * time.Millisecond
+	}
+	if cfg.Limiter.Tick <= 0 {
+		// Limiter accounting ticks default to the controller tick so the
+		// inversion guards and the pressure signal share a window.
+		cfg.Limiter.Tick = cfg.Tick
+	}
+	c := &Controller{
+		cfg:    cfg,
+		ladder: NewLadder(cfg.Ladder),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < shards; i++ {
+		c.limiters = append(c.limiters, NewLimiter(cfg.Limiter))
+		c.limitGauges = append(c.limitGauges,
+			obs.Default().Gauge("chaos_overload_limit", obs.Labels{"shard": fmt.Sprintf("%d", i)}))
+	}
+	brownoutGauge.Set(0)
+	return c
+}
+
+// LimiterFor returns the limiter for shard i.
+func (c *Controller) LimiterFor(i int) *Limiter {
+	return c.limiters[i%len(c.limiters)]
+}
+
+// Level returns the current brownout rung (lock-free).
+func (c *Controller) Level() int { return int(c.level.Load()) }
+
+// Start launches the background tick loop. Close stops it.
+func (c *Controller) Start() {
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.cfg.Tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.Step()
+			}
+		}
+	}()
+}
+
+// Close stops the tick loop. Limiters remain usable (requests in flight
+// during shutdown still Release safely).
+func (c *Controller) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// Step runs one controller evaluation: aggregate the pressure across all
+// shard limiters since the previous step, feed the ladder, and publish
+// level changes. Exported so tests can drive the controller
+// deterministically without the wall-clock ticker.
+func (c *Controller) Step() {
+	var admitted, shed uint64
+	for i, l := range c.limiters {
+		a, s := l.totals()
+		for p := 0; p < NumPriorities; p++ {
+			admitted += a[p]
+			shed += s[p]
+		}
+		c.limitGauges[i].Set(l.Snapshot().Limit)
+	}
+	c.mu.Lock()
+	dA, dS := admitted-c.prevAdmitted, shed-c.prevShed
+	c.prevAdmitted, c.prevShed = admitted, shed
+	pressure := 0.0
+	if dA+dS > 0 {
+		pressure = float64(dS) / float64(dA+dS)
+	}
+	prev := c.ladder.Level()
+	level, changed := c.ladder.Observe(pressure)
+	c.mu.Unlock()
+	if !changed {
+		return
+	}
+	c.level.Store(int32(level))
+	brownoutGauge.Set(float64(level))
+	if c.cfg.Events != nil {
+		event := "brownout_enter"
+		if level < prev {
+			event = "brownout_exit"
+		}
+		c.cfg.Events.Emit(event, map[string]any{
+			"from":     prev,
+			"level":    level,
+			"pressure": pressure,
+		})
+	}
+}
+
+// InversionTicks sums inversion ticks across all shard limiters.
+// Structurally always zero; tests assert it.
+func (c *Controller) InversionTicks() uint64 {
+	var n uint64
+	for _, l := range c.limiters {
+		n += l.InversionTicks()
+	}
+	return n
+}
+
+// Status is the JSON document served by /v1/overload/status.
+type Status struct {
+	Level    int            `json:"level"`
+	TickMS   float64        `json:"tick_ms"`
+	Limiters []LimiterState `json:"limiters"`
+	// Admitted and Shed are cumulative totals per priority tier, summed
+	// over shards, keyed by tier name.
+	Admitted       map[string]uint64 `json:"admitted"`
+	Shed           map[string]uint64 `json:"shed"`
+	InversionTicks uint64            `json:"inversion_ticks"`
+}
+
+// Snapshot returns the controller's current status.
+func (c *Controller) Snapshot() Status {
+	st := Status{
+		Level:    c.Level(),
+		TickMS:   float64(c.cfg.Tick) / float64(time.Millisecond),
+		Admitted: map[string]uint64{},
+		Shed:     map[string]uint64{},
+	}
+	for _, l := range c.limiters {
+		ls := l.Snapshot()
+		st.Limiters = append(st.Limiters, ls)
+		for p := 0; p < NumPriorities; p++ {
+			name := Priority(p).String()
+			st.Admitted[name] += ls.Admitted[p]
+			st.Shed[name] += ls.Shed[p]
+		}
+	}
+	st.InversionTicks = c.InversionTicks()
+	return st
+}

@@ -1,0 +1,125 @@
+package overload
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyTracker keeps a rolling window of observed latencies and answers
+// quantile queries, used to arm hedges "after the rolling per-peer p95".
+type LatencyTracker struct {
+	mu   sync.Mutex
+	ring []float64 // seconds
+	idx  int
+	n    int
+}
+
+// minQuantileSamples is how many observations the tracker needs before it
+// reports a quantile; below this, hedging stays disarmed.
+const minQuantileSamples = 8
+
+// NewLatencyTracker builds a tracker over the last window observations
+// (default 128 when window <= 0).
+func NewLatencyTracker(window int) *LatencyTracker {
+	if window <= 0 {
+		window = 128
+	}
+	return &LatencyTracker{ring: make([]float64, window)}
+}
+
+// Observe records one latency sample.
+func (t *LatencyTracker) Observe(d time.Duration) {
+	s := d.Seconds()
+	if s < 0 {
+		s = 0
+	}
+	t.mu.Lock()
+	t.ring[t.idx] = s
+	t.idx = (t.idx + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Quantile returns the q-quantile (0 < q < 1) of the window, or 0 if the
+// tracker has not seen enough samples yet.
+func (t *LatencyTracker) Quantile(q float64) time.Duration {
+	t.mu.Lock()
+	if t.n < minQuantileSamples {
+		t.mu.Unlock()
+		return 0
+	}
+	buf := make([]float64, t.n)
+	if t.n < len(t.ring) {
+		copy(buf, t.ring[:t.n])
+	} else {
+		copy(buf, t.ring)
+	}
+	t.mu.Unlock()
+	sort.Float64s(buf)
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		return time.Duration(buf[len(buf)-1] * float64(time.Second))
+	}
+	i := int(q * float64(len(buf)))
+	if i >= len(buf) {
+		i = len(buf) - 1
+	}
+	return time.Duration(buf[i] * float64(time.Second))
+}
+
+// Count returns the number of samples currently in the window.
+func (t *LatencyTracker) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// HedgeBudget is a token bucket that bounds hedges to a fraction of
+// primary calls, so hedging can never amplify an overload: each primary
+// call accrues Rate tokens (capped at Burst), each hedge spends one.
+type HedgeBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	rate   float64
+	burst  float64
+}
+
+// NewHedgeBudget builds a budget allowing roughly rate hedges per primary
+// call with a burst allowance. rate <= 0 disables hedging entirely;
+// burst <= 0 defaults to 8. The bucket starts full.
+func NewHedgeBudget(rate, burst float64) *HedgeBudget {
+	if burst <= 0 {
+		burst = 8
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return &HedgeBudget{tokens: burst, rate: rate, burst: burst}
+}
+
+// NotePrimary accrues budget for one primary call.
+func (h *HedgeBudget) NotePrimary() {
+	h.mu.Lock()
+	h.tokens += h.rate
+	if h.tokens > h.burst {
+		h.tokens = h.burst
+	}
+	h.mu.Unlock()
+}
+
+// Allow spends one token if available, reporting whether a hedge may be
+// launched.
+func (h *HedgeBudget) Allow() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.rate <= 0 || h.tokens < 1 {
+		return false
+	}
+	h.tokens--
+	return true
+}

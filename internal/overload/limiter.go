@@ -1,0 +1,393 @@
+package overload
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// LimiterConfig tunes one adaptive concurrency limiter. The zero value is
+// usable: withDefaults fills every field.
+type LimiterConfig struct {
+	// Initial is the starting concurrency limit (admitted samples in
+	// flight). Default 32.
+	Initial float64
+	// Min and Max clamp the adapted limit. Defaults 2 and 1024.
+	Min, Max float64
+	// TierFrac[p] is the fraction of the current limit available to tier
+	// p and every tier above it. Fractions must be non-increasing so
+	// admission is strictly prioritized: with the defaults {1, 0.75, 0.5}
+	// background traffic stops being admitted at half the limit, batch at
+	// three quarters, and interactive may use all of it.
+	TierFrac [NumPriorities]float64
+	// Tick is the accounting window for the AIMD update and the
+	// inversion guards. Default 100ms.
+	Tick time.Duration
+	// Tolerance is the latency budget as a multiple of the rolling
+	// baseline: while the short-term latency EWMA stays under
+	// baseline*Tolerance the limit grows additively, beyond it the limit
+	// shrinks multiplicatively. Default 2.
+	Tolerance float64
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.Initial <= 0 {
+		c.Initial = 32
+	}
+	if c.Min <= 0 {
+		c.Min = 2
+	}
+	if c.Max <= 0 {
+		c.Max = 1024
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	zero := true
+	for _, f := range c.TierFrac {
+		if f != 0 {
+			zero = false
+		}
+	}
+	if zero {
+		c.TierFrac = [NumPriorities]float64{1, 0.75, 0.5}
+	}
+	if c.Tick <= 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+	if c.Tolerance <= 1 {
+		c.Tolerance = 2
+	}
+	return c
+}
+
+// Decision is the outcome of one admission attempt.
+type Decision struct {
+	// Admit reports whether the work may proceed. The caller must call
+	// Release (or Cancel) exactly once per admitted unit.
+	Admit bool
+	// RetryAfter is the shed backoff hint derived from the limiter
+	// state: roughly how long until the current excess drains. Zero when
+	// admitted.
+	RetryAfter time.Duration
+}
+
+// tick accumulates per-window admission accounting used by the priority
+// inversion guards and the pressure signal.
+type tick struct {
+	admitted [NumPriorities]uint64
+	shed     [NumPriorities]uint64
+	// maxInflight is the tick's concurrency high-water mark, gating
+	// additive increase on the limit actually being exercised.
+	maxInflight int
+	// maxAdmittedTier is the numerically largest (least important) tier
+	// admitted so far this tick, -1 when none.
+	maxAdmittedTier int
+	// minShedTier is the numerically smallest (most important) tier shed
+	// so far this tick, NumPriorities when none.
+	minShedTier int
+}
+
+// Limiter is an adaptive concurrency limiter with strict-priority
+// admission. The limit follows an AIMD/gradient rule on observed
+// completion latency (queue wait + predict) against a rolling baseline of
+// uncongested latency, so shedding starts before queue latency collapses
+// into deadline misses.
+//
+// Two tick-scoped guards make priority inversions structurally
+// impossible within an accounting tick:
+//
+//   - if a tier would be shed but a strictly less important tier was
+//     already admitted this tick, the request is admitted past the limit
+//     (bounded overshoot beats an inversion);
+//   - once a tier is shed, every strictly less important tier is refused
+//     for the remainder of the tick.
+//
+// Together with non-increasing TierFrac thresholds these guarantee that
+// a tier-0 request is never rejected in a tick that admitted tier-2.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu        sync.Mutex
+	limit     float64
+	inflight  int
+	tickStart time.Time
+	cur       tick
+
+	// Latency EWMAs in seconds. baseline approximates the uncongested
+	// floor: it absorbs improvements quickly and regressions very slowly.
+	baseline float64
+	short    float64
+
+	totalAdmitted  [NumPriorities]uint64
+	totalShed      [NumPriorities]uint64
+	guardAdmits    uint64
+	guardBlocks    uint64
+	inversionTicks uint64
+
+	// lastPressure is the shed fraction of the most recently completed
+	// tick, read by the brownout controller.
+	lastPressure float64
+
+	now func() time.Time
+}
+
+// NewLimiter builds a limiter with cfg (zero value ⇒ defaults).
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	return newLimiterAt(cfg, time.Now)
+}
+
+func newLimiterAt(cfg LimiterConfig, now func() time.Time) *Limiter {
+	cfg = cfg.withDefaults()
+	l := &Limiter{cfg: cfg, limit: cfg.Initial, now: now}
+	l.tickStart = now()
+	l.cur = tick{maxAdmittedTier: -1, minShedTier: NumPriorities}
+	return l
+}
+
+// Acquire attempts to admit one unit of work at priority p.
+func (l *Limiter) Acquire(p Priority) Decision { return l.AcquireN(p, 1) }
+
+// AcquireN attempts to admit n units (e.g. every sample of one request
+// that maps to this shard) atomically: all are admitted or none.
+func (l *Limiter) AcquireN(p Priority, n int) Decision {
+	if n <= 0 {
+		return Decision{Admit: true}
+	}
+	p = clampPriority(p)
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.roll(now)
+
+	// Shed guard: a more important tier was already refused this tick,
+	// so less important work must not slip in behind it.
+	if int(p) > l.cur.minShedTier {
+		l.guardBlocks++
+		return l.shedLocked(p, n)
+	}
+	threshold := l.limit * l.cfg.TierFrac[p]
+	if float64(l.inflight+n) <= threshold {
+		return l.admitLocked(p, n)
+	}
+	// Inversion guard: capacity existed for a less important tier this
+	// tick, so refusing p now would invert priorities. Admit past the
+	// limit; the overshoot is bounded by one tick of arrivals and the
+	// shard queue behind the limiter.
+	if int(p) < l.cur.maxAdmittedTier {
+		l.guardAdmits++
+		return l.admitLocked(p, n)
+	}
+	return l.shedLocked(p, n)
+}
+
+func (l *Limiter) admitLocked(p Priority, n int) Decision {
+	l.inflight += n
+	if l.inflight > l.cur.maxInflight {
+		l.cur.maxInflight = l.inflight
+	}
+	l.cur.admitted[p] += uint64(n)
+	l.totalAdmitted[p] += uint64(n)
+	if int(p) > l.cur.maxAdmittedTier {
+		l.cur.maxAdmittedTier = int(p)
+	}
+	admittedCtr[p].Add(float64(n))
+	return Decision{Admit: true}
+}
+
+func (l *Limiter) shedLocked(p Priority, n int) Decision {
+	l.cur.shed[p] += uint64(n)
+	l.totalShed[p] += uint64(n)
+	if int(p) < l.cur.minShedTier {
+		l.cur.minShedTier = int(p)
+	}
+	shedCtr[p].Add(float64(n))
+	return Decision{Admit: false, RetryAfter: l.retryAfterLocked(p, n)}
+}
+
+// retryAfterLocked estimates how long until the excess above this tier's
+// threshold drains, assuming roughly half the limit turns over per tick.
+func (l *Limiter) retryAfterLocked(p Priority, n int) time.Duration {
+	threshold := l.limit * l.cfg.TierFrac[p]
+	excess := float64(l.inflight+n) - threshold
+	if excess < 0 {
+		excess = 0
+	}
+	drainPerTick := l.limit / 2
+	if drainPerTick < 1 {
+		drainPerTick = 1
+	}
+	ticks := excess/drainPerTick + 1
+	d := time.Duration(ticks * float64(l.cfg.Tick))
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	if d < l.cfg.Tick {
+		d = l.cfg.Tick
+	}
+	return d
+}
+
+// Release completes one admitted unit, feeding its observed latency
+// (queue wait + service) into the gradient.
+func (l *Limiter) Release(latency time.Duration) {
+	now := l.now()
+	lat := latency.Seconds()
+	if lat < 0 {
+		lat = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.roll(now)
+	if l.inflight > 0 {
+		l.inflight--
+	}
+	if l.short == 0 && l.baseline == 0 {
+		l.short, l.baseline = lat, lat
+		return
+	}
+	l.short += 0.25 * (lat - l.short)
+	if lat < l.baseline {
+		// Improvements pull the floor down quickly.
+		l.baseline += 0.25 * (lat - l.baseline)
+	} else {
+		// Regressions leak in very slowly so a congested burst cannot
+		// redefine "normal", while a genuine regime change eventually can.
+		l.baseline += 0.002 * (lat - l.baseline)
+	}
+}
+
+// Cancel returns one admitted unit without a latency observation (the
+// work was dropped before it ran, e.g. the shard queue was full).
+func (l *Limiter) Cancel(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inflight -= n
+	if l.inflight < 0 {
+		l.inflight = 0
+	}
+}
+
+// roll closes the current accounting tick if its window elapsed: records
+// inversion accounting, updates the AIMD limit from the latency gradient,
+// and resets the tick-scoped guards. Callers hold l.mu.
+func (l *Limiter) roll(now time.Time) {
+	if now.Sub(l.tickStart) < l.cfg.Tick {
+		return
+	}
+	// A tick that shed tier 0 while admitting tier 2 is a priority
+	// inversion. The guards above make this unreachable; the counter
+	// exists so tests can assert it stays zero.
+	if l.cur.shed[Interactive] > 0 && l.cur.admitted[Background] > 0 {
+		l.inversionTicks++
+	}
+	var admitted, shed uint64
+	for p := 0; p < NumPriorities; p++ {
+		admitted += l.cur.admitted[p]
+		shed += l.cur.shed[p]
+	}
+	if admitted+shed > 0 {
+		l.lastPressure = float64(shed) / float64(admitted+shed)
+	} else {
+		l.lastPressure = 0
+	}
+
+	if l.short > 0 && l.baseline > 0 {
+		target := l.baseline * l.cfg.Tolerance
+		if l.short <= target {
+			// Healthy: additive increase, gated on the limit actually
+			// being exercised so an idle limiter does not drift to Max.
+			if float64(l.cur.maxInflight) >= l.limit/2 || shed > 0 {
+				step := l.limit * 0.05
+				if step < 1 {
+					step = 1
+				}
+				l.limit += step
+			}
+		} else {
+			// Over budget: multiplicative decrease proportional to the
+			// overshoot, at most halving per tick.
+			ratio := target / l.short
+			if ratio < 0.5 {
+				ratio = 0.5
+			}
+			l.limit *= ratio
+		}
+		if l.limit < l.cfg.Min {
+			l.limit = l.cfg.Min
+		}
+		if l.limit > l.cfg.Max {
+			l.limit = l.cfg.Max
+		}
+	}
+
+	l.tickStart = now
+	l.cur = tick{maxAdmittedTier: -1, minShedTier: NumPriorities}
+}
+
+// Pressure returns the shed fraction of the most recently completed tick
+// (0 = no shedding, 1 = everything shed).
+func (l *Limiter) Pressure() float64 {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.roll(now)
+	return l.lastPressure
+}
+
+// InversionTicks returns the number of completed ticks that shed tier 0
+// while admitting tier 2. Structurally always zero.
+func (l *Limiter) InversionTicks() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inversionTicks
+}
+
+// LimiterState is a point-in-time snapshot for status endpoints.
+type LimiterState struct {
+	Limit      float64               `json:"limit"`
+	Inflight   int                   `json:"inflight"`
+	BaselineMS float64               `json:"baseline_ms"`
+	ShortMS    float64               `json:"short_ms"`
+	Admitted   [NumPriorities]uint64 `json:"admitted"`
+	Shed       [NumPriorities]uint64 `json:"shed"`
+}
+
+// Snapshot returns the limiter's current state.
+func (l *Limiter) Snapshot() LimiterState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LimiterState{
+		Limit:      math.Round(l.limit*100) / 100,
+		Inflight:   l.inflight,
+		BaselineMS: l.baseline * 1e3,
+		ShortMS:    l.short * 1e3,
+		Admitted:   l.totalAdmitted,
+		Shed:       l.totalShed,
+	}
+}
+
+// totals returns cumulative admitted/shed counts per tier plus guard
+// activity, for the controller's pressure diffing.
+func (l *Limiter) totals() (admitted, shed [NumPriorities]uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totalAdmitted, l.totalShed
+}
+
+// Package-level resolved metric handles: label resolution happens once,
+// the hot path only touches atomics.
+var (
+	admittedCtr = [NumPriorities]*obs.Counter{
+		obs.Default().Counter("chaos_admitted_total", obs.Labels{"priority": "interactive"}),
+		obs.Default().Counter("chaos_admitted_total", obs.Labels{"priority": "batch"}),
+		obs.Default().Counter("chaos_admitted_total", obs.Labels{"priority": "background"}),
+	}
+	shedCtr = [NumPriorities]*obs.Counter{
+		obs.Default().Counter("chaos_shed_total", obs.Labels{"priority": "interactive"}),
+		obs.Default().Counter("chaos_shed_total", obs.Labels{"priority": "batch"}),
+		obs.Default().Counter("chaos_shed_total", obs.Labels{"priority": "background"}),
+	}
+)

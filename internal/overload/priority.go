@@ -1,0 +1,68 @@
+// Package overload implements graceful degradation for the serving path:
+// per-shard adaptive concurrency limiters with strict-priority admission,
+// a brownout ladder driven by sustained limiter pressure, and the hedging
+// primitives (rolling latency quantiles, hedge-rate budget) used by the
+// distributed scatter-gather.
+//
+// The package is self-contained and stdlib-only; internal/serve and
+// internal/dist thread it through the request path.
+package overload
+
+import "strings"
+
+// Priority is a request class. Lower values are more important: tier 0
+// (interactive) is shed last, tier 2 (background) is shed first.
+type Priority int
+
+const (
+	// Interactive is user-facing traffic: single estimates and cluster
+	// snapshots a human or control loop is waiting on. Shed last.
+	Interactive Priority = iota
+	// Batch is throughput-oriented traffic: bulk estimate batches,
+	// backfill, scheduled re-scoring. Shed when interactive is at risk.
+	Batch
+	// Background is best-effort traffic: load generators, mirrors,
+	// speculative prefetch. Shed first.
+	Background
+
+	// NumPriorities is the number of priority tiers.
+	NumPriorities = 3
+)
+
+// String returns the wire name carried in the priority request field and
+// the X-Chaos-Priority header.
+func (p Priority) String() string {
+	switch p {
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	case Background:
+		return "background"
+	}
+	return "interactive"
+}
+
+// ParsePriority maps a wire name to a Priority. Empty and unknown values
+// default to Interactive: an unlabeled request is assumed to have a user
+// waiting on it, and a typo in a client must never silently demote it.
+func ParsePriority(s string) Priority {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "batch":
+		return Batch
+	case "background":
+		return Background
+	}
+	return Interactive
+}
+
+// clampPriority normalizes out-of-range tiers from internal callers.
+func clampPriority(p Priority) Priority {
+	if p < Interactive {
+		return Interactive
+	}
+	if p > Background {
+		return Background
+	}
+	return p
+}

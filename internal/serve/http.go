@@ -13,8 +13,13 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/online"
+	"repro/internal/overload"
 	"repro/internal/registry"
 )
+
+// PriorityHeader is the transport-level priority class header. A request
+// field overrides it; both default to interactive.
+const PriorityHeader = "X-Chaos-Priority"
 
 // HTTP-path instruments (per endpoint), resolved once.
 var (
@@ -58,6 +63,10 @@ type EstimateRequest struct {
 	Samples []SampleJSON `json:"samples"`
 	// DeadlineMS overrides the server's default per-request deadline.
 	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+	// Priority is the request's class: "interactive" (default), "batch",
+	// or "background". Overrides the X-Chaos-Priority header. Lower
+	// tiers are shed first under overload.
+	Priority string `json:"priority,omitempty"`
 }
 
 // EstimateResponse is the result of one snapshot.
@@ -74,6 +83,10 @@ type EstimateResponse struct {
 	// peer that owns the rejected machine in a distributed deployment.
 	Owner     string `json:"owner,omitempty"`
 	OwnerAddr string `json:"owner_addr,omitempty"`
+
+	// retryAfter carries the adaptive limiter's backoff hint from the
+	// engine to setBackpressureHeaders; never serialized.
+	retryAfter time.Duration
 }
 
 // BatchRequest carries many snapshots in one HTTP round trip.
@@ -175,6 +188,7 @@ func NewMux(s *Server) *http.ServeMux {
 	mux.HandleFunc("/v1/lifecycle/retrain", s.handleLifecycleRetrain)
 	mux.HandleFunc("/v1/control/status", s.handleControlStatus)
 	mux.HandleFunc("/v1/control/policy", s.handleControlPolicy)
+	mux.HandleFunc("/v1/overload/status", s.handleOverloadStatus)
 	mux.HandleFunc("/v1/version", s.handleVersion)
 	if s.cfg.Traces != nil {
 		h := s.cfg.Traces.Handler()
@@ -211,6 +225,12 @@ func (s *Server) startTrace(r *http.Request, endpoint string) *obs.ActiveTrace {
 	if tid, _, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
 		return ts.Start("serve."+endpoint, tid, true)
 	}
+	// Brownout rung 2 stops sampling new traces; caller-identified
+	// requests (explicit traceparent above) still trace, since someone is
+	// actively debugging with them.
+	if s.ov != nil && s.ov.Level() >= overload.LevelShedAux {
+		return nil
+	}
 	if !ts.Sample(s.cfg.TraceSample) {
 		return nil
 	}
@@ -233,8 +253,9 @@ func traceStatus(httpStatus int) string {
 }
 
 // estimateOnce runs one snapshot through the engine and maps the outcome
-// to a wire response + status. at may be nil (untraced).
-func (s *Server) estimateOnce(req EstimateRequest, deadline time.Duration, at *obs.ActiveTrace) EstimateResponse {
+// to a wire response + status. at may be nil (untraced). prio is the
+// transport-level default priority; an explicit request field wins.
+func (s *Server) estimateOnce(req EstimateRequest, deadline time.Duration, at *obs.ActiveTrace, prio overload.Priority) EstimateResponse {
 	if len(req.Samples) == 0 {
 		return EstimateResponse{Status: http.StatusBadRequest, Error: "no samples"}
 	}
@@ -272,10 +293,17 @@ func (s *Server) estimateOnce(req EstimateRequest, deadline time.Duration, at *o
 			metered[i] = *sj.MeteredWatts
 		}
 	}
-	res, err := s.EstimateTraced(samples, deadline, metered, at)
+	if req.Priority != "" {
+		prio = overload.ParsePriority(req.Priority)
+	}
+	res, err := s.EstimatePriority(samples, deadline, metered, at, prio)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		return EstimateResponse{Status: http.StatusTooManyRequests, Error: err.Error()}
+		resp := EstimateResponse{Status: http.StatusTooManyRequests, Error: err.Error()}
+		if res != nil {
+			resp.retryAfter = res.RetryAfter
+		}
+		return resp
 	case errors.Is(err, ErrDeadline):
 		return EstimateResponse{Status: http.StatusGatewayTimeout, Error: err.Error()}
 	case errors.Is(err, ErrNoModel):
@@ -311,7 +339,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		at.End("error")
 		return
 	}
-	resp := s.estimateOnce(req, 0, at)
+	resp := s.estimateOnce(req, 0, at, overload.ParsePriority(r.Header.Get(PriorityHeader)))
 	status = resp.Status
 	s.setBackpressureHeaders(w, resp)
 	if at != nil {
@@ -349,6 +377,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	deadline := time.Duration(req.DeadlineMS * float64(time.Millisecond))
+	headerPrio := overload.ParsePriority(r.Header.Get(PriorityHeader))
 	resp := BatchResponse{Results: make([]EstimateResponse, len(req.Requests))}
 	// Scatter every snapshot's samples before gathering any: the shards
 	// see the whole batch at once, so their windows fill and the
@@ -359,7 +388,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp.Results[i] = s.estimateOnce(req.Requests[i], deadline, at)
+			resp.Results[i] = s.estimateOnce(req.Requests[i], deadline, at, headerPrio)
 		}(i)
 	}
 	wg.Wait()
@@ -372,9 +401,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if res.Status > status {
 			status = res.Status
 		}
-		if res.Status == http.StatusTooManyRequests {
-			// Any shed sub-result means the pool is backed up; give the
-			// whole batch the same backoff hint a single shed would get.
+		switch res.Status {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			// Any retryable sub-result means the pool is backed up; give
+			// the whole batch the same backoff hint a single one would get.
 			s.setBackpressureHeaders(w, res)
 		}
 	}
@@ -387,14 +417,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	at.End(traceStatus(status))
 }
 
-// setBackpressureHeaders annotates shed and misdirected responses: a 429
-// carries Retry-After derived from the live queue backlog (integer
-// seconds, floor 1 — the header's own granularity), a 421 carries the
-// owning peer so clients can redirect without re-parsing the body.
+// setBackpressureHeaders annotates retryable and misdirected responses:
+// every retryable status (429 shed, 503 no model, 504 deadline) carries
+// Retry-After — preferring the adaptive limiter's own hint, falling back
+// to the live queue backlog (integer seconds, floor 1 — the header's own
+// granularity) — and a 421 carries the owning peer so clients can
+// redirect without re-parsing the body.
 func (s *Server) setBackpressureHeaders(w http.ResponseWriter, resp EstimateResponse) {
 	switch resp.Status {
-	case http.StatusTooManyRequests:
-		secs := int(s.RetryAfterHint().Seconds() + 0.999)
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		hint := resp.retryAfter
+		if hint <= 0 {
+			hint = s.RetryAfterHint()
+		}
+		secs := int(hint.Seconds() + 0.999)
 		if secs < 1 {
 			secs = 1
 		}
@@ -403,6 +439,17 @@ func (s *Server) setBackpressureHeaders(w http.ResponseWriter, resp EstimateResp
 		w.Header().Set("X-Chaos-Owner", resp.Owner)
 		w.Header().Set("X-Chaos-Owner-Addr", resp.OwnerAddr)
 	}
+}
+
+// handleOverloadStatus reports the adaptive admission state: brownout
+// level, per-shard limiter snapshots, and cumulative per-tier admission
+// accounting. 404 when overload control is disabled.
+func (s *Server) handleOverloadStatus(w http.ResponseWriter, r *http.Request) {
+	if s.ov == nil {
+		writeError(w, http.StatusNotFound, "overload control disabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ov.Snapshot())
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/mathx"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/trace"
 )
 
@@ -43,8 +46,14 @@ type LoadGenConfig struct {
 	// Scenario, when set, routes every machine's row fetch through a
 	// resilient faults.Collector — the client-side feeder — so collector
 	// drops and corruption thin the replayed snapshots realistically.
+	// Scenario.Load surge windows additionally scale Rate inside their
+	// windows (deterministic overload storms).
 	Scenario *faults.Scenario
 	Seed     int64
+	// PriorityWeights biases the priority class drawn per request group:
+	// {interactive, batch, background}. All zero sends everything
+	// interactive. Draws are deterministic in Seed and the group index.
+	PriorityWeights [overload.NumPriorities]int
 }
 
 // LoadStats is the outcome of one load-generation run.
@@ -81,9 +90,60 @@ type LoadStats struct {
 	ServerRequests      uint64  // histogram count delta over the run
 	SumAbsErr           float64 // |estimate - metered| summed over OK snapshots with meter
 	MeterOK             int     // OK snapshots that carried metered power
+	// ByStatus splits every snapshot outcome by its final HTTP status
+	// (200/429/503/504/...), so "Failed" is never a lumped mystery; the
+	// legacy OK/Shed/Late/Failed counters are kept as rollups.
+	ByStatus map[int]int
+	// TransportErrors counts snapshots lost before any status arrived
+	// (connection resets, timeouts). Also included in Failed.
+	TransportErrors int
+	// Tiers breaks the run down per priority class.
+	Tiers [overload.NumPriorities]TierStats
 
 	mu        sync.Mutex
 	latencies []time.Duration
+}
+
+// TierStats is the per-priority-class slice of a load-generation run.
+type TierStats struct {
+	Sent   int // snapshots attempted at this tier
+	OK     int
+	Shed   int // 429
+	Late   int // 504
+	Failed int // transport errors or other statuses
+	P50    time.Duration
+	P99    time.Duration
+
+	latencies []time.Duration
+}
+
+// account records one final status for n snapshots of tier p, updating
+// the rollups, the per-status split, and the per-tier split together.
+// Caller holds s.mu. Status 0 means a transport error.
+func (s *LoadStats) account(p overload.Priority, status, n int) {
+	if s.ByStatus == nil {
+		s.ByStatus = make(map[int]int)
+	}
+	s.ByStatus[status] += n
+	t := &s.Tiers[p]
+	switch status {
+	case http.StatusOK:
+		s.OK += n
+		t.OK += n
+	case http.StatusTooManyRequests:
+		s.Shed += n
+		t.Shed += n
+	case http.StatusGatewayTimeout:
+		s.Late += n
+		t.Late += n
+	case 0:
+		s.TransportErrors += n
+		s.Failed += n
+		t.Failed += n
+	default:
+		s.Failed += n
+		t.Failed += n
+	}
 }
 
 // MeanAbsErr returns the mean absolute cluster error over metered OK
@@ -166,22 +226,34 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadStats, error) {
 	histBefore := serverHist.State()
 
 	// Producer: builds snapshots in order (fault injection needs ordered
-	// seconds), throttled to Rate, grouped Batch per send.
+	// seconds), throttled to Rate, grouped Batch per send. Pacing runs on
+	// virtual time so Scenario.Load surge windows scale the instantaneous
+	// rate as a pure function of config: snapshot i is due at vt(i), where
+	// each interval is 1/(Rate × multiplier at the current virtual second).
+	// A sender that falls behind wall clock does not stretch the schedule.
 	work := make(chan []snapshotPayload, cfg.Clients*2)
 	var producerErr error
 	go func() {
 		defer close(work)
-		var tick <-chan time.Time
-		if cfg.Rate > 0 {
-			ticker := time.NewTicker(time.Duration(float64(time.Second) / cfg.Rate))
-			defer ticker.Stop()
-			tick = ticker.C
+		paceStart := time.Now()
+		vt := 0.0 // virtual seconds since start
+		mixPriorities := false
+		for _, w := range cfg.PriorityWeights {
+			if w > 0 {
+				mixPriorities = true
+			}
 		}
 		group := make([]snapshotPayload, 0, cfg.Batch)
+		groupIdx := 0
 		swapIdx := 0
 		for i := 0; i < cfg.Snapshots; i++ {
-			if tick != nil {
-				<-tick
+			if cfg.Rate > 0 {
+				rate := cfg.Rate
+				if inj != nil {
+					rate *= inj.LoadMultiplier(int(vt))
+				}
+				vt += 1 / rate
+				time.Sleep(time.Until(paceStart.Add(time.Duration(vt * float64(time.Second)))))
 			}
 			// Hot-swap mid-load: rotate the active version through the
 			// API while the clients' requests are still in flight.
@@ -209,6 +281,16 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadStats, error) {
 			}
 			if len(snap.req.Samples) == 0 {
 				continue // every machine's feeder failed this second
+			}
+			// One deterministic priority draw per group; every snapshot in
+			// the group shares it so batch requests stay single-class.
+			if mixPriorities {
+				if len(group) == 0 {
+					snap.req.Priority = drawPriority(cfg.PriorityWeights, cfg.Seed, groupIdx).String()
+					groupIdx++
+				} else {
+					snap.req.Priority = group[0].req.Priority
+				}
 			}
 			group = append(group, snap)
 			if len(group) == cfg.Batch {
@@ -318,47 +400,62 @@ func sendGroup(client *http.Client, cfg LoadGenConfig, group []snapshotPayload, 
 		status, results, rtt, err = postBatch(client, cfg.TargetURL+"/v1/estimate/batch", breq)
 	}
 
+	prio := overload.ParsePriority(group[0].req.Priority)
 	stats.mu.Lock()
 	defer stats.mu.Unlock()
 	stats.Snapshots += len(group)
 	stats.Samples += samples
 	stats.latencies = append(stats.latencies, rtt)
+	tier := &stats.Tiers[prio]
+	tier.Sent += len(group)
+	tier.latencies = append(tier.latencies, rtt)
 	if err != nil {
-		stats.Failed += len(group)
+		stats.account(prio, 0, len(group))
 		return
 	}
 	if status != http.StatusOK && len(results) == 0 {
 		// Whole-request failure (e.g. single endpoint 429/504).
-		switch status {
-		case http.StatusTooManyRequests:
-			stats.Shed += len(group)
-		case http.StatusGatewayTimeout:
-			stats.Late += len(group)
-		default:
-			stats.Failed += len(group)
-		}
+		stats.account(prio, status, len(group))
 		return
 	}
 	for i, r := range results {
-		switch r.Status {
-		case http.StatusOK:
-			stats.OK++
-			if i < len(group) && group[i].hasMeter {
-				stats.MeterOK++
-				d := r.ClusterWatts - group[i].actual
-				if d < 0 {
-					d = -d
-				}
-				stats.SumAbsErr += d
+		stats.account(prio, r.Status, 1)
+		if r.Status == http.StatusOK && i < len(group) && group[i].hasMeter {
+			stats.MeterOK++
+			d := r.ClusterWatts - group[i].actual
+			if d < 0 {
+				d = -d
 			}
-		case http.StatusTooManyRequests:
-			stats.Shed++
-		case http.StatusGatewayTimeout:
-			stats.Late++
-		default:
-			stats.Failed++
+			stats.SumAbsErr += d
 		}
 	}
+}
+
+// drawPriority picks a priority class from the weight vector,
+// deterministically in (seed, group): the mix a run replays is a pure
+// function of its config.
+func drawPriority(weights [overload.NumPriorities]int, seed int64, group int) overload.Priority {
+	total := 0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return overload.Interactive
+	}
+	r := rand.New(rand.NewSource(mathx.DeriveSeed(seed, fmt.Sprintf("loadgen-prio:%d", group))))
+	x := r.Intn(total)
+	for p, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return overload.Priority(p)
+		}
+		x -= w
+	}
+	return overload.Interactive
 }
 
 // postOne posts a single snapshot; the response body carries the status
@@ -418,12 +515,19 @@ func postActivate(client *http.Client, base, version string) error {
 }
 
 // finishLatency computes request-latency percentiles from the recorded
-// round trips.
+// round trips, overall and per priority tier.
 func (s *LoadStats) finishLatency() {
-	if len(s.latencies) == 0 {
-		return
+	s.LatencyP50, s.LatencyP99 = latencyQuantiles(s.latencies)
+	for i := range s.Tiers {
+		t := &s.Tiers[i]
+		t.P50, t.P99 = latencyQuantiles(t.latencies)
 	}
-	sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
-	s.LatencyP50 = s.latencies[len(s.latencies)/2]
-	s.LatencyP99 = s.latencies[(len(s.latencies)*99)/100]
+}
+
+func latencyQuantiles(ds []time.Duration) (p50, p99 time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2], ds[(len(ds)*99)/100]
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/online"
+	"repro/internal/overload"
 	"repro/internal/registry"
 )
 
@@ -86,6 +87,18 @@ type Config struct {
 	// labeled outcomes — the SLO tracker's feed. Calls happen on the
 	// request goroutine, so implementations must be cheap.
 	Observer Observer
+	// Overload, when set, enables adaptive admission control: one AIMD
+	// concurrency limiter per shard (gradient on observed queue+predict
+	// latency against a rolling baseline), strict-priority shedding, and
+	// the brownout ladder. When nil the engine keeps the static behavior:
+	// the bounded queue is the only defense.
+	Overload *overload.Config
+	// PredictStall, when positive, sleeps this long inside every batch
+	// predict. It is a chaos/benchmark knob that pins the engine's
+	// capacity analytically (≈ Shards × BatchMax / PredictStall samples
+	// per second) so overload experiments are deterministic across
+	// hardware. Never set it in production configs.
+	PredictStall time.Duration
 	// Owner, when set, is the distributed-mode partition check: it reports
 	// which peer owns a machine ID and whether that peer is this node.
 	// Direct estimates for non-owned machines are rejected with 421 and a
@@ -167,6 +180,9 @@ type task struct {
 	enqueued time.Time
 	dequeued time.Time
 	at       *obs.ActiveTrace
+	// acquired means this sample holds one unit of its shard's adaptive
+	// limiter and must release it exactly once on completion.
+	acquired bool
 }
 
 // shard is one worker's queue plus its per-version predictor cache. Each
@@ -190,6 +206,10 @@ type Server struct {
 
 	monitor *online.Monitor
 	drifted atomic.Bool
+
+	// ov, when non-nil, owns the per-shard adaptive limiters and the
+	// brownout ladder (Config.Overload).
+	ov *overload.Controller
 
 	// shadow, when non-nil, is the challenger entry every shard mirrors:
 	// workers predict it alongside the champion (one extra batch predict on
@@ -224,6 +244,14 @@ func New(reg *registry.Registry, cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if cfg.Overload != nil {
+		ovcfg := *cfg.Overload
+		if ovcfg.Events == nil {
+			ovcfg.Events = cfg.Events
+		}
+		s.ov = overload.NewController(cfg.Shards, ovcfg)
+		s.ov.Start()
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
 			id:    i,
@@ -253,6 +281,22 @@ func (s *Server) Close() {
 	}
 	s.closeMu.Unlock()
 	s.wg.Wait()
+	if s.ov != nil {
+		s.ov.Close()
+	}
+}
+
+// Overload exposes the adaptive admission controller, or nil when
+// Config.Overload was unset.
+func (s *Server) Overload() *overload.Controller { return s.ov }
+
+// BrownoutLevel returns the current brownout rung (0 when adaptive
+// admission is disabled).
+func (s *Server) BrownoutLevel() int {
+	if s.ov == nil {
+		return overload.LevelNormal
+	}
+	return s.ov.Level()
 }
 
 // Drained reports how many tasks were still queued when Close began; all
@@ -298,8 +342,17 @@ func (s *Server) Estimate(samples []online.Sample, deadline time.Duration, meter
 // EstimateTraced is Estimate with a request trace riding along: each
 // queued task carries the trace, and the shard workers record
 // queue/batch/predict spans into it as the sample moves through the
-// pipeline. at may be nil (untraced).
+// pipeline. at may be nil (untraced). The request is admitted at
+// Interactive priority.
 func (s *Server) EstimateTraced(samples []online.Sample, deadline time.Duration, metered []float64, at *obs.ActiveTrace) (*Result, error) {
+	return s.EstimatePriority(samples, deadline, metered, at, overload.Interactive)
+}
+
+// EstimatePriority is EstimateTraced with an explicit priority class.
+// With adaptive admission enabled the whole snapshot is admitted or shed
+// atomically against each touched shard's limiter, so a partially-shed
+// request never burns predictor capacity on samples it cannot answer.
+func (s *Server) EstimatePriority(samples []online.Sample, deadline time.Duration, metered []float64, at *obs.ActiveTrace, prio overload.Priority) (*Result, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("serve: no samples")
 	}
@@ -316,14 +369,46 @@ func (s *Server) EstimateTraced(samples []online.Sample, deadline time.Duration,
 		s.closeMu.RUnlock()
 		return nil, fmt.Errorf("serve: server closed")
 	}
+	if s.ov != nil {
+		// All-or-nothing admission: count this snapshot's samples per
+		// shard, then acquire each shard's share atomically. On any
+		// refusal, roll back what was acquired and shed the request with
+		// the limiter's backoff hint.
+		counts := make([]int, len(s.shards))
+		for i := range samples {
+			counts[s.shardFor(samples[i].MachineID).id]++
+		}
+		for id, n := range counts {
+			if n == 0 {
+				continue
+			}
+			dec := s.ov.LimiterFor(id).AcquireN(prio, n)
+			if dec.Admit {
+				continue
+			}
+			for j := 0; j < id; j++ {
+				if counts[j] > 0 {
+					s.ov.LimiterFor(j).Cancel(counts[j])
+				}
+			}
+			s.closeMu.RUnlock()
+			shedTotal.Add(float64(len(samples)))
+			at.Span("shed", now, 0, obs.String("reason", "limiter"),
+				obs.String("priority", prio.String()))
+			return &Result{Shed: len(samples), RetryAfter: dec.RetryAfter}, ErrOverloaded
+		}
+	}
 	for i := range samples {
-		t := &task{sample: samples[i], deadline: due, idx: i, req: p, enqueued: now, at: at}
+		t := &task{sample: samples[i], deadline: due, idx: i, req: p, enqueued: now, at: at, acquired: s.ov != nil}
 		sh := s.shardFor(samples[i].MachineID)
 		select {
 		case sh.queue <- t:
 			sh.depth.Set(float64(len(sh.queue)))
 		default:
 			// Bounded queue full: shed instead of queueing unboundedly.
+			if t.acquired {
+				s.ov.LimiterFor(sh.id).Cancel(1)
+			}
 			shedTotal.Inc()
 			at.Span("shed", now, 0, obs.String("machine", samples[i].MachineID))
 			p.results[i] = taskResult{shed: true}
@@ -463,6 +548,10 @@ type Result struct {
 	Shed         int
 	Late         int
 	Err          error
+	// RetryAfter is the adaptive limiter's backoff hint when the request
+	// was shed by admission control; zero otherwise (the HTTP layer falls
+	// back to the queue-depth hint).
+	RetryAfter time.Duration
 }
 
 // Version returns the single serving version, or a "+"-joined list when a
@@ -502,7 +591,16 @@ func (s *Server) worker(sh *shard) {
 		}
 		t.dequeued = time.Now()
 		batch := []*task{t}
-		timer := time.NewTimer(s.cfg.BatchWindow)
+		window := s.cfg.BatchWindow
+		if s.ov != nil && s.ov.Level() >= overload.LevelTrim {
+			// Brownout rung 1: shrink the fill window so queued work
+			// drains with less artificial batching latency.
+			window /= 4
+			if window < 50*time.Microsecond {
+				window = 50 * time.Microsecond
+			}
+		}
+		timer := time.NewTimer(window)
 	fill:
 		for len(batch) < s.cfg.BatchMax {
 			select {
@@ -522,6 +620,18 @@ func (s *Server) worker(sh *shard) {
 	}
 }
 
+// finish answers one task and returns its limiter admission, feeding the
+// sample's observed queue+predict latency into the shard's gradient (late
+// and failed tasks included — their latency is exactly the congestion
+// signal the limiter adapts on).
+func (s *Server) finish(sh *shard, t *task, r taskResult) {
+	if t.acquired {
+		s.ov.LimiterFor(sh.id).Release(time.Since(t.enqueued))
+	}
+	t.req.results[t.idx] = r
+	t.req.wg.Done()
+}
+
 // process predicts one batch against the currently active model version.
 func (s *Server) process(sh *shard, batch []*task) {
 	batchSizeHist.Observe(float64(len(batch)))
@@ -537,11 +647,9 @@ func (s *Server) process(sh *shard, batch []*task) {
 			t.at.Span("queue", t.enqueued, t.dequeued.Sub(t.enqueued),
 				obs.String("machine", t.sample.MachineID), obs.Int("shard", sh.id),
 				obs.String("outcome", "late"))
-			t.req.results[t.idx] = taskResult{late: true}
-			t.req.wg.Done()
+			s.finish(sh, t, taskResult{late: true})
 		case entry == nil:
-			t.req.results[t.idx] = taskResult{err: ErrNoModel}
-			t.req.wg.Done()
+			s.finish(sh, t, taskResult{err: ErrNoModel})
 		default:
 			live = append(live, t)
 		}
@@ -553,8 +661,7 @@ func (s *Server) process(sh *shard, batch []*task) {
 	pred, err := s.predictorFor(sh, entry)
 	if err != nil {
 		for _, t := range live {
-			t.req.results[t.idx] = taskResult{err: err}
-			t.req.wg.Done()
+			s.finish(sh, t, taskResult{err: err})
 		}
 		return
 	}
@@ -567,6 +674,9 @@ func (s *Server) process(sh *shard, batch []*task) {
 		}
 	}
 	predictStart := time.Now()
+	if s.cfg.PredictStall > 0 {
+		time.Sleep(s.cfg.PredictStall)
+	}
 	items := pred.PredictBatch(samples)
 	predictDur := time.Since(predictStart)
 	if traced {
@@ -592,15 +702,18 @@ func (s *Server) process(sh *shard, batch []*task) {
 	// lag history) — one extra PredictBatch, no new lock contention. A
 	// shadow predictor failure silently skips the mirror for this batch;
 	// the serving path is never affected.
+	// Brownout rung 2 pauses the mirror: under pressure, the champion's
+	// capacity must not be spent double-predicting for the challenger.
 	var shadowItems []online.BatchItem
-	if se := s.shadow.Load(); se != nil && se.Version != entry.Version {
+	if se := s.shadow.Load(); se != nil && se.Version != entry.Version &&
+		(s.ov == nil || s.ov.Level() < overload.LevelShedAux) {
 		if sp, err := s.predictorFor(sh, se); err == nil {
 			shadowItems = sp.PredictBatch(samples)
 		}
 	}
 	for i, t := range live {
 		if items[i].Err != nil {
-			t.req.results[t.idx] = taskResult{err: items[i].Err}
+			s.finish(sh, t, taskResult{err: items[i].Err})
 		} else {
 			samplesServed.Inc()
 			tr := taskResult{watts: items[i].Watts, version: entry.Version}
@@ -608,9 +721,8 @@ func (s *Server) process(sh *shard, batch []*task) {
 				tr.shadowWatts = shadowItems[i].Watts
 				tr.shadowOK = true
 			}
-			t.req.results[t.idx] = tr
+			s.finish(sh, t, tr)
 		}
-		t.req.wg.Done()
 	}
 }
 
